@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper's
+Section VIII. The interesting metric is *simulated* milliseconds (the
+deployment's latency), which each benchmark stores in
+``benchmark.extra_info`` and prints as a table mirroring the paper's
+presentation; pytest-benchmark's wall-clock numbers additionally track
+how fast the simulator itself runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark.
+
+    Simulation results are deterministic, so calibration rounds would
+    only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,132 @@
+"""Ablations for Blockplane's design choices (beyond the paper's
+figures; see DESIGN.md).
+
+Asserted shapes:
+
+* read strategies cost read-1 < 2f+1 quorum < linearizable;
+* group commit multiplies small-command throughput by an order of
+  magnitude;
+* raising the transmission fanout masks receiver failures at
+  essentially no latency cost (the receive path deduplicates);
+* local-commit latency scales linearly in the intra-datacenter
+  latency (the calibration knob behind Figure 4).
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def read_results():
+    return ablations.run_read_strategies(rounds=30)
+
+
+@pytest.fixture(scope="module")
+def batch_results():
+    return ablations.run_batching(commands=200)
+
+
+@pytest.fixture(scope="module")
+def fanout_results():
+    return ablations.run_transmission_fanout(rounds=8)
+
+
+@pytest.fixture(scope="module")
+def sensitivity_results():
+    return ablations.run_intra_dc_sensitivity(rounds=15)
+
+
+def test_ablation_suite(benchmark, read_results, batch_results,
+                        fanout_results, sensitivity_results):
+    benchmark.pedantic(
+        ablations.run_read_strategies, kwargs=dict(rounds=5),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["read_strategies_ms"] = read_results
+    benchmark.extra_info["batching_cmd_per_s"] = batch_results
+    benchmark.extra_info["fanout"] = {
+        str(k): v for k, v in fanout_results.items()
+    }
+    benchmark.extra_info["intra_dc_sensitivity_ms"] = {
+        str(k): v for k, v in sensitivity_results.items()
+    }
+    ablations.main()
+
+
+def test_read_strategy_cost_ordering(benchmark, read_results):
+    _touch_benchmark(benchmark)
+    assert (
+        read_results["read-1"]
+        < read_results["2f+1"]
+        < read_results["linearizable"]
+    )
+
+
+def test_quorum_read_costs_about_one_local_round_trip(benchmark, read_results):
+    _touch_benchmark(benchmark)
+    assert 0.2 < read_results["2f+1"] < 1.0
+
+
+def test_batching_multiplies_throughput(benchmark, batch_results):
+    _touch_benchmark(benchmark)
+    speedup = (
+        batch_results["batched_cmd_per_s"]
+        / batch_results["unbatched_cmd_per_s"]
+    )
+    assert speedup > 10.0
+
+
+def test_fanout_latency_flat_and_no_duplicate_commits(benchmark, fanout_results):
+    _touch_benchmark(benchmark)
+    latencies = [metrics["delivery_ms"] for metrics in fanout_results.values()]
+    assert max(latencies) - min(latencies) < 1.0
+    for metrics in fanout_results.values():
+        assert metrics["committed_receptions"] == 8.0  # exactly once each
+
+
+@pytest.fixture(scope="module")
+def fi_results():
+    return ablations.run_fi_scaling(rounds=6)
+
+
+@pytest.fixture(scope="module")
+def participant_results():
+    return ablations.run_participant_scaling(rounds=6)
+
+
+def test_byzantine_resilience_is_a_local_cost(benchmark, fi_results):
+    _touch_benchmark(benchmark)
+    latencies = [
+        metrics["blockplane_paxos_ms"] for metrics in fi_results.values()
+    ]
+    # Tripling the tolerated byzantine failures (4 -> 10 nodes per
+    # datacenter) moves the wide-area latency by only a few percent.
+    assert max(latencies) / min(latencies) < 1.05
+
+
+def test_geo_commit_latency_independent_of_federation_size(
+    benchmark,
+    participant_results,
+):
+    _touch_benchmark(benchmark)
+    latencies = list(participant_results.values())
+    assert max(latencies) - min(latencies) < 1.0
+
+
+def test_local_commit_scales_linearly_in_intra_dc_latency(
+    benchmark,
+    sensitivity_results,
+):
+    _touch_benchmark(benchmark)
+    pairs = sorted(sensitivity_results.items())
+    latencies = [latency for _one_way, latency in pairs]
+    assert latencies == sorted(latencies)
+    # Roughly 4 one-way hops per commit: slope ~4x.
+    slope = (latencies[-1] - latencies[0]) / (pairs[-1][0] - pairs[0][0])
+    assert 3.0 < slope < 5.0
+
+def _touch_benchmark(benchmark):
+    """Register with pytest-benchmark so shape assertions also run
+    under --benchmark-only (the no-op costs nothing)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""Figure 4 — local commitment latency and throughput vs batch size.
+
+Paper shapes asserted:
+
+* (a) latency ~1 ms up to 100 KB batches, then growing with size
+  (4.5 ms @ 1 MB, 8.2 ms @ 2 MB on the testbed);
+* (b) throughput rises ~60x from 1 KB to 100 KB, then plateaus
+  (only ~10 % more from 1 MB to 2 MB).
+"""
+
+import pytest
+
+from repro.experiments import fig4_local_commit
+
+MEASURED = 150
+WARMUP = 15
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig4_local_commit.run(measured=MEASURED, warmup=WARMUP)
+
+
+def test_fig4_sweep(benchmark, results):
+    benchmark.pedantic(
+        fig4_local_commit.run_one,
+        kwargs=dict(batch_bytes=100_000, measured=MEASURED, warmup=WARMUP),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {
+        size: (m["latency_ms"], m["throughput_mb_s"])
+        for size, m in results.items()
+    }
+    benchmark.extra_info["latency_ms"] = {
+        str(k): v[0] for k, v in rows.items()
+    }
+    benchmark.extra_info["throughput_mb_s"] = {
+        str(k): v[1] for k, v in rows.items()
+    }
+    fig4_local_commit.main(measured=MEASURED, warmup=WARMUP)
+
+
+def test_fig4a_small_batches_commit_in_about_a_millisecond(benchmark, results):
+    _touch_benchmark(benchmark)
+    for size in (1_000, 10_000, 100_000):
+        assert results[size]["latency_ms"] <= 1.5
+
+
+def test_fig4a_latency_grows_with_batch_size(benchmark, results):
+    _touch_benchmark(benchmark)
+    sizes = sorted(results)
+    latencies = [results[size]["latency_ms"] for size in sizes]
+    assert latencies == sorted(latencies)
+    assert results[2_000_000]["latency_ms"] > 5 * results[100_000]["latency_ms"]
+
+
+def test_fig4b_throughput_rises_steeply_then_plateaus(benchmark, results):
+    _touch_benchmark(benchmark)
+    gain_small = (
+        results[100_000]["throughput_mb_s"] / results[1_000]["throughput_mb_s"]
+    )
+    assert gain_small > 30  # paper: ~60x
+    gain_large = (
+        results[2_000_000]["throughput_mb_s"]
+        / results[1_000_000]["throughput_mb_s"]
+    )
+    assert gain_large < 1.25  # paper: ~10% more
+
+
+def test_fig4_peak_throughput_near_paper_value(benchmark, results):
+    _touch_benchmark(benchmark)
+    # Paper: ~83 MB/s at the 100 KB balance point.
+    assert results[100_000]["throughput_mb_s"] == pytest.approx(83.0, rel=0.15)
+
+
+def _touch_benchmark(benchmark):
+    """Register with pytest-benchmark so shape assertions also run
+    under --benchmark-only (the no-op costs nothing)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

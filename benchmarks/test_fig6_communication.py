@@ -1,0 +1,75 @@
+"""Figure 6 — send→receive→ack latency between datacenter pairs.
+
+Paper shapes asserted:
+
+* the latency of each pair tracks its RTT;
+* the middleware's overhead over the raw RTT is small — largest for
+  the closest pair (C–O, paper: 23 %) and a few percent elsewhere.
+"""
+
+import pytest
+
+from repro.experiments import fig6_communication
+from repro.sim.topology import aws_four_dc_topology
+
+ROUNDS = 10
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig6_communication.run(rounds=ROUNDS)
+
+
+def test_fig6_sweep(benchmark, results):
+    benchmark.pedantic(
+        fig6_communication.run_pair,
+        kwargs=dict(source="C", destination="O", rounds=ROUNDS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["latency_ms"] = {
+        f"{a}{b}": latency for (a, b), latency in results.items()
+    }
+    fig6_communication.main(rounds=ROUNDS)
+
+
+def test_fig6_latency_ordering_follows_rtt(benchmark, results):
+    _touch_benchmark(benchmark)
+    topology = aws_four_dc_topology()
+    pairs = sorted(results, key=lambda pair: topology.rtt_ms(*pair))
+    latencies = [results[pair] for pair in pairs]
+    assert latencies == sorted(latencies)
+
+
+def test_fig6_every_pair_exceeds_its_rtt(benchmark, results):
+    _touch_benchmark(benchmark)
+    topology = aws_four_dc_topology()
+    for (a, b), latency in results.items():
+        assert latency > topology.rtt_ms(a, b)
+
+
+def test_fig6_overhead_small_and_largest_for_closest_pair(benchmark, results):
+    _touch_benchmark(benchmark)
+    topology = aws_four_dc_topology()
+    overheads = {
+        pair: (latency - topology.rtt_ms(*pair)) / topology.rtt_ms(*pair)
+        for pair, latency in results.items()
+    }
+    assert max(overheads, key=overheads.get) == ("C", "O")
+    assert overheads[("C", "O")] < 0.30  # paper: 23%
+    for pair, overhead in overheads.items():
+        if pair != ("C", "O"):
+            assert overhead < 0.10, pair  # paper: 1–7%
+
+
+def test_fig6_absolute_values_near_paper(benchmark, results):
+    _touch_benchmark(benchmark)
+    assert results[("C", "O")] == pytest.approx(23.4, abs=3.0)
+    assert results[("V", "I")] == pytest.approx(74.0, abs=4.0)
+    assert results[("C", "I")] == pytest.approx(137.0, abs=6.0)
+
+
+def _touch_benchmark(benchmark):
+    """Register with pytest-benchmark so shape assertions also run
+    under --benchmark-only (the no-op costs nothing)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,19 @@
+"""Table I — the RTT matrix driving every wide-area experiment."""
+
+from repro.experiments import table1_topology
+from repro.sim.topology import AWS_SITES
+
+
+def test_table1_rtt_matrix(once):
+    matrix = once(table1_topology.run)
+    table1_topology.main()
+    # The exact values of Table I.
+    assert matrix[("C", "O")] == 19.0
+    assert matrix[("C", "V")] == 61.0
+    assert matrix[("C", "I")] == 130.0
+    assert matrix[("O", "V")] == 79.0
+    assert matrix[("O", "I")] == 132.0
+    assert matrix[("V", "I")] == 70.0
+    for site in AWS_SITES:
+        assert matrix[(site, site)] == 0.0
+

@@ -1,0 +1,67 @@
+"""Table II — local commitment while varying the number of nodes.
+
+Paper shapes asserted: latency rises and throughput falls monotonically
+as the unit grows from 4 to 13 nodes (fi 1→4); the 13-node unit loses
+at least half the 4-node throughput (paper: 83 → 25 MB/s).
+"""
+
+import pytest
+
+from repro.experiments import table2_scalability
+
+MEASURED = 120
+WARMUP = 12
+
+
+@pytest.fixture(scope="module")
+def results():
+    return table2_scalability.run(measured=MEASURED, warmup=WARMUP)
+
+
+def test_table2_sweep(benchmark, results):
+    benchmark.pedantic(
+        table2_scalability.run_one,
+        kwargs=dict(f_independent=1, measured=MEASURED, warmup=WARMUP),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["by_nodes"] = {
+        str(nodes): {
+            "latency_ms": metrics["latency_ms"],
+            "throughput_mb_s": metrics["throughput_mb_s"],
+        }
+        for nodes, metrics in results.items()
+    }
+    table2_scalability.main(measured=MEASURED, warmup=WARMUP)
+
+
+def test_table2_latency_monotonically_increases(benchmark, results):
+    _touch_benchmark(benchmark)
+    nodes = sorted(results)
+    assert nodes == [4, 7, 10, 13]
+    latencies = [results[n]["latency_ms"] for n in nodes]
+    assert latencies == sorted(latencies)
+
+
+def test_table2_throughput_monotonically_decreases(benchmark, results):
+    _touch_benchmark(benchmark)
+    nodes = sorted(results)
+    throughputs = [results[n]["throughput_mb_s"] for n in nodes]
+    assert throughputs == sorted(throughputs, reverse=True)
+
+
+def test_table2_resilience_costs_at_least_half_the_throughput(benchmark, results):
+    _touch_benchmark(benchmark)
+    assert results[13]["throughput_mb_s"] < results[4]["throughput_mb_s"] / 1.9
+
+
+def test_table2_baseline_matches_paper(benchmark, results):
+    _touch_benchmark(benchmark)
+    assert results[4]["latency_ms"] == pytest.approx(1.2, abs=0.2)
+    assert results[4]["throughput_mb_s"] == pytest.approx(83.0, rel=0.12)
+
+
+def _touch_benchmark(benchmark):
+    """Register with pytest-benchmark so shape assertions also run
+    under --benchmark-only (the no-op costs nothing)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The paper's Algorithm 1: a byzantized distributed counter.
+
+Each participant keeps a counter; a user request at one participant
+sends a message to another, which increments its counter on receipt.
+The three verification routines sketched in Section III-C run on every
+middleware node:
+
+1. user requests must come from trusted users,
+2. outgoing messages must correspond to a committed, unconsumed
+   request, and
+3. increments must consume an actually-received message.
+
+The demo commits a few legitimate requests, then shows the routines
+rejecting an untrusted user and a forged increment.
+
+Run:
+    python examples/counter_protocol.py
+"""
+
+from repro.apps.counter import CounterParticipant, CounterVerification
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.errors import VerificationFailed
+from repro.sim import Simulator, aws_four_dc_topology
+
+
+def main() -> None:
+    sim = Simulator(seed=11)
+    deployment = BlockplaneDeployment(
+        sim,
+        aws_four_dc_topology(),
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda _name: CounterVerification(),
+    )
+    participants = {
+        site: CounterParticipant(deployment.api(site))
+        for site in deployment.participants
+    }
+    for participant in participants.values():
+        participant.start_server()
+
+    def driver():
+        print("alice@C -> V ...")
+        yield participants["C"].user_request("alice", "V")
+        print(f"[{sim.now:8.2f} ms] request durable and sent")
+        yield participants["C"].user_request("bob", "V")
+        yield participants["O"].user_request("carol", "V")
+        try:
+            yield participants["C"].user_request("mallory", "V")
+        except VerificationFailed as exc:
+            print(f"[{sim.now:8.2f} ms] mallory rejected: {exc}")
+
+    process = sim.spawn(driver())
+    sim.run(until=10_000.0)
+    assert process.resolved
+
+    print()
+    print(f"V's counter: {participants['V'].counter} (expected 3)")
+    print(f"V's counter recovered from the Local Log: "
+          f"{participants['V'].recover_counter_from_log()}")
+
+    # A byzantine unit member at V tries to inflate the counter without
+    # a received message behind it — its own unit vetoes the commit.
+    corrupt = deployment.unit("V").nodes[2]
+    corrupt.local_commit(
+        {"kind": "increment", "cause": "forged"}, "log-commit", None, 64
+    )
+    sim.run(until=sim.now + 2_000.0)
+    print(f"After a forged increment attempt, V's log still yields: "
+          f"{participants['V'].recover_counter_from_log()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: byzantize a tiny protocol with Blockplane in ~40 lines.
+
+Builds the paper's four-datacenter deployment (California, Oregon,
+Virginia, Ireland; RTTs from Table I), commits state at one
+participant, sends a message across the wide area, and receives it —
+everything byzantine-fault-tolerant with fi = 1 (4 middleware nodes per
+datacenter).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.sim import Simulator, aws_four_dc_topology
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    deployment = BlockplaneDeployment(
+        sim,
+        aws_four_dc_topology(),
+        BlockplaneConfig(f_independent=1),
+    )
+    api_c = deployment.api("C")  # California
+    api_v = deployment.api("V")  # Virginia
+
+    def california():
+        # Persist a state change, byzantine-fault-tolerantly.
+        position = yield api_c.log_commit("balance=100", payload_bytes=1000)
+        print(f"[{sim.now:8.2f} ms] C committed at log position {position}")
+        # Send a message to Virginia. The middleware commits it
+        # locally, collects f+1 signatures, and ships it.
+        yield api_c.send("hello from California", to="V", payload_bytes=1000)
+        print(f"[{sim.now:8.2f} ms] C's send is durable; daemon ships it")
+
+    def virginia():
+        message = yield api_v.receive("C")
+        print(f"[{sim.now:8.2f} ms] V received: {message!r}")
+        # The message is already committed in V's Local Log, backed by
+        # C's unit signatures.
+        log = deployment.unit("V").gateway_node().local_log
+        entry = log.read(1)
+        print(
+            f"            V's log[1] is a {entry.record_type!r} record "
+            f"carrying {len(entry.value.proof.signatures)} source signatures"
+        )
+
+    sim.spawn(california())
+    sim.spawn(virginia())
+    sim.run(until=5_000.0)
+
+    print()
+    print("Local Log of C:", [
+        (entry.position, entry.record_type)
+        for entry in deployment.unit("C").gateway_node().local_log
+    ])
+    print("Local Log of V:", [
+        (entry.position, entry.record_type)
+        for entry in deployment.unit("V").gateway_node().local_log
+    ])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim so ``pip install -e .`` works offline.
+
+The execution environment has no network access and no ``wheel``
+package, which breaks PEP 660 editable installs; keeping a setup.py lets
+pip fall back to ``setup.py develop``. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Blockplane: a global-scale byzantizing middleware (ICDE 2019) — "
+        "full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

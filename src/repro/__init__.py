@@ -1,0 +1,48 @@
+"""Blockplane: a global-scale byzantizing middleware (ICDE 2019).
+
+This package is a from-scratch reproduction of the Blockplane paper by
+Nawab and Sadoghi. It contains:
+
+``repro.sim``
+    A deterministic discrete-event simulation substrate (virtual clock,
+    generator-based processes, a wide-area network model with the paper's
+    AWS round-trip-time matrix, NIC bandwidth serialization, and fault
+    injection). This substitutes for the paper's four-datacenter AWS
+    testbed.
+
+``repro.crypto``
+    Key registry, signatures, digests, and quorum proofs used by the
+    middleware's transmission records and geo-replication proofs.
+
+``repro.pbft``
+    A complete PBFT implementation (pre-prepare/prepare/commit, view
+    changes, checkpoints) extended with Blockplane's two modifications:
+    record-type annotations and user verification-routine hooks.
+
+``repro.paxos``
+    Single-decree and multi-decree Paxos used by the baselines and by the
+    hierarchical global-commit layer.
+
+``repro.core``
+    The Blockplane middleware itself: Local Logs, the
+    ``log_commit``/``read``/``send``/``receive`` programming model,
+    verification routines, communication daemons and reserves,
+    geo-correlated fault tolerance, read strategies, batching, and
+    recovery.
+
+``repro.baselines``
+    The paper's comparison systems: flat wide-area Paxos, flat wide-area
+    PBFT, and Hierarchical PBFT.
+
+``repro.apps``
+    Example protocols byzantized through Blockplane: the distributed
+    counter of Algorithm 1, the byzantized Paxos of Algorithm 3, a
+    replicated key-value store, and a banking application.
+
+``repro.experiments``
+    One driver per table and figure of the paper's Section VIII.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,73 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro                 # every table and figure (quick sizes)
+    python -m repro fig4 table2     # a subset
+    python -m repro --full          # paper-sized runs (slower)
+
+Each driver prints its table with the paper's reported values alongside.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    fig4_local_commit,
+    fig5_geo,
+    fig6_communication,
+    fig7_consensus,
+    fig8_failures,
+    table1_topology,
+    table2_scalability,
+)
+
+_QUICK = {
+    "table1": lambda: table1_topology.main(),
+    "fig4": lambda: fig4_local_commit.main(measured=100, warmup=10),
+    "table2": lambda: table2_scalability.main(measured=100, warmup=10),
+    "fig5": lambda: fig5_geo.main(measured=20, warmup=2),
+    "fig6": lambda: fig6_communication.main(rounds=8),
+    "fig7": lambda: fig7_consensus.main(rounds=8),
+    "fig8": lambda: fig8_failures.main(backup_batches=70,
+                                       primary_batches=100),
+    "ablations": lambda: ablations.main(),
+}
+
+_FULL = {
+    "table1": lambda: table1_topology.main(),
+    "fig4": lambda: fig4_local_commit.main(measured=1000, warmup=100),
+    "table2": lambda: table2_scalability.main(measured=1000, warmup=100),
+    "fig5": lambda: fig5_geo.main(measured=100, warmup=10),
+    "fig6": lambda: fig6_communication.main(rounds=20),
+    "fig7": lambda: fig7_consensus.main(rounds=20),
+    "fig8": lambda: fig8_failures.main(backup_batches=100,
+                                       primary_batches=160),
+    "ablations": lambda: ablations.main(),
+}
+
+
+def main(argv: list) -> int:
+    """Run the selected (or all) experiment drivers."""
+    full = "--full" in argv
+    names = [arg for arg in argv if not arg.startswith("-")]
+    table = _FULL if full else _QUICK
+    unknown = [name for name in names if name not in table]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(table)}")
+        return 2
+    selected = names or list(table)
+    for index, name in enumerate(selected):
+        if index:
+            print()
+            print("=" * 68)
+            print()
+        table[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,346 @@
+"""Blockplane-Paxos: the byzantized Paxos of Algorithm 3 / Section VI-E.
+
+Plain (benign) Paxos, written against the Blockplane programming model:
+every state change is a ``log_commit``, every message crosses through
+``send``/``receive``, and verification routines let unit replicas judge
+each transition. The wide-area pattern stays Paxos's single round trip
+to a majority — byzantine masking happens inside each datacenter —
+which is why Figure 7 shows Blockplane-Paxos far below flat PBFT.
+
+The participant state mirrors the paper's Algorithm 3:
+
+* ``r`` — the proposal (ballot) number, unique per participant,
+* ``l`` — whether this participant believes it is the leader,
+* ``max_val`` — the highest-ballot accepted value learned during
+  leader election (it must be proposed first, per Paxos's rule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.records import (
+    LogEntry,
+    RECORD_COMMUNICATION,
+    RECORD_LOG_COMMIT,
+)
+from repro.core.verification import VerificationRoutines
+from repro.sim.process import Future
+
+#: Ballot: (round, participant) — lexicographic order, globally unique.
+Ballot = Tuple[int, str]
+
+_EVENTS = {
+    "election-start",
+    "ballot-update",
+    "leader-elected",
+    "replication-start",
+    "promise",
+    "accept",
+    "value-committed",
+    "step-down",
+}
+_MESSAGES = {"paxos-prepare", "paxos-promise", "paxos-propose", "paxos-accept"}
+
+
+class PaxosVerification(VerificationRoutines):
+    """Stateful verification routines for Blockplane-Paxos.
+
+    Replays the node's Local Log to track the promised ballot and the
+    set of committed-but-unsent protocol events, so replicas reject:
+
+    * promise/accept events that would *lower* the promised ballot
+      (an illegal acceptor transition), and
+    * outgoing protocol messages with no committed event warranting
+      them (a malicious unit member inventing traffic).
+    """
+
+    def __init__(self) -> None:
+        self.promised: Ballot = (0, "")
+        self._sendable: Dict[str, int] = {}
+
+    def bind(self, node) -> None:
+        node.on_log_append.append(self._replay)
+
+    def _replay(self, entry: LogEntry) -> None:
+        if entry.record_type == RECORD_LOG_COMMIT:
+            value = entry.value
+            if not isinstance(value, dict):
+                return
+            event = value.get("event")
+            if event in ("promise", "accept"):
+                ballot = tuple(value.get("ballot", (0, "")))
+                if ballot >= self.promised:
+                    self.promised = ballot
+                kind = (
+                    "paxos-promise" if event == "promise" else "paxos-accept"
+                )
+                self._sendable[kind] = self._sendable.get(kind, 0) + 1
+            elif event == "election-start":
+                self._sendable["paxos-prepare"] = (
+                    self._sendable.get("paxos-prepare", 0) + 16
+                )
+            elif event == "replication-start":
+                self._sendable["paxos-propose"] = (
+                    self._sendable.get("paxos-propose", 0) + 16
+                )
+        elif entry.record_type == RECORD_COMMUNICATION:
+            value = entry.value
+            if isinstance(value, dict):
+                kind = value.get("type")
+                if kind in self._sendable:
+                    self._sendable[kind] -= 1
+
+    def verify_log_commit(
+        self, value: Any, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        if not isinstance(value, dict):
+            return False
+        event = value.get("event")
+        if event not in _EVENTS:
+            return False
+        if event in ("promise", "accept"):
+            ballot = value.get("ballot")
+            if not isinstance(ballot, tuple) or len(ballot) != 2:
+                return False
+            return tuple(ballot) >= self.promised
+        return True
+
+    def verify_send(
+        self, message: Any, destination: str, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        if not isinstance(message, dict):
+            return False
+        kind = message.get("type")
+        if kind not in _MESSAGES:
+            return False
+        # Each send must be warranted by a committed protocol event.
+        return self._sendable.get(kind, 0) > 0
+
+
+class BlockplanePaxosParticipant:
+    """One Paxos participant speaking only through Blockplane.
+
+    Args:
+        api: The participant's Blockplane API handle.
+        participants: All participant names (including this one).
+    """
+
+    def __init__(self, api, participants: List[str]) -> None:
+        self.api = api
+        self.name = api.participant
+        self.participants = list(participants)
+        # -- Algorithm 3 state --
+        self.r: Ballot = (0, self.name)
+        self.l = False
+        self.max_val: Any = None
+        # -- acceptor state --
+        self.promised: Ballot = (0, "")
+        self.accepted: Dict[int, Tuple[Ballot, Any]] = {}
+        # -- learner state --
+        self.chosen: Dict[int, Any] = {}
+        self.next_slot = 1
+        self._collectors: Dict[Tuple, Dict[str, Any]] = {}
+        self._pump = None
+
+    @property
+    def majority(self) -> int:
+        """Participants needed for a quorum (including ourselves)."""
+        return len(self.participants) // 2 + 1
+
+    @property
+    def others(self) -> List[str]:
+        """All participants but this one."""
+        return [p for p in self.participants if p != self.name]
+
+    def start(self) -> None:
+        """Start the receive pump (dispatching incoming messages)."""
+        if self._pump is None:
+            self._pump = self.api.sim.spawn(self._pump_loop())
+
+    def _pump_loop(self):
+        while True:
+            message = yield self.api.receive()
+            if not isinstance(message, dict):
+                continue
+            kind = message.get("type")
+            if kind == "paxos-prepare":
+                self.api.sim.spawn(self._on_prepare(message))
+            elif kind == "paxos-propose":
+                self.api.sim.spawn(self._on_propose(message))
+            elif kind in ("paxos-promise", "paxos-accept"):
+                self._feed_collector(message)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 — LeaderElection
+    # ------------------------------------------------------------------
+    def leader_election(self):
+        """Generator process implementing the LeaderElection routine."""
+        yield self.api.log_commit({"event": "election-start"}, payload_bytes=64)
+        self.r = (self.r[0] + 1, self.name)
+        yield self.api.log_commit(
+            {"event": "ballot-update", "ballot": self.r}, payload_bytes=64
+        )
+        collector = self._make_collector(("promise", self.r), self.majority - 1)
+        prepare = {"type": "paxos-prepare", "ballot": self.r, "from": self.name}
+        for participant in self.others:
+            yield self.api.send(prepare, to=participant, payload_bytes=64)
+        responses = yield collector
+        positive = [resp for resp in responses if resp.get("ok")]
+        if len(positive) + 1 >= self.majority:  # +1: our own vote
+            self.l = True
+            self.max_val = self._maximum_accepted_value(positive)
+            yield self.api.log_commit(
+                {
+                    "event": "leader-elected",
+                    "leader": True,
+                    "max_val": self.max_val,
+                },
+                payload_bytes=64,
+            )
+        else:
+            self.r = (self.r[0] + 1, self.name)
+            yield self.api.log_commit(
+                {"event": "ballot-update", "ballot": self.r}, payload_bytes=64
+            )
+        return self.l
+
+    @staticmethod
+    def _maximum_accepted_value(responses: List[Dict[str, Any]]) -> Any:
+        best_ballot: Optional[Ballot] = None
+        best_value: Any = None
+        for response in responses:
+            for _slot, (ballot, value) in (response.get("accepted") or {}).items():
+                ballot = tuple(ballot)
+                if best_ballot is None or ballot > best_ballot:
+                    best_ballot = ballot
+                    best_value = value
+        return best_value
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 — Replication
+    # ------------------------------------------------------------------
+    def replicate(self, value: Any, payload_bytes: int = 1000):
+        """Generator process implementing the Replication routine.
+
+        Returns the slot on success, None if not leader / deposed.
+        """
+        yield self.api.log_commit(
+            {"event": "replication-start", "value": "<batch>"},
+            payload_bytes=payload_bytes,
+        )
+        if not self.l:
+            return None
+        if self.max_val is not None:
+            value, self.max_val = self.max_val, None
+        slot = self.next_slot
+        self.next_slot += 1
+        # Our own acceptance counts toward the majority.
+        self.promised = max(self.promised, self.r)
+        self.accepted[slot] = (self.r, value)
+        collector = self._make_collector(
+            ("accept", self.r, slot), self.majority - 1
+        )
+        propose = {
+            "type": "paxos-propose",
+            "ballot": self.r,
+            "slot": slot,
+            "value": value,
+            "from": self.name,
+        }
+        for participant in self.others:
+            yield self.api.send(
+                propose, to=participant, payload_bytes=payload_bytes
+            )
+        responses = yield collector
+        positive = [resp for resp in responses if resp.get("ok")]
+        if len(positive) + 1 >= self.majority:
+            self.chosen[slot] = value
+            yield self.api.log_commit(
+                {"event": "value-committed", "slot": slot}, payload_bytes=64
+            )
+            return slot
+        self.r = (self.r[0] + 1, self.name)
+        self.l = False
+        yield self.api.log_commit(
+            {"event": "step-down", "ballot": self.r}, payload_bytes=64
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # Acceptor handlers (the routines the paper omits "for brevity")
+    # ------------------------------------------------------------------
+    def _on_prepare(self, message: Dict[str, Any]):
+        ballot = tuple(message["ballot"])
+        sender = message["from"]
+        ok = ballot >= self.promised
+        if ok:
+            self.promised = ballot
+            yield self.api.log_commit(
+                {"event": "promise", "ballot": ballot}, payload_bytes=64
+            )
+        reply = {
+            "type": "paxos-promise",
+            "ballot": ballot,
+            "ok": ok,
+            "accepted": dict(self.accepted) if ok else {},
+            "from": self.name,
+        }
+        yield self.api.send(reply, to=sender, payload_bytes=64)
+
+    def _on_propose(self, message: Dict[str, Any]):
+        ballot = tuple(message["ballot"])
+        sender = message["from"]
+        slot = message["slot"]
+        ok = ballot >= self.promised
+        if ok:
+            self.promised = ballot
+            self.accepted[slot] = (ballot, message["value"])
+            yield self.api.log_commit(
+                {"event": "accept", "ballot": ballot, "slot": slot},
+                payload_bytes=64,
+            )
+        reply = {
+            "type": "paxos-accept",
+            "ballot": ballot,
+            "slot": slot,
+            "ok": ok,
+            "from": self.name,
+        }
+        yield self.api.send(reply, to=sender, payload_bytes=64)
+
+    # ------------------------------------------------------------------
+    # Response collection
+    # ------------------------------------------------------------------
+    def _make_collector(self, key: Tuple, needed: int) -> Future:
+        future = Future(self.api.sim, label=f"collect:{key}")
+        self._collectors[key] = {
+            "future": future,
+            "needed": needed,
+            "responses": [],
+        }
+        if needed == 0:
+            future.resolve([])
+        return future
+
+    def _feed_collector(self, message: Dict[str, Any]) -> None:
+        ballot = tuple(message.get("ballot", (0, "")))
+        if message["type"] == "paxos-promise":
+            key: Tuple = ("promise", ballot)
+        else:
+            key = ("accept", ballot, message.get("slot"))
+        collector = self._collectors.get(key)
+        if collector is None:
+            return
+        collector["responses"].append(message)
+        # The paper waits for "a majority of positive votes"; with a
+        # fixed quorum we resolve as soon as enough positives arrive, or
+        # when everyone answered (all-negative case).
+        positives = [r for r in collector["responses"] if r.get("ok")]
+        future = collector["future"]
+        if future.resolved:
+            return
+        if len(positives) >= collector["needed"]:
+            future.resolve(list(collector["responses"]))
+        elif len(collector["responses"]) >= len(self.others):
+            future.resolve(list(collector["responses"]))

@@ -1,0 +1,197 @@
+"""A partitioned, byzantized key-value store.
+
+Each participant owns a hash partition of the key space. Operations
+submitted at any participant are routed to the owner through the
+Blockplane communication interface; the owner commits the operation to
+its Local Log (so the store survives the configured fault-tolerance
+level) and replies with the result. This is the shape of workload the
+paper's introduction motivates: multi-organization data management
+where no single node is trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.records import LogEntry, RECORD_COMMUNICATION, RECORD_LOG_COMMIT
+from repro.core.verification import VerificationRoutines
+from repro.sim.process import Future
+
+_OPS = {"put", "get", "delete"}
+
+
+def owner_of(key: str, participants: List[str]) -> str:
+    """Deterministic hash partitioning of keys to participants."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return participants[digest[0] % len(participants)]
+
+
+class KVVerification(VerificationRoutines):
+    """Verification routines for the KV store.
+
+    A ``put``/``delete`` log-commit must be well-formed and addressed
+    to this participant's partition; replies must answer a committed
+    operation.
+    """
+
+    def __init__(self, participants: List[str], participant: str) -> None:
+        self.participants = list(participants)
+        self.participant = participant
+        self._unanswered: Dict[Tuple[str, Any], int] = {}
+
+    def bind(self, node) -> None:
+        node.on_log_append.append(self._replay)
+
+    def _replay(self, entry: LogEntry) -> None:
+        if entry.record_type == RECORD_LOG_COMMIT:
+            value = entry.value
+            if isinstance(value, dict) and value.get("op") in _OPS:
+                key = (value.get("reply_to"), value.get("op_id"))
+                self._unanswered[key] = self._unanswered.get(key, 0) + 1
+        elif entry.record_type == RECORD_COMMUNICATION:
+            value = entry.value
+            if isinstance(value, dict) and value.get("kind") == "kv-reply":
+                key = (entry.destination, value.get("op_id"))
+                if self._unanswered.get(key, 0) > 0:
+                    self._unanswered[key] -= 1
+
+    def verify_log_commit(
+        self, value: Any, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        if not isinstance(value, dict):
+            return False
+        operation = value.get("op")
+        if operation not in _OPS:
+            return False
+        if not isinstance(value.get("key"), str):
+            return False
+        # Only the owner partition may commit an operation on a key.
+        return owner_of(value["key"], self.participants) == self.participant
+
+    def verify_send(
+        self, message: Any, destination: str, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        if not isinstance(message, dict):
+            return False
+        if message.get("kind") == "kv-op":
+            operation = message.get("operation", {})
+            return isinstance(operation, dict) and operation.get("op") in _OPS
+        if message.get("kind") == "kv-reply":
+            return (
+                self._unanswered.get((destination, message.get("op_id")), 0) > 0
+            )
+        return False
+
+
+class KVStoreParticipant:
+    """One participant of the partitioned KV store.
+
+    Args:
+        api: The participant's Blockplane API handle.
+        participants: All participant names (partitioning universe).
+    """
+
+    def __init__(self, api, participants: List[str]) -> None:
+        self.api = api
+        self.name = api.participant
+        self.participants = list(participants)
+        self.store: Dict[str, Any] = {}
+        self._op_counter = 0
+        self._pending: Dict[int, Future] = {}
+        self._pump = None
+
+    def start(self) -> None:
+        """Start serving remote operations and replies."""
+        if self._pump is None:
+            self._pump = self.api.sim.spawn(self._pump_loop())
+
+    def _pump_loop(self):
+        while True:
+            message = yield self.api.receive()
+            if not isinstance(message, dict):
+                continue
+            if message.get("kind") == "kv-op":
+                self.api.sim.spawn(self._serve(message))
+            elif message.get("kind") == "kv-reply":
+                future = self._pending.pop(message.get("op_id"), None)
+                if future is not None and not future.resolved:
+                    future.resolve(message.get("result"))
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> Future:
+        """Store ``key → value`` (routed to the owner participant)."""
+        return self.api.sim.spawn(
+            self._execute({"op": "put", "key": key, "value": value})
+        )
+
+    def get(self, key: str) -> Future:
+        """Look up ``key`` at its owner."""
+        return self.api.sim.spawn(self._execute({"op": "get", "key": key}))
+
+    def delete(self, key: str) -> Future:
+        """Remove ``key`` at its owner."""
+        return self.api.sim.spawn(self._execute({"op": "delete", "key": key}))
+
+    def _execute(self, operation: Dict[str, Any]):
+        owner = owner_of(operation["key"], self.participants)
+        if owner == self.name:
+            result = yield from self._apply_locally(operation, reply_to=None)
+            return result
+        self._op_counter += 1
+        op_id = self._op_counter
+        future = Future(self.api.sim, label=f"kv-op-{op_id}")
+        self._pending[op_id] = future
+        request = {
+            "kind": "kv-op",
+            "op_id": op_id,
+            "reply_to": self.name,
+            "operation": operation,
+        }
+        yield self.api.send(request, to=owner, payload_bytes=256)
+        result = yield future
+        return result
+
+    # ------------------------------------------------------------------
+    # Owner-side execution
+    # ------------------------------------------------------------------
+    def _serve(self, message: Dict[str, Any]):
+        operation = message["operation"]
+        result = yield from self._apply_locally(
+            operation,
+            reply_to=message.get("reply_to"),
+            op_id=message.get("op_id"),
+        )
+        reply = {
+            "kind": "kv-reply",
+            "op_id": message.get("op_id"),
+            "result": result,
+        }
+        yield self.api.send(reply, to=message["reply_to"], payload_bytes=256)
+
+    def _apply_locally(
+        self,
+        operation: Dict[str, Any],
+        reply_to: Optional[str],
+        op_id: Optional[int] = None,
+    ):
+        record = dict(operation)
+        record["reply_to"] = reply_to
+        record["op_id"] = op_id
+        if operation["op"] == "get":
+            if reply_to is None:
+                # Local reads need not be committed (Section VI-A).
+                return self.store.get(operation["key"])
+            # Remote reads lead to a communication event (the reply), so
+            # the paper's Definition 1 requires committing them first —
+            # otherwise the unit would refuse to attest the reply.
+            yield self.api.log_commit(record, payload_bytes=256)
+            return self.store.get(operation["key"])
+        yield self.api.log_commit(record, payload_bytes=256)
+        if operation["op"] == "put":
+            self.store[operation["key"]] = operation["value"]
+            return "ok"
+        self.store.pop(operation["key"], None)
+        return "deleted"

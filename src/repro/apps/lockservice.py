@@ -1,0 +1,235 @@
+"""A byzantized distributed lock service.
+
+A coordination kernel in the style the paper's introduction motivates:
+multiple organizations sharing critical resources, none of which trusts
+the others' infrastructure. Each participant hosts the locks it owns
+(by name prefix ``"<participant>/..."``); any participant can request
+them through the middleware.
+
+The mutual-exclusion invariant is enforced by *verification routines*,
+not by trusting the host: every unit replica replays the lock table
+from its Local Log, and a byzantine node cannot commit an ``acquire``
+for a held lock or a ``release`` by a non-holder (Lemma 3 again, with
+genuinely stateful checks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.records import LogEntry, RECORD_COMMUNICATION, RECORD_LOG_COMMIT
+from repro.core.verification import VerificationRoutines
+from repro.sim.process import Future
+
+#: State-changing operations; "query" records are state-neutral and
+#: exist to warrant denial replies.
+_OPS = {"acquire", "release"}
+_COMMIT_OPS = {"acquire", "release", "query"}
+
+
+def lock_owner(lock_name: str) -> str:
+    """The participant hosting a lock: the prefix before '/'."""
+    return lock_name.split("/", 1)[0]
+
+
+class LockTable:
+    """Deterministic lock state replayed from a Local Log."""
+
+    def __init__(self) -> None:
+        self.holders: Dict[str, str] = {}
+
+    def apply(self, value: Dict[str, Any]) -> None:
+        if value.get("op") == "acquire":
+            self.holders[value["lock"]] = value["holder"]
+        elif value.get("op") == "release":
+            self.holders.pop(value["lock"], None)
+
+    def legal(self, value: Dict[str, Any]) -> bool:
+        operation = value.get("op")
+        lock = value.get("lock")
+        holder = value.get("holder")
+        if (
+            operation not in _OPS
+            or not isinstance(lock, str)
+            or not isinstance(holder, str)
+        ):
+            return False
+        if operation == "acquire":
+            return lock not in self.holders
+        return self.holders.get(lock) == holder
+
+
+class LockVerification(VerificationRoutines):
+    """Unit-replica verification: replay the lock table, veto illegal
+    transitions and unwarranted replies."""
+
+    def __init__(self, participant: str) -> None:
+        self.participant = participant
+        self.table = LockTable()
+        self._unanswered: Dict[Any, int] = {}
+
+    def bind(self, node) -> None:
+        node.on_log_append.append(self._replay)
+
+    def _replay(self, entry: LogEntry) -> None:
+        value = entry.value
+        if entry.record_type == RECORD_LOG_COMMIT and isinstance(value, dict):
+            if value.get("op") in _COMMIT_OPS:
+                self.table.apply(value)
+                key = (value.get("reply_to"), value.get("op_id"))
+                if key[0] is not None:
+                    self._unanswered[key] = self._unanswered.get(key, 0) + 1
+        elif entry.record_type == RECORD_COMMUNICATION and isinstance(
+            value, dict
+        ):
+            if value.get("kind") == "lock-reply":
+                key = (entry.destination, value.get("op_id"))
+                if self._unanswered.get(key, 0) > 0:
+                    self._unanswered[key] -= 1
+
+    def verify_log_commit(
+        self, value: Any, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        if not isinstance(value, dict):
+            return False
+        operation = value.get("op")
+        if operation not in _COMMIT_OPS:
+            return False
+        if lock_owner(value.get("lock", "")) != self.participant:
+            return False  # we only host our own locks
+        if operation == "query":
+            return isinstance(value.get("lock"), str)
+        return self.table.legal(value)
+
+    def verify_send(
+        self, message: Any, destination: str, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        if not isinstance(message, dict):
+            return False
+        if message.get("kind") == "lock-op":
+            operation = message.get("operation")
+            return isinstance(operation, dict) and operation.get("op") in _OPS
+        if message.get("kind") == "lock-reply":
+            return (
+                self._unanswered.get((destination, message.get("op_id")), 0)
+                > 0
+            )
+        return False
+
+
+class LockServiceParticipant:
+    """One participant of the lock service.
+
+    Args:
+        api: The participant's Blockplane API handle.
+        participants: All participant names.
+    """
+
+    def __init__(self, api, participants: List[str]) -> None:
+        self.api = api
+        self.name = api.participant
+        self.participants = list(participants)
+        self.table = LockTable()
+        self._op_counter = 0
+        self._pending: Dict[int, Future] = {}
+        self._pump = None
+
+    def start(self) -> None:
+        """Serve remote lock operations and route replies."""
+        if self._pump is None:
+            self._pump = self.api.sim.spawn(self._pump_loop())
+
+    def _pump_loop(self):
+        while True:
+            message = yield self.api.receive()
+            if not isinstance(message, dict):
+                continue
+            if message.get("kind") == "lock-op":
+                self.api.sim.spawn(self._serve(message))
+            elif message.get("kind") == "lock-reply":
+                future = self._pending.pop(message.get("op_id"), None)
+                if future is not None and not future.resolved:
+                    future.resolve(message.get("granted"))
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def acquire(self, lock: str, holder: str) -> Future:
+        """Try to take ``lock`` for ``holder``.
+
+        Resolves with True (granted) or False (held by someone else).
+        """
+        return self.api.sim.spawn(
+            self._execute({"op": "acquire", "lock": lock, "holder": holder})
+        )
+
+    def release(self, lock: str, holder: str) -> Future:
+        """Release ``lock`` (must be held by ``holder``)."""
+        return self.api.sim.spawn(
+            self._execute({"op": "release", "lock": lock, "holder": holder})
+        )
+
+    def _execute(self, operation: Dict[str, Any]):
+        owner = lock_owner(operation["lock"])
+        if owner == self.name:
+            granted = yield from self._apply_locally(operation, None, None)
+            return granted
+        self._op_counter += 1
+        op_id = self._op_counter
+        future = Future(self.api.sim, label=f"lock-op-{op_id}")
+        self._pending[op_id] = future
+        yield self.api.send(
+            {
+                "kind": "lock-op",
+                "op_id": op_id,
+                "reply_to": self.name,
+                "operation": operation,
+            },
+            to=owner,
+            payload_bytes=128,
+        )
+        granted = yield future
+        return granted
+
+    # ------------------------------------------------------------------
+    # Host-side execution
+    # ------------------------------------------------------------------
+    def _serve(self, message: Dict[str, Any]):
+        granted = yield from self._apply_locally(
+            message["operation"], message.get("reply_to"), message.get("op_id")
+        )
+        yield self.api.send(
+            {"kind": "lock-reply", "op_id": message.get("op_id"),
+             "granted": granted},
+            to=message["reply_to"],
+            payload_bytes=128,
+        )
+
+    def _apply_locally(
+        self,
+        operation: Dict[str, Any],
+        reply_to: Optional[str],
+        op_id: Optional[int],
+    ):
+        record = dict(operation)
+        record["reply_to"] = reply_to
+        record["op_id"] = op_id
+        if self.table.legal(operation):
+            yield self.api.log_commit(record, payload_bytes=128)
+            self.table.apply(operation)
+            return True
+        # Denied. A remote caller still needs a reply, and replies must
+        # be warranted by a committed record (Definition 1): commit a
+        # state-neutral query record carrying the reply coordinates.
+        if reply_to is not None:
+            yield self.api.log_commit(
+                {
+                    "op": "query",
+                    "lock": operation["lock"],
+                    "holder": operation.get("holder", ""),
+                    "reply_to": reply_to,
+                    "op_id": op_id,
+                },
+                payload_bytes=128,
+            )
+        return False

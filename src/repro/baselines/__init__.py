@@ -1,0 +1,24 @@
+"""The paper's comparison systems (Figure 7).
+
+* :class:`~repro.baselines.flat_paxos.FlatPaxosDeployment` — plain
+  wide-area Paxos, one node per datacenter, no byzantine tolerance.
+  The latency floor: one round trip to the closest majority.
+* :class:`~repro.baselines.flat_pbft.FlatPBFTDeployment` — PBFT with
+  one node per datacenter: every phase crosses the wide area, which is
+  exactly the cost Blockplane's hierarchy avoids.
+* :class:`~repro.baselines.hierarchical_pbft.HierarchicalPBFTDeployment`
+  — the ablation: PBFT locally, Paxos-style accept/accepted globally,
+  but *without* Blockplane's API separation (no signature collection,
+  no separate communication-record commits). Its latency sits between
+  Paxos and Blockplane-Paxos.
+"""
+
+from repro.baselines.flat_paxos import FlatPaxosDeployment
+from repro.baselines.flat_pbft import FlatPBFTDeployment
+from repro.baselines.hierarchical_pbft import HierarchicalPBFTDeployment
+
+__all__ = [
+    "FlatPaxosDeployment",
+    "FlatPBFTDeployment",
+    "HierarchicalPBFTDeployment",
+]

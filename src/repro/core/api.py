@@ -1,0 +1,182 @@
+"""The user-space programming model: log-commit, read, send, receive.
+
+This is the interface the paper's Section III-C defines. User protocols
+are written as generator processes that ``yield`` these calls::
+
+    api = deployment.api("C")
+
+    def user_request(destination):
+        yield api.log_commit("request info")
+        yield api.send("the message", to=destination)
+
+    def server():
+        while True:
+            message = yield api.receive()
+            yield api.log_commit(("increment-counter", message))
+
+Every call returns a :class:`~repro.sim.process.Future`; the value of a
+resolved ``log_commit``/``send`` is the record's Local Log position, and
+the value of a ``receive`` is the application message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.reads import ReadStrategy, required_responses
+from repro.core.records import (
+    RECORD_COMMUNICATION,
+    RECORD_LOG_COMMIT,
+)
+from repro.errors import ConfigurationError
+from repro.sim.process import Future
+
+
+class BlockplaneAPI:
+    """A participant's handle to its Blockplane unit.
+
+    Args:
+        unit: The participant's :class:`~repro.core.unit.BlockplaneUnit`.
+    """
+
+    def __init__(self, unit) -> None:
+        self.unit = unit
+        self.sim = unit.sim
+
+    @property
+    def participant(self) -> str:
+        """The participant this API speaks for."""
+        return self.unit.participant
+
+    @property
+    def gateway(self):
+        """The unit node currently serving user-space calls."""
+        return self.unit.gateway_node()
+
+    # ------------------------------------------------------------------
+    # log-commit / read
+    # ------------------------------------------------------------------
+    def log_commit(
+        self, value: Any, payload_bytes: Optional[int] = None
+    ) -> Future:
+        """Durably commit a state-change event to the Local Log.
+
+        The returned future resolves with the entry's log position once
+        the value survives the configured fault-tolerance level:
+        PBFT commitment in the local unit, plus ``fg`` remote mirror
+        proofs when geo tolerance is enabled.
+        """
+        return self.sim.spawn(
+            self._commit_process(value, RECORD_LOG_COMMIT, None, payload_bytes)
+        )
+
+    def send(
+        self, message: Any, to: str, payload_bytes: Optional[int] = None
+    ) -> Future:
+        """Send ``message`` to another participant.
+
+        The future resolves with the communication record's log position
+        once it is durably committed (the communication daemon ships it
+        asynchronously from there — one wide-area hop).
+        """
+        if to == self.participant:
+            raise ConfigurationError("cannot send() to ourselves")
+        if to not in self.unit.directory.participants:
+            raise ConfigurationError(f"unknown destination participant {to!r}")
+        meta = {"destination": to}
+        return self.sim.spawn(
+            self._commit_process(message, RECORD_COMMUNICATION, meta, payload_bytes)
+        )
+
+    def _commit_process(
+        self,
+        value: Any,
+        record_type: str,
+        meta: Optional[dict],
+        payload_bytes: Optional[int],
+    ):
+        if payload_bytes is None:
+            payload_bytes = self.unit.config.default_payload_bytes
+        gateway = self.unit.gateway_node()
+        committed = yield gateway.local_commit(
+            value, record_type, meta, payload_bytes
+        )
+        position = yield gateway.position_future(committed.seq)
+        if self.unit.config.f_geo > 0 and self.unit.geo is not None:
+            yield self.unit.geo.proofs_for(position)
+        return position
+
+    def read(
+        self,
+        position: int,
+        strategy: ReadStrategy = ReadStrategy.READ_ONE,
+    ) -> Future:
+        """Read a Local Log entry with the chosen strategy.
+
+        Resolves with the :class:`~repro.core.records.LogEntry`, or
+        None if the position is unwritten (as agreed by the strategy's
+        quorum).
+        """
+        if strategy is ReadStrategy.LINEARIZABLE:
+            return self.sim.spawn(self._linearizable_read(position))
+        gateway = self.unit.gateway_node()
+        needed = required_responses(strategy, self.unit.config.f_independent)
+        return gateway.read_quorum(position, needed)
+
+    def _linearizable_read(self, position: int):
+        gateway = self.unit.gateway_node()
+        # Order the read against all writes by committing a marker.
+        yield gateway.local_commit(
+            ("__read_marker__", position), RECORD_LOG_COMMIT, None, 0
+        )
+        entry = yield gateway.read_quorum(position, 1)
+        return entry
+
+    def read_proven(self, position: int) -> Future:
+        """Section VI-A's full read-1: entry plus a validity proof.
+
+        The closest node serves the entry AND an ``fi + 1``-signature
+        proof from the unit, which the caller validates — so even the
+        serving node cannot forge *contents* (it can still deny
+        existence; use :attr:`ReadStrategy.READ_QUORUM` against that).
+
+        Resolves with ``(entry, proof)``; raises
+        :class:`~repro.errors.VerificationFailed` if the proof does not
+        validate.
+        """
+        return self.sim.spawn(self._proven_read(position))
+
+    def _proven_read(self, position: int):
+        from repro.errors import VerificationFailed
+
+        gateway = self.unit.gateway_node()
+        entry = yield gateway.read_quorum(position, 1)
+        if entry is None:
+            return None
+        proof = yield gateway.collect_local_signatures(
+            position, entry.digest(), purpose="entry"
+        )
+        directory = self.unit.directory
+        if not proof.is_valid(
+            directory.registry,
+            self.unit.config.proof_size,
+            allowed_signers=directory.unit_members(self.participant),
+        ):
+            raise VerificationFailed(
+                f"entry proof for position {position} did not validate"
+            )
+        return (entry, proof)
+
+    def log_length(self) -> int:
+        """Length of the gateway's Local Log copy (committed entries)."""
+        return len(self.unit.gateway_node().local_log)
+
+    # ------------------------------------------------------------------
+    # receive
+    # ------------------------------------------------------------------
+    def receive(self, source: Optional[str] = None) -> Future:
+        """Return the next unread message (from ``source``, or anyone).
+
+        Blocks (in process terms) until a message is available.
+        """
+        return self.unit.gateway_node().poll_reception(source)

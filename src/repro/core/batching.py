@@ -1,0 +1,120 @@
+"""Batching and group commit (Section VI-C of the paper).
+
+Commands are coalesced into batches; the unit commits one batch at a
+time and only opens the next once the current one is durable ("a leader
+only attempts to commit a single batch and does not start the next one
+until the current one is committed"). Within a batch, command order
+preserves declared read-from dependencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.process import Future
+
+
+@dataclasses.dataclass
+class _PendingCommand:
+    command: Any
+    payload_bytes: int
+    future: Future
+    depends_on: Tuple[int, ...]
+    ticket: int
+
+
+class Batcher:
+    """Groups commands into batches committed through one API handle.
+
+    Args:
+        api: The participant's :class:`~repro.core.api.BlockplaneAPI`.
+        max_batch_commands: Close a batch at this many commands.
+        max_batch_bytes: Close a batch at this payload volume.
+
+    Each :meth:`submit` returns a future resolving with
+    ``(log_position, index_in_batch)`` once the command's batch commits.
+    """
+
+    def __init__(
+        self,
+        api,
+        max_batch_commands: int = 128,
+        max_batch_bytes: int = 1_000_000,
+    ) -> None:
+        if max_batch_commands < 1:
+            raise ConfigurationError("max_batch_commands must be >= 1")
+        self.api = api
+        self.max_batch_commands = max_batch_commands
+        self.max_batch_bytes = max_batch_bytes
+        self._queue: List[_PendingCommand] = []
+        self._in_flight = False
+        self._ticket_counter = 0
+        self._tickets: Dict[int, int] = {}
+        self.batches_committed = 0
+
+    def submit(
+        self,
+        command: Any,
+        payload_bytes: int = 100,
+        depends_on: Optional[List[Future]] = None,
+    ) -> Future:
+        """Queue a command for group commit.
+
+        Args:
+            command: Opaque application command.
+            payload_bytes: Size charged to the bandwidth model.
+            depends_on: Futures of commands this one reads from; it is
+                ordered after all of them (they are ticketed earlier, and
+                the batch sort is stable on tickets).
+        """
+        self._ticket_counter += 1
+        dependency_tickets = []
+        for dependency in depends_on or []:
+            ticket = self._tickets.get(id(dependency))
+            if ticket is not None:
+                dependency_tickets.append(ticket)
+        future = Future(self.api.sim, label=f"batch-cmd-{self._ticket_counter}")
+        self._tickets[id(future)] = self._ticket_counter
+        self._queue.append(
+            _PendingCommand(
+                command=command,
+                payload_bytes=payload_bytes,
+                future=future,
+                depends_on=tuple(dependency_tickets),
+                ticket=self._ticket_counter,
+            )
+        )
+        self._maybe_commit()
+        return future
+
+    def _maybe_commit(self) -> None:
+        if self._in_flight or not self._queue:
+            return
+        batch: List[_PendingCommand] = []
+        total_bytes = 0
+        while self._queue and len(batch) < self.max_batch_commands:
+            nxt = self._queue[0]
+            if batch and total_bytes + nxt.payload_bytes > self.max_batch_bytes:
+                break
+            batch.append(self._queue.pop(0))
+            total_bytes += nxt.payload_bytes
+        # Dependency-preserving order: tickets are assigned in submit
+        # order, and dependencies always have smaller tickets, so a
+        # stable sort by ticket keeps every reader after its writers.
+        batch.sort(key=lambda pending: pending.ticket)
+        self._in_flight = True
+        self.api.sim.spawn(self._commit_batch(batch, total_bytes))
+
+    def _commit_batch(self, batch: List[_PendingCommand], total_bytes: int):
+        payload = [pending.command for pending in batch]
+        position = yield self.api.log_commit(
+            ("__batch__", payload), payload_bytes=total_bytes
+        )
+        self.batches_committed += 1
+        for index, pending in enumerate(batch):
+            if not pending.future.resolved:
+                pending.future.resolve((position, index))
+        self._in_flight = False
+        self._maybe_commit()

@@ -1,0 +1,134 @@
+"""Byzantine Blockplane-node variants.
+
+The paper's fault model allows up to ``fi`` arbitrarily-behaving nodes
+per unit. These classes implement the misbehaviours most relevant to
+the *middleware* layer (the PBFT-level ones live in
+:mod:`repro.pbft.byzantine`); plant them in a deployment via
+``node_class_overrides``::
+
+    deployment = BlockplaneDeployment(
+        sim, topology, config,
+        node_class_overrides={"C-2": WithholdingDaemonNode},
+    )
+
+Each class documents the attack it mounts and which mechanism defeats
+it; the test suite asserts those defenses hold.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.node import BlockplaneNode
+from repro.core.messages import SignRequest, SignResponse
+from repro.crypto.signatures import Signature, sign
+
+
+class SilentUnitMember(BlockplaneNode):
+    """Participates in nothing (a byzantine node indistinguishable from
+    a crashed one to the network). Defeated by quorum sizes: PBFT and
+    signature collection only need ``2f+1`` / ``f+1`` of ``3f+1``."""
+
+    def on_message(self, message: Any, src_id: str) -> None:
+        return
+
+
+class PromiscuousSigner(BlockplaneNode):
+    """Signs *anything* it is asked to, without checking its log.
+
+    Defeated by the proof size: a valid transmission proof needs
+    ``f+1`` signatures, so at least one honest signer must have
+    actually verified the record against its Local Log copy.
+    """
+
+    def _attest(self, msg: SignRequest) -> bool:
+        return True
+
+
+class ForgingSigner(BlockplaneNode):
+    """Answers signature requests with garbage MACs.
+
+    Defeated by signature verification at the collector: invalid
+    signatures never count toward a proof.
+    """
+
+    def handle_sign_request(self, msg: SignRequest, src: str) -> None:
+        forged = Signature(
+            signer=self.node_id, digest=msg.digest, mac="00" * 32
+        )
+        self.send(
+            src,
+            SignResponse(
+                position=msg.position,
+                digest=msg.digest,
+                signature=forged,
+                purpose=msg.purpose,
+            ),
+        )
+
+
+class ImpersonatingSigner(BlockplaneNode):
+    """Tries to sign *as another unit member* to fake quorum diversity.
+
+    Defeated twice: the response's claimed signer must equal the
+    network-level sender, and the MAC cannot verify under the victim's
+    key anyway.
+    """
+
+    def __init__(self, *args: Any, victim: Optional[str] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._victim = victim
+
+    def handle_sign_request(self, msg: SignRequest, src: str) -> None:
+        victim = self._victim or next(
+            peer for peer in self.peers if peer != self.node_id
+        )
+        # It knows its OWN secret only; the claim is a lie either way.
+        forged = Signature(
+            signer=victim,
+            digest=msg.digest,
+            mac=sign(self.directory.registry, self.node_id, msg.digest).mac,
+        )
+        self.send(
+            src,
+            SignResponse(
+                position=msg.position,
+                digest=msg.digest,
+                signature=forged,
+                purpose=msg.purpose,
+            ),
+        )
+
+
+class CounterfeitingGateway(BlockplaneNode):
+    """A corrupt gateway that tries to ship a transmission for a
+    message that was never committed (inventing traffic).
+
+    Defeated by attestation: honest unit members only sign transmission
+    records matching a committed communication record in their own log,
+    so the forged record never gathers ``f+1`` signatures and honest
+    receivers drop it.
+    """
+
+    def forge_and_ship(self, destination: str, message: Any) -> None:
+        """Attempt the attack (call from tests)."""
+        from repro.core.records import SealedTransmission, TransmissionRecord
+        from repro.core.messages import TransmissionMessage
+        from repro.crypto.signatures import QuorumProof
+
+        record = TransmissionRecord(
+            source=self.participant,
+            destination=destination,
+            message=message,
+            source_position=len(self.local_log) + 1,
+            prev_position=None,
+        )
+        own_signature = sign(
+            self.directory.registry, self.node_id, record.digest()
+        )
+        sealed = SealedTransmission(
+            record=record,
+            proof=QuorumProof.build(record.digest(), [own_signature]),
+        )
+        for target in self.directory.unit_members(destination):
+            self.send(target, TransmissionMessage(sealed=sealed))

@@ -1,0 +1,80 @@
+"""Blockplane deployment configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.pbft.config import PBFTConfig
+
+
+@dataclasses.dataclass
+class BlockplaneConfig:
+    """Fault-tolerance levels and operational knobs.
+
+    Attributes:
+        f_independent: ``fi`` — tolerated independent byzantine failures
+            per participant. Each unit runs ``3·fi + 1`` nodes.
+        f_geo: ``fg`` — tolerated benign geo-correlated (whole
+            datacenter) failures. When positive, each commit additionally
+            gathers proofs from ``fg`` of the participant's ``2·fg``
+            replication peers.
+        pbft: Parameters of the unit-local PBFT groups.
+        sign_timeout_ms: How long a daemon waits for local signatures
+            before re-asking (covers crashed or silent unit members).
+        transmission_fanout: How many destination nodes a transmission
+            record is sent to. Values above 1 mask byzantine receivers;
+            the destination deduplicates.
+        reserve_poll_interval_ms: How often reserve daemons probe remote
+            participants for gaps (Section IV-C).
+        reserve_gap_threshold: Source-log-position gap above which a
+            reserve promotes itself to an active communication daemon.
+        geo_request_timeout_ms: Extra slack (beyond the RTT estimate) a
+            primary waits for a mirror proof before failing over to the
+            next-closest secondary.
+        geo_suspicion_ttl_ms: How long a timed-out mirror participant is
+            demoted to last-resort before being retried eagerly.
+        heartbeat_interval_ms: Geo primary → secondary heartbeat period.
+        heartbeat_suspect_ms: Silence after which a secondary suspects
+            the primary and takes over (Figure 8(b)'s ~250 ms spikes
+            come from this detection window).
+        default_payload_bytes: Size charged for a commit when the caller
+            does not specify one (the paper's default batch is 1000
+            bytes).
+    """
+
+    f_independent: int = 1
+    f_geo: int = 0
+    pbft: PBFTConfig = dataclasses.field(default_factory=PBFTConfig)
+    sign_timeout_ms: float = 10.0
+    transmission_fanout: int = 2
+    reserve_poll_interval_ms: float = 500.0
+    reserve_gap_threshold: int = 8
+    geo_request_timeout_ms: float = 60.0
+    geo_suspicion_ttl_ms: float = 5_000.0
+    heartbeat_interval_ms: float = 50.0
+    heartbeat_suspect_ms: float = 200.0
+    default_payload_bytes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.f_independent < 1:
+            raise ConfigurationError("f_independent must be at least 1")
+        if self.f_geo < 0:
+            raise ConfigurationError("f_geo cannot be negative")
+        if self.transmission_fanout < 1:
+            raise ConfigurationError("transmission_fanout must be at least 1")
+
+    @property
+    def unit_size(self) -> int:
+        """Nodes per participant: ``3·fi + 1``."""
+        return 3 * self.f_independent + 1
+
+    @property
+    def proof_size(self) -> int:
+        """Signatures in a transmission proof: ``fi + 1``."""
+        return self.f_independent + 1
+
+    @property
+    def replication_set_size(self) -> int:
+        """Participants mirroring each other's state: ``2·fg + 1``."""
+        return 2 * self.f_geo + 1

@@ -1,0 +1,193 @@
+"""Communication daemons and reserves (Algorithm 2, Section IV-C).
+
+A **communication daemon** watches its participant's Local Log for
+communication records addressed to one destination. For each one it
+builds a transmission record (content + source position + pointer to
+the previous record to the same destination), gathers ``fi + 1`` unit
+signatures attesting its accuracy, and ships it to nodes of the
+destination unit.
+
+A **reserve daemon** guards against a byzantine daemon that silently
+withholds traffic: it periodically asks ``> fi`` nodes at the remote
+participant for the last position they received from us, derives a
+trustworthy lower bound (any ``fi + 1`` responses contain an honest
+one), and promotes itself to a full daemon when the gap exceeds a
+threshold.
+
+Duplicated deliveries caused by multiple active daemons are harmless —
+the receive verification routine drops duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.messages import GapQuery, GapResponse, TransmissionMessage
+from repro.core.records import (
+    LogEntry,
+    RECORD_COMMUNICATION,
+    SealedTransmission,
+    TransmissionRecord,
+)
+
+
+class CommunicationDaemon:
+    """Ships communication records from one node to one destination.
+
+    Args:
+        node: The Blockplane node this daemon runs on (normally the
+            unit's gateway/leader node).
+        destination: Target participant name.
+        geo: The node's geo coordinator, when ``fg > 0`` — transmissions
+            then carry the entry's mirror proofs.
+        active: Reserve daemons start inactive and only ship after
+            promotion.
+    """
+
+    def __init__(self, node, destination: str, geo=None, active: bool = True):
+        self.node = node
+        self.destination = destination
+        self.geo = geo
+        self.active = active
+        self.shipped: set = set()
+        node.on_log_append.append(self._on_append)
+
+    def _on_append(self, entry: LogEntry) -> None:
+        if not self.active or self.node.crashed:
+            return
+        if entry.record_type != RECORD_COMMUNICATION:
+            return
+        if entry.destination != self.destination:
+            return
+        self.ship(entry)
+
+    def ship(self, entry: LogEntry) -> None:
+        """Build, attest, and transmit one communication record."""
+        if entry.position in self.shipped:
+            return
+        self.shipped.add(entry.position)
+        self.node.sim.spawn(self._ship_process(entry))
+
+    def _ship_process(self, entry: LogEntry):
+        log = self.node.local_log
+        record = TransmissionRecord(
+            source=self.node.participant,
+            destination=self.destination,
+            message=entry.value,
+            source_position=entry.position,
+            prev_position=log.previous_communication_position(
+                self.destination, entry.position
+            ),
+            payload_bytes=entry.payload_bytes,
+        )
+        # Gather f_i + 1 signatures from local nodes (one local round).
+        proof = yield self.node.collect_local_signatures(
+            entry.position, record.digest(), purpose="transmission"
+        )
+        geo_proofs = ()
+        if self.geo is not None and self.node.bp_config.f_geo > 0:
+            geo_proofs = yield self.geo.ensure_proofs(entry)
+        sealed = SealedTransmission(
+            record=record, proof=proof, geo_proofs=tuple(geo_proofs)
+        )
+        targets = self.node.directory.unit_members(self.destination)
+        fanout = min(self.node.bp_config.transmission_fanout, len(targets))
+        message = TransmissionMessage(sealed=sealed)
+        for target in targets[:fanout]:
+            self.node.send(target, message)
+        self.node.sim.trace.record(
+            "bp.transmit", self.node.sim.now,
+            src=self.node.participant, dst=self.destination,
+            position=entry.position,
+        )
+
+    def catch_up(self, acked_source_position: int) -> None:
+        """(Re-)ship every communication record above a known-received
+        position (used by reserves at promotion time and on persistent
+        gaps — earlier attempts may have been lost in transit)."""
+        for position in self.node.local_log.communication_positions(
+            self.destination
+        ):
+            if position > acked_source_position:
+                self.shipped.discard(position)
+                self.ship(self.node.local_log.read(position))
+
+
+class ReserveDaemon:
+    """A standby daemon that watches for withheld traffic.
+
+    Args:
+        node: The Blockplane node this reserve runs on (a different node
+            than the active daemon's).
+        destination: The participant whose reception it audits.
+    """
+
+    def __init__(self, node, destination: str, geo=None):
+        self.node = node
+        self.destination = destination
+        self.promoted: Optional[CommunicationDaemon] = None
+        self._geo = geo
+        self._responses: Dict[str, int] = {}
+        self._probe_round = 0
+        interval = node.bp_config.reserve_poll_interval_ms
+        # Stagger the first probe so reserves do not fire in lockstep.
+        node.set_timer(interval * (1.0 + 0.1), self._probe)
+
+    def _probe(self) -> None:
+        if self.node.crashed:
+            return
+        self._probe_round += 1
+        self._responses = {}
+        members = self.node.directory.unit_members(self.destination)
+        # Ask more than f+1 so a single slow/malicious responder cannot
+        # force a spurious promotion (Section IV-C's discussion).
+        ask = min(len(members), 2 * self.node.bp_config.f_independent + 1)
+        query = GapQuery(source_participant=self.node.participant)
+        for member in members[:ask]:
+            self.node.send(member, query)
+        self.node.set_timer(
+            self.node.bp_config.reserve_poll_interval_ms, self._evaluate
+        )
+
+    def handle_gap_response(self, msg: GapResponse, src: str) -> None:
+        """Record one remote node's claim (wired via the node)."""
+        if msg.source_participant == self.node.participant:
+            self._responses[src] = msg.last_source_position
+
+    def _evaluate(self) -> None:
+        if self.node.crashed:
+            return
+        needed = self.node.bp_config.proof_size  # f_i + 1
+        if len(self._responses) >= needed:
+            # The best trustworthy bound: choose the f+1 responses that
+            # maximize the smallest claimed position; that minimum is
+            # honest-backed.
+            claims = sorted(self._responses.values(), reverse=True)
+            trusted_floor = claims[needed - 1]
+            positions = self.node.local_log.communication_positions(
+                self.destination
+            )
+            latest = positions[-1] if positions else 0
+            gap = len([p for p in positions if p > trusted_floor])
+            if gap > self.node.bp_config.reserve_gap_threshold:
+                if self.promoted is None:
+                    self._promote(trusted_floor, latest)
+                else:
+                    # Still behind after promotion: earlier attempts may
+                    # have been lost — re-ship the gap.
+                    self.promoted.catch_up(trusted_floor)
+        self.node.set_timer(
+            self.node.bp_config.reserve_poll_interval_ms, self._probe
+        )
+
+    def _promote(self, trusted_floor: int, latest: int) -> None:
+        """Become a full communication daemon (suspected withholding)."""
+        self.node.sim.trace.record(
+            "bp.reserve_promoted", self.node.sim.now,
+            node=self.node.node_id, dst=self.destination,
+            floor=trusted_floor, latest=latest,
+        )
+        self.promoted = CommunicationDaemon(
+            self.node, self.destination, geo=self._geo, active=True
+        )
+        self.promoted.catch_up(trusted_floor)

@@ -1,0 +1,138 @@
+"""The Local Log — one participant's ordered, replicated event log.
+
+Every Blockplane node keeps a full copy (``L_i`` in the paper); entries
+are appended only through PBFT execution, so all honest copies agree
+(Lemma 1). On top of the raw sequence the log maintains the two indexes
+the middleware needs constantly:
+
+* per-destination chains of communication records (what the
+  communication daemons walk), and
+* per-source reception state (the last received source position, used
+  by the receive verification routine to reject duplicates and gaps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.records import (
+    LogEntry,
+    RECORD_COMMUNICATION,
+    RECORD_RECEIVED,
+    SealedTransmission,
+)
+from repro.errors import LogError
+
+
+class LocalLog:
+    """An append-only log of :class:`LogEntry` with Blockplane indexes.
+
+    Args:
+        participant: Name of the owning participant (for errors/traces).
+    """
+
+    def __init__(self, participant: str) -> None:
+        self.participant = participant
+        self.entries: List[LogEntry] = []
+        self._comm_by_destination: Dict[str, List[int]] = {}
+        self._last_received_from: Dict[str, int] = {}
+        self._received_positions: Dict[str, set] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    @property
+    def next_position(self) -> int:
+        """Position the next appended entry will take (1-based)."""
+        return len(self.entries) + 1
+
+    def append(
+        self,
+        record_type: str,
+        value: Any,
+        meta: Optional[Dict[str, Any]] = None,
+        payload_bytes: int = 0,
+    ) -> LogEntry:
+        """Append an entry (called from PBFT execution only)."""
+        entry = LogEntry(
+            position=self.next_position,
+            record_type=record_type,
+            value=value,
+            meta=meta,
+            payload_bytes=payload_bytes,
+        )
+        self.entries.append(entry)
+        if record_type == RECORD_COMMUNICATION:
+            destination = entry.destination
+            if destination is None:
+                raise LogError(
+                    "communication record appended without a destination"
+                )
+            self._comm_by_destination.setdefault(destination, []).append(
+                entry.position
+            )
+        elif record_type == RECORD_RECEIVED:
+            sealed = value
+            if isinstance(sealed, SealedTransmission):
+                source = sealed.record.source
+                position = sealed.record.source_position
+                self._last_received_from[source] = max(
+                    self._last_received_from.get(source, 0), position
+                )
+                self._received_positions.setdefault(source, set()).add(position)
+        return entry
+
+    def read(self, position: int) -> LogEntry:
+        """Return the entry at a 1-based position.
+
+        Raises:
+            LogError: If the position has not been written yet.
+        """
+        if not 1 <= position <= len(self.entries):
+            raise LogError(
+                f"{self.participant}: position {position} not in log "
+                f"(length {len(self.entries)})"
+            )
+        return self.entries[position - 1]
+
+    def read_from(self, position: int) -> List[LogEntry]:
+        """All entries at or above a position (for recovery reads)."""
+        if position < 1:
+            position = 1
+        return self.entries[position - 1 :]
+
+    # ------------------------------------------------------------------
+    # Communication-record chain (used by daemons)
+    # ------------------------------------------------------------------
+    def communication_positions(self, destination: str) -> List[int]:
+        """Positions of all communication records to ``destination``."""
+        return list(self._comm_by_destination.get(destination, []))
+
+    def previous_communication_position(
+        self, destination: str, position: int
+    ) -> Optional[int]:
+        """Position of the communication record to ``destination``
+        immediately before ``position`` (the chain pointer of
+        Algorithm 2), or None if it is the first."""
+        previous = None
+        for comm_position in self._comm_by_destination.get(destination, []):
+            if comm_position >= position:
+                break
+            previous = comm_position
+        return previous
+
+    # ------------------------------------------------------------------
+    # Reception state (used by the receive verification routine)
+    # ------------------------------------------------------------------
+    def last_received_from(self, source: str) -> int:
+        """Highest source-log position received from ``source`` (0 if
+        nothing yet). This is what nodes report to remote reserves."""
+        return self._last_received_from.get(source, 0)
+
+    def has_received(self, source: str, source_position: int) -> bool:
+        """Whether a transmission at that source position was already
+        committed here (duplicate detection)."""
+        return source_position in self._received_positions.get(source, set())

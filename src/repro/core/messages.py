@@ -1,0 +1,131 @@
+"""Blockplane-space messages (not visible to user-space code).
+
+These implement the machinery of Sections IV and V: signature
+collection for transmission records, the wide-area transmission itself,
+reserve-daemon gap probes, geo mirroring, failover heartbeats, and the
+read protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.core.records import LogEntry, MirrorEntry, SealedTransmission
+from repro.crypto.signatures import QuorumProof, Signature
+from repro.sim.node import Message
+
+
+@dataclasses.dataclass
+class SignRequest(Message):
+    """Ask a unit member to attest a local-log entry's digest.
+
+    The signer only signs if its own Local Log copy contains a matching
+    entry at ``position`` ("a Blockplane node signs the transmission
+    record if it agrees that its contents and meta-information are
+    accurate", Section IV-C).
+    """
+
+    position: int = 0
+    digest: str = ""
+    purpose: str = "transmission"  # or "mirror"
+
+
+@dataclasses.dataclass
+class SignResponse(Message):
+    """A unit member's signature over the requested digest."""
+
+    position: int = 0
+    digest: str = ""
+    signature: Optional[Signature] = None
+    purpose: str = "transmission"
+
+
+@dataclasses.dataclass
+class TransmissionMessage(Message):
+    """A sealed transmission record crossing the wide area."""
+
+    sealed: Optional[SealedTransmission] = None
+
+    def size_bytes(self) -> int:
+        if self.sealed is None:
+            return self.payload_bytes
+        return self.sealed.size_bytes()
+
+
+@dataclasses.dataclass
+class GapQuery(Message):
+    """Reserve probe: "what is the last position you received from my
+    participant?" (Section IV-C)."""
+
+    source_participant: str = ""
+
+
+@dataclasses.dataclass
+class GapResponse(Message):
+    """Answer to a :class:`GapQuery` — the *source* log position of the
+    most recent transmission record committed from that participant."""
+
+    source_participant: str = ""
+    last_source_position: int = 0
+
+
+@dataclasses.dataclass
+class MirrorRequest(Message):
+    """Geo replication: ship a committed entry to a mirror participant
+    (Section V), with the source unit's ``fi + 1`` signatures."""
+
+    entry: Optional[MirrorEntry] = None
+    proof: Optional[QuorumProof] = None
+    reply_to: str = ""
+
+    def size_bytes(self) -> int:
+        size = self.payload_bytes
+        if self.proof is not None:
+            size += self.proof.size_bytes()
+        return size
+
+
+@dataclasses.dataclass
+class MirrorResponse(Message):
+    """A mirror's acknowledgement: ``fi + 1`` signatures from its unit
+    proving the entry is durable there."""
+
+    source: str = ""
+    position: int = 0
+    participant: str = ""
+    proof: Optional[QuorumProof] = None
+
+
+@dataclasses.dataclass
+class Heartbeat(Message):
+    """Geo primary liveness beacon (primary gateway → secondaries)."""
+
+    primary: str = ""
+    sequence: int = 0
+
+
+@dataclasses.dataclass
+class TakeOver(Message):
+    """A secondary's announcement that it is the new geo primary."""
+
+    new_primary: str = ""
+    epoch: int = 0
+
+
+@dataclasses.dataclass
+class ReadRequest(Message):
+    """Read one Local Log position from a unit node."""
+
+    position: int = 0
+    request_id: Tuple[str, int] = ("", 0)
+
+
+@dataclasses.dataclass
+class ReadResponse(Message):
+    """A node's view of the requested position (None if unwritten)."""
+
+    position: int = 0
+    request_id: Tuple[str, int] = ("", 0)
+    entry: Optional[LogEntry] = None
+    replica: str = ""

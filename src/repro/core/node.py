@@ -1,0 +1,800 @@
+"""The Blockplane node: a unit member's full runtime.
+
+Each participant runs ``3·fi + 1`` of these. A node is simultaneously:
+
+* a **PBFT replica** of its unit (local commitment, Section IV-B),
+* a **Local Log** holder applying every executed entry,
+* a **signer** attesting transmission/mirror records it can verify
+  against its own log copy (Section IV-C),
+* a **receiver** of wide-area transmission records, which it funnels
+  into local commitment guarded by the built-in receive verification
+  routine, and
+* a **mirror** of other participants' entries when ``fg > 0``
+  (Section V).
+
+The communication daemons and geo coordinator are separate objects that
+*run on* a node (:mod:`repro.core.daemon`, :mod:`repro.core.geo`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import BlockplaneConfig
+from repro.core.directory import Directory
+from repro.core.local_log import LocalLog
+from repro.core.messages import (
+    GapQuery,
+    GapResponse,
+    ReadRequest,
+    ReadResponse,
+    SignRequest,
+    SignResponse,
+    TransmissionMessage,
+)
+from repro.core.records import (
+    LogEntry,
+    MirrorEntry,
+    RECORD_COMMUNICATION,
+    RECORD_LOG_COMMIT,
+    RECORD_MIRROR,
+    RECORD_RECEIVED,
+    SealedTransmission,
+)
+from repro.core.verification import VerificationRoutines
+from repro.crypto.signatures import QuorumProof, sign, verify
+from repro.pbft.messages import ClientRequest, CommittedEntry
+from repro.pbft.replica import NOOP_RECORD_TYPE, PBFTReplica
+from repro.sim.process import Future
+
+
+class _SignatureCollector:
+    """Gathers ``fi + 1`` signatures over one digest."""
+
+    def __init__(self, future: Future, required: int, digest: str) -> None:
+        self.future = future
+        self.required = required
+        self.digest = digest
+        self.signatures: Dict[str, Any] = {}
+
+    def add(self, signer: str, signature: Any) -> None:
+        self.signatures[signer] = signature
+        if len(self.signatures) >= self.required and not self.future.resolved:
+            self.future.resolve(
+                QuorumProof.build(self.digest, self.signatures.values())
+            )
+
+
+class BlockplaneNode(PBFTReplica):
+    """One member of a participant's Blockplane unit.
+
+    Args:
+        sim: Owning simulator.
+        network: Transport.
+        node_id: Unique id (convention: ``"<participant>-<index>"``).
+        participant: Name of the participant (== site name).
+        peers: Node ids of the whole unit, including this node.
+        config: Deployment configuration.
+        directory: Shared membership/keys.
+        routines: User verification routines for this participant.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network,
+        node_id: str,
+        participant: str,
+        peers: List[str],
+        config: BlockplaneConfig,
+        directory: Directory,
+        routines: VerificationRoutines,
+    ) -> None:
+        super().__init__(
+            sim,
+            network,
+            node_id,
+            site=participant,
+            peers=peers,
+            config=config.pbft,
+            verifier=None,
+        )
+        self.verifier = self._blockplane_verifier
+        self.participant = participant
+        self.bp_config = config
+        self.directory = directory
+        self.routines = routines
+        directory.registry.register(node_id)
+        self.local_log = LocalLog(participant)
+        self.mirror_logs: Dict[str, List[MirrorEntry]] = {}
+        self.reception_buffers: Dict[str, deque] = {}
+        self._reception_waiters: List[Tuple[Optional[str], Future]] = []
+        #: Callbacks fired for every appended Local Log entry (daemons,
+        #: geo coordinator, application apply functions hook in here).
+        self.on_log_append: List[Callable[[LogEntry], None]] = []
+        #: Callbacks fired for appended mirror entries.
+        self.on_mirror_append: List[Callable[[MirrorEntry], None]] = []
+        self._voted_receptions: Dict[Tuple[str, int], str] = {}
+        self._reception_heads: Dict[str, int] = {}
+        self._mirror_seen: set = set()
+        self._submitted_receptions: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self._proposed_receptions: set = set()
+        self._reception_reorder: Dict[str, Dict[int, Any]] = {}
+        self._delivered_heads: Dict[str, int] = {}
+        self._proposed_mirrors: set = set()
+        self._sign_collectors: Dict[Tuple[int, str, str], _SignatureCollector] = {}
+        self._deferred_sign_requests: List[Tuple[str, SignRequest]] = []
+        #: Set by :class:`repro.core.geo.GeoCoordinator` when attached.
+        self.geo = None
+        #: Reserve daemons running on this node (route gap responses).
+        self.reserves: List[Any] = []
+        self._mirror_by_digest: Dict[str, MirrorEntry] = {}
+        self._mirror_applied_waiters: Dict[Tuple[str, int], List[Future]] = {}
+        self._mirror_response_waiters: Dict[Tuple[str, int], Future] = {}
+        self._seq_to_position: Dict[int, int] = {}
+        self._position_waiters: Dict[int, List[Future]] = {}
+        self._read_counter = 0
+        self._read_collectors: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        self.on_executed.append(self._apply_entry)
+
+    # ------------------------------------------------------------------
+    # Local commitment entry points
+    # ------------------------------------------------------------------
+    def local_commit(
+        self,
+        value: Any,
+        record_type: str,
+        meta: Optional[Dict[str, Any]] = None,
+        payload_bytes: int = 0,
+    ) -> Future:
+        """Commit a value to the unit's Local Log via PBFT.
+
+        This is the paper's Blockplane-level ``local-commit``
+        instruction. Returns a future resolving with the
+        :class:`~repro.pbft.messages.CommittedEntry`.
+        """
+        return self.submit(value, record_type, meta, payload_bytes)
+
+    # ------------------------------------------------------------------
+    # Verification dispatch (PBFT hook)
+    # ------------------------------------------------------------------
+    def _blockplane_verifier(
+        self, value: Any, record_type: str, meta: Optional[Dict[str, Any]]
+    ) -> Optional[bool]:
+        if record_type == RECORD_LOG_COMMIT:
+            return self.routines.verify_log_commit(value, meta)
+        if record_type == RECORD_COMMUNICATION:
+            destination = (meta or {}).get("destination")
+            if destination is None:
+                return False
+            return self.routines.verify_send(value, destination, meta)
+        if record_type == RECORD_RECEIVED:
+            return self._verify_reception(value)
+        if record_type == RECORD_MIRROR:
+            return self._verify_mirror(value)
+        return False
+
+    def _verify_reception(self, sealed: Any) -> Optional[bool]:
+        """The built-in receive verification routine (Section IV-C),
+        chain-aware: returns None (defer) while predecessors are still
+        being voted, False for invalid/duplicate records."""
+        if not isinstance(sealed, SealedTransmission):
+            return False
+        record = sealed.record
+        if record.destination != self.participant:
+            return False
+        digest = record.digest()
+        key = (record.source, record.source_position)
+        if self._voted_receptions.get(key) == digest:
+            return True  # idempotent re-vote (view-change re-proposal)
+        # Check 1 — fi+1 valid signatures from the source unit.
+        if sealed.proof.digest != digest:
+            return False
+        source_members = self.directory.unit_members(record.source)
+        if not sealed.proof.is_valid(
+            self.directory.registry,
+            self.bp_config.proof_size,
+            allowed_signers=source_members,
+        ):
+            return False
+        # Check 1b — fg participant proofs when geo tolerance is on.
+        # Mirror proofs attest the *communication record* as mirrored at
+        # the proving participant, so they cover the mirror-entry digest
+        # (reconstructible from the transmission's contents).
+        if self.bp_config.f_geo > 0:
+            mirror_digest = MirrorEntry(
+                source=record.source,
+                position=record.source_position,
+                record_type=RECORD_COMMUNICATION,
+                value=record.message,
+                meta={"destination": record.destination},
+            ).digest()
+            units = self.directory.all_unit_members()
+            valid_geo = 0
+            seen_participants = set()
+            for participant, proof in sealed.geo_proofs:
+                if participant in seen_participants:
+                    continue
+                members = units.get(participant)
+                if members is None or participant == record.source:
+                    continue
+                if proof.digest != mirror_digest:
+                    continue
+                if proof.is_valid(
+                    self.directory.registry, self.bp_config.proof_size, members
+                ):
+                    seen_participants.add(participant)
+                    valid_geo += 1
+            if valid_geo < self.bp_config.f_geo:
+                return False
+        # Checks 2 and 3 — duplicates and chain order. A *committed*
+        # duplicate with a valid proof is accepted idempotently (the
+        # apply step deduplicates) so a racing re-submission can never
+        # stall the slot it landed in; the proof guarantees the content
+        # is identical to what we already hold, because honest signers
+        # only attest records matching their own log.
+        if self.local_log.has_received(record.source, record.source_position):
+            return True
+        head = max(
+            self._reception_heads.get(record.source, 0),
+            self.local_log.last_received_from(record.source),
+        )
+        if record.source_position <= head:
+            return False  # stale vote for a position we voted differently
+        expected_prev = head if head > 0 else None
+        if record.prev_position != expected_prev:
+            if (record.prev_position or 0) > head:
+                return None  # predecessor still in flight: defer
+            return False  # inconsistent chain pointer
+        # Optional application-level check.
+        if not self.routines.verify_received_payload(
+            record.message, record.source, {"source": record.source}
+        ):
+            return False
+        self._reception_heads[record.source] = record.source_position
+        self._voted_receptions[key] = digest
+        return True
+
+    def _verify_mirror(self, value: Any) -> bool:
+        """Validate a geo mirror record: the source unit's proof must
+        cover the entry (duplicates are accepted; apply deduplicates)."""
+        if not isinstance(value, tuple) or len(value) != 2:
+            return False
+        entry, proof = value
+        if not isinstance(entry, MirrorEntry) or not isinstance(proof, QuorumProof):
+            return False
+        if entry.source == self.participant:
+            return False  # we do not mirror ourselves
+        if proof.digest != entry.digest():
+            return False
+        try:
+            members = self.directory.unit_members(entry.source)
+        except Exception:
+            return False
+        return proof.is_valid(
+            self.directory.registry, self.bp_config.proof_size, members
+        )
+
+    def _pre_validate(self, msg: ClientRequest) -> Optional[str]:
+        """Leader gate: refuse duplicates and clearly invalid values
+        without burning a sequence number. Stateful reception checks are
+        NOT run here (they belong to the voting path)."""
+        if msg.record_type == RECORD_RECEIVED:
+            sealed = msg.value
+            if not isinstance(sealed, SealedTransmission):
+                return "malformed transmission record"
+            key = (sealed.record.source, sealed.record.source_position)
+            if key in self._proposed_receptions:
+                return "transmission already proposed"
+            if self.local_log.has_received(*key):
+                return "transmission already committed"
+            self._proposed_receptions.add(key)
+            return None
+        if msg.record_type == RECORD_MIRROR:
+            if not isinstance(msg.value, tuple) or len(msg.value) != 2:
+                return "malformed mirror record"
+            entry = msg.value[0]
+            if not isinstance(entry, MirrorEntry):
+                return "malformed mirror record"
+            key = (entry.source, entry.position)
+            if key in self._proposed_mirrors or key in self._mirror_seen:
+                return "mirror entry already proposed"
+            if not self._verify_mirror(msg.value):
+                return "invalid mirror proof"
+            self._proposed_mirrors.add(key)
+            return None
+        verdict = self._blockplane_verifier(msg.value, msg.record_type, msg.meta)
+        if verdict is False:
+            return "verification routine rejected the value"
+        return None
+
+    # ------------------------------------------------------------------
+    # Applying executed entries
+    # ------------------------------------------------------------------
+    def _apply_entry(self, committed: CommittedEntry) -> None:
+        if committed.record_type == NOOP_RECORD_TYPE:
+            return
+        if committed.record_type == RECORD_MIRROR:
+            self._apply_mirror(committed)
+            return
+        if committed.record_type == RECORD_RECEIVED:
+            sealed = committed.value
+            key = (sealed.record.source, sealed.record.source_position)
+            self._proposed_receptions.discard(key)
+            if self.local_log.has_received(*key):
+                # Duplicate commit of the same transmission: every
+                # honest replica skips it identically.
+                self.sim.trace.record(
+                    "bp.duplicate_reception", self.sim.now,
+                    node=self.node_id, key=key,
+                )
+                return
+        entry = self.local_log.append(
+            committed.record_type,
+            committed.value,
+            committed.meta,
+            committed.payload_bytes,
+        )
+        self._seq_to_position[committed.seq] = entry.position
+        for waiter in self._position_waiters.pop(committed.seq, []):
+            if not waiter.resolved:
+                waiter.resolve(entry.position)
+        if committed.record_type == RECORD_RECEIVED:
+            self._apply_reception(entry)
+        for callback in list(self.on_log_append):
+            callback(entry)
+        self._retry_deferred_sign_requests()
+
+    def position_future(self, seq: int) -> Future:
+        """Future resolving with the Local Log position of the entry
+        committed at PBFT sequence ``seq`` (resolves immediately if this
+        node already applied it)."""
+        future = Future(self.sim, label=f"position:{seq}")
+        position = self._seq_to_position.get(seq)
+        if position is not None:
+            future.resolve(position)
+        else:
+            self._position_waiters.setdefault(seq, []).append(future)
+        return future
+
+    def _apply_reception(self, entry: LogEntry) -> None:
+        sealed: SealedTransmission = entry.value
+        source = sealed.record.source
+        key = (source, sealed.record.source_position)
+        # If we submitted this transmission ourselves and someone else's
+        # submission won, cancel ours so its timer cannot fire forever.
+        rid = self._submitted_receptions.pop(key, None)
+        if rid is not None:
+            self._pending.pop(rid, None)
+        # Commit (slot) order can differ from chain order when a later
+        # message raced ahead; deliver to the application strictly along
+        # the source's chain pointers.
+        pending = self._reception_reorder.setdefault(source, {})
+        pending[sealed.record.source_position] = sealed.record
+        buffer = self.reception_buffers.setdefault(source, deque())
+        while True:
+            head = self._delivered_heads.get(source, 0)
+            ready = next(
+                (
+                    record
+                    for record in pending.values()
+                    if (record.prev_position or 0) == head
+                ),
+                None,
+            )
+            if ready is None:
+                break
+            del pending[ready.source_position]
+            self._delivered_heads[source] = ready.source_position
+            buffer.append(ready.message)
+        self._wake_reception_waiters()
+
+    def _apply_mirror(self, committed: CommittedEntry) -> None:
+        entry, _proof = committed.value
+        key = (entry.source, entry.position)
+        self._proposed_mirrors.discard(key)
+        if key in self._mirror_seen:
+            return  # duplicate mirror commit; idempotent
+        self._mirror_seen.add(key)
+        self.mirror_logs.setdefault(entry.source, []).append(entry)
+        self._mirror_by_digest[entry.digest()] = entry
+        for waiter in self._mirror_applied_waiters.pop(key, []):
+            if not waiter.resolved:
+                waiter.resolve(entry)
+        for callback in list(self.on_mirror_append):
+            callback(entry)
+        self._retry_deferred_sign_requests()
+
+    def _mirror_applied_future(self, key: Tuple[str, int]) -> Future:
+        """Future resolving when the mirror entry ``key`` is applied."""
+        future = Future(self.sim, label=f"mirror-applied:{key}")
+        if key in self._mirror_seen:
+            future.resolve(None)
+        else:
+            self._mirror_applied_waiters.setdefault(key, []).append(future)
+        return future
+
+    # ------------------------------------------------------------------
+    # Reception buffers (the receive() interface's node-side half)
+    # ------------------------------------------------------------------
+    def poll_reception(self, source: Optional[str] = None) -> Future:
+        """Return a future resolving with the next unread message
+        (from ``source``, or from anyone when None)."""
+        future = Future(self.sim, label=f"receive@{self.node_id}")
+        self._reception_waiters.append((source, future))
+        self._wake_reception_waiters()
+        return future
+
+    def _wake_reception_waiters(self) -> None:
+        still_waiting: List[Tuple[Optional[str], Future]] = []
+        for source, future in self._reception_waiters:
+            if future.resolved:
+                continue
+            message = self._pop_buffered(source)
+            if message is _EMPTY:
+                still_waiting.append((source, future))
+            else:
+                future.resolve(message)
+        self._reception_waiters = still_waiting
+
+    def _pop_buffered(self, source: Optional[str]) -> Any:
+        if source is not None:
+            buffer = self.reception_buffers.get(source)
+            if buffer:
+                return buffer.popleft()
+            return _EMPTY
+        for buffer in self.reception_buffers.values():
+            if buffer:
+                return buffer.popleft()
+        return _EMPTY
+
+    # ------------------------------------------------------------------
+    # Incoming wide-area transmissions
+    # ------------------------------------------------------------------
+    def handle_transmission_message(self, msg: TransmissionMessage, src: str) -> None:
+        """Funnel a received transmission into local commitment."""
+        sealed = msg.sealed
+        if sealed is None:
+            return
+        record = sealed.record
+        key = (record.source, record.source_position)
+        if record.destination != self.participant:
+            return
+        if self.local_log.has_received(*key):
+            return  # duplicate delivery (extra daemons are expected)
+        if key in self._submitted_receptions:
+            return
+        future = self.submit(
+            sealed,
+            RECORD_RECEIVED,
+            meta={"source": record.source},
+            payload_bytes=record.payload_bytes,
+        )
+        self._submitted_receptions[key] = (self.node_id, self._request_counter)
+
+        def _done(completed: Future) -> None:
+            # A leader rejection ("already proposed/committed") is the
+            # normal outcome when several receivers submit the same
+            # transmission. Unblock re-submission for retransmissions.
+            if completed.exception is not None:
+                self._submitted_receptions.pop(key, None)
+
+        future.add_done_callback(_done)
+
+    # ------------------------------------------------------------------
+    # Signature service (Section IV-C: attesting transmission records)
+    # ------------------------------------------------------------------
+    def collect_local_signatures(
+        self, position: int, digest: str, purpose: str = "transmission"
+    ) -> Future:
+        """Gather ``fi + 1`` unit signatures over ``digest``.
+
+        Returns a future resolving with a
+        :class:`~repro.crypto.signatures.QuorumProof`.
+        """
+        key = (position, digest, purpose)
+        collector = self._sign_collectors.get(key)
+        if collector is not None:
+            return collector.future
+        future = Future(self.sim, label=f"proof@{self.node_id}:{position}")
+        collector = _SignatureCollector(
+            future, self.bp_config.proof_size, digest
+        )
+        self._sign_collectors[key] = collector
+        request = SignRequest(position=position, digest=digest, purpose=purpose)
+        if self._attest(request):
+            collector.add(
+                self.node_id,
+                sign(self.directory.registry, self.node_id, digest),
+            )
+        self.broadcast(self.peers, request)
+        self.set_timer(
+            self.bp_config.sign_timeout_ms, self._retry_sign_collection, key
+        )
+        return future
+
+    def _retry_sign_collection(self, key: Tuple[int, str, str]) -> None:
+        collector = self._sign_collectors.get(key)
+        if collector is None or collector.future.resolved:
+            return
+        position, digest, purpose = key
+        self.broadcast(
+            self.peers,
+            SignRequest(position=position, digest=digest, purpose=purpose),
+        )
+        self.set_timer(
+            self.bp_config.sign_timeout_ms, self._retry_sign_collection, key
+        )
+
+    def handle_sign_request(self, msg: SignRequest, src: str) -> None:
+        """Sign only what our own log copy substantiates."""
+        if self._attest(msg):
+            signature = sign(self.directory.registry, self.node_id, msg.digest)
+            self.send(
+                src,
+                SignResponse(
+                    position=msg.position,
+                    digest=msg.digest,
+                    signature=signature,
+                    purpose=msg.purpose,
+                ),
+            )
+        else:
+            # Our log may simply be behind; re-check as entries apply.
+            self._deferred_sign_requests.append((src, msg))
+
+    def _retry_deferred_sign_requests(self) -> None:
+        if not self._deferred_sign_requests:
+            return
+        deferred, self._deferred_sign_requests = (
+            self._deferred_sign_requests, []
+        )
+        for src, msg in deferred:
+            self.handle_sign_request(msg, src)
+
+    def _attest(self, msg: SignRequest) -> bool:
+        """Check the digest against our own Local Log copy."""
+        if msg.purpose == "mirror-held":
+            return self._attest_mirror_held(msg)
+        if not 1 <= msg.position <= len(self.local_log):
+            return False
+        entry = self.local_log.read(msg.position)
+        if msg.purpose == "transmission":
+            if entry.record_type != RECORD_COMMUNICATION:
+                return False
+            destination = entry.destination
+            if destination is None:
+                return False
+            from repro.core.records import TransmissionRecord
+
+            record = TransmissionRecord(
+                source=self.participant,
+                destination=destination,
+                message=entry.value,
+                source_position=entry.position,
+                prev_position=self.local_log.previous_communication_position(
+                    destination, entry.position
+                ),
+                payload_bytes=entry.payload_bytes,
+            )
+            return record.digest() == msg.digest
+        if msg.purpose == "mirror":
+            mirror = MirrorEntry(
+                source=self.participant,
+                position=entry.position,
+                record_type=entry.record_type,
+                value=entry.value,
+                meta=entry.meta,
+            )
+            return mirror.digest() == msg.digest
+        if msg.purpose == "entry":
+            # Attest a Local Log entry for proven reads (Section VI-A's
+            # read-1 "proof of the entry's validity").
+            return entry.digest() == msg.digest
+        return False
+
+    def _attest_mirror_held(self, msg: SignRequest) -> bool:
+        """Attest that we durably hold a *mirrored* entry (used by the
+        geo layer's acknowledgement proofs)."""
+        mirror = self._mirror_by_digest.get(msg.digest)
+        return mirror is not None and mirror.position == msg.position
+
+    def handle_sign_response(self, msg: SignResponse, src: str) -> None:
+        """Collect a unit member's signature."""
+        if msg.signature is None or msg.signature.signer != src:
+            return
+        key = (msg.position, msg.digest, msg.purpose)
+        collector = self._sign_collectors.get(key)
+        if collector is None:
+            return
+        if not verify(self.directory.registry, msg.signature, msg.digest):
+            return
+        collector.add(src, msg.signature)
+
+    # ------------------------------------------------------------------
+    # Reserve probes (Section IV-C)
+    # ------------------------------------------------------------------
+    def handle_gap_query(self, msg: GapQuery, src: str) -> None:
+        """Report the last *source* log position received from the
+        asking participant."""
+        self.send(
+            src,
+            GapResponse(
+                source_participant=msg.source_participant,
+                last_source_position=self.local_log.last_received_from(
+                    msg.source_participant
+                ),
+            ),
+        )
+
+    def handle_gap_response(self, msg: GapResponse, src: str) -> None:
+        """Route a reserve probe answer to this node's reserves."""
+        for reserve in self.reserves:
+            reserve.handle_gap_response(msg, src)
+
+    # ------------------------------------------------------------------
+    # Geo mirroring — the passive (secondary) side of Section V
+    # ------------------------------------------------------------------
+    def handle_mirror_request(self, msg, src: str) -> None:
+        """Mirror another participant's entry and acknowledge with an
+        ``fi + 1`` proof from our unit."""
+        entry = msg.entry
+        proof = msg.proof
+        if entry is None or proof is None or not msg.reply_to:
+            return
+        if not self._verify_mirror((entry, proof)):
+            return
+        self.sim.spawn(self._mirror_and_respond(entry, proof, msg.reply_to))
+
+    def _mirror_and_respond(self, entry: MirrorEntry, proof, reply_to: str):
+        from repro.core.messages import MirrorResponse
+
+        key = (entry.source, entry.position)
+        if key not in self._mirror_seen:
+            waiter = self._mirror_applied_future(key)
+            future = self.submit(
+                (entry, proof),
+                RECORD_MIRROR,
+                meta={"source": entry.source},
+                payload_bytes=msg_payload_estimate(entry),
+            )
+            # Rejection = another unit member already proposed it; the
+            # waiter below still fires when the entry applies.
+            future.add_done_callback(lambda _f: None)
+            yield waiter
+        held_proof = yield self.collect_local_signatures(
+            entry.position, entry.digest(), purpose="mirror-held"
+        )
+        self.send(
+            reply_to,
+            MirrorResponse(
+                source=entry.source,
+                position=entry.position,
+                participant=self.participant,
+                proof=held_proof,
+            ),
+        )
+
+    def register_mirror_waiter(self, participant: str, position: int) -> Future:
+        """Future resolving with the first :class:`MirrorResponse` from
+        ``participant`` for ``position`` (used by the geo coordinator)."""
+        key = (participant, position)
+        future = self._mirror_response_waiters.get(key)
+        if future is None or future.resolved:
+            future = Future(self.sim, label=f"mirror-ack:{key}")
+            self._mirror_response_waiters[key] = future
+        return future
+
+    def handle_mirror_response(self, msg, src: str) -> None:
+        """Deliver a mirror acknowledgement to its waiter."""
+        key = (msg.participant, msg.position)
+        future = self._mirror_response_waiters.pop(key, None)
+        if future is not None and not future.resolved:
+            future.resolve(msg)
+
+    # ------------------------------------------------------------------
+    # Geo failover plumbing (delegates to the coordinator when present)
+    # ------------------------------------------------------------------
+    def handle_heartbeat(self, msg, src: str) -> None:
+        if self.geo is not None:
+            self.geo.on_heartbeat(msg, src)
+
+    def handle_take_over(self, msg, src: str) -> None:
+        if self.geo is not None:
+            self.geo.on_take_over(msg, src)
+
+    # ------------------------------------------------------------------
+    # Read protocol (Section VI-A)
+    # ------------------------------------------------------------------
+    def read_quorum(
+        self,
+        position: int,
+        required: int,
+        targets: Optional[List[str]] = None,
+    ) -> Future:
+        """Read a Local Log position from unit nodes.
+
+        Args:
+            position: 1-based log position.
+            required: How many *identical* responses to wait for
+                (1 = the paper's read-1 strategy, ``2f + 1`` = the
+                byzantine-safe quorum strategy).
+            targets: Node ids to ask; defaults to the whole unit for
+                quorum reads, just this node for ``required == 1``.
+
+        Returns:
+            Future resolving with the agreed :class:`LogEntry` (or None
+            if the quorum agrees the position is unwritten).
+        """
+        if targets is None:
+            targets = [self.node_id] if required == 1 else list(self.peers)
+        self._read_counter += 1
+        request_id = (self.node_id, self._read_counter)
+        future = Future(self.sim, label=f"read:{position}")
+        self._read_collectors[request_id] = {
+            "required": required,
+            "future": future,
+            "responses": {},
+        }
+        request = ReadRequest(position=position, request_id=request_id)
+        for target in targets:
+            if target == self.node_id:
+                self.handle_read_request(request, self.node_id)
+            else:
+                self.send(target, request)
+        return future
+
+    def handle_read_request(self, msg: ReadRequest, src: str) -> None:
+        """Serve a Local Log read from this node's copy."""
+        entry = None
+        if 1 <= msg.position <= len(self.local_log):
+            entry = self.local_log.read(msg.position)
+        response = ReadResponse(
+            position=msg.position,
+            request_id=msg.request_id,
+            entry=entry,
+            replica=self.node_id,
+        )
+        if src == self.node_id:
+            self.handle_read_response(response, self.node_id)
+        else:
+            self.send(src, response)
+
+    def handle_read_response(self, msg: ReadResponse, src: str) -> None:
+        """Tally read responses until enough identical ones arrive."""
+        collector = self._read_collectors.get(msg.request_id)
+        if collector is None or msg.replica != src:
+            return
+        digest = msg.entry.digest() if msg.entry is not None else "<absent>"
+        collector["responses"][src] = (digest, msg.entry)
+        matching = [
+            entry
+            for _replica, (d, entry) in collector["responses"].items()
+            if d == digest
+        ]
+        if len(matching) >= collector["required"]:
+            del self._read_collectors[msg.request_id]
+            future = collector["future"]
+            if not future.resolved:
+                future.resolve(msg.entry)
+
+
+def msg_payload_estimate(entry: MirrorEntry) -> int:
+    """Wire-size estimate of a mirrored entry's value."""
+    value = entry.value
+    if isinstance(value, (bytes, str)):
+        return len(value)
+    return 256
+
+
+class _Empty:
+    """Sentinel distinguishing 'no message' from a None message."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<empty>"
+
+
+_EMPTY = _Empty()

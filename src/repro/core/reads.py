@@ -1,0 +1,36 @@
+"""Read strategies (Section VI-A of the paper).
+
+Three strengths, trading latency for byzantine-safety of the *read
+path* (writes are always byzantine-safe):
+
+* ``READ_ONE`` — serve from the closest node. Fast, but a malicious
+  node can lie (return "unwritten" for a committed entry, though it
+  cannot forge contents past the entry proof).
+* ``READ_QUORUM`` — wait for ``2f + 1`` identical responses; at least
+  ``f + 1`` come from honest nodes, so the answer is correct.
+* ``LINEARIZABLE`` — commit the read itself through the Local Log, so
+  it is totally ordered against all writes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ReadStrategy(enum.Enum):
+    """How strongly a Local Log read is guarded."""
+
+    READ_ONE = "read-1"
+    READ_QUORUM = "2f+1"
+    LINEARIZABLE = "linearizable"
+
+
+def required_responses(strategy: ReadStrategy, f_independent: int) -> int:
+    """Matching responses needed for each strategy."""
+    if strategy is ReadStrategy.READ_ONE:
+        return 1
+    if strategy is ReadStrategy.READ_QUORUM:
+        return 2 * f_independent + 1
+    if strategy is ReadStrategy.LINEARIZABLE:
+        return 1  # served locally after the read marker commits
+    raise ValueError(f"unknown read strategy {strategy!r}")

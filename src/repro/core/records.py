@@ -1,0 +1,159 @@
+"""Local Log record types.
+
+The paper's Local Log contains two kinds of events (Section III-B):
+
+* **Log-commit records** persist a state change of the wrapped protocol
+  ``P`` — written through the ``log-commit`` interface.
+* **Communication records** represent a message from this participant
+  to another — written through the ``send`` interface.
+
+Two further kinds arise inside the middleware:
+
+* **Received records** — a remote participant's transmission record
+  committed into the local log after passing the receive verification
+  routine (Section IV-C).
+* **Mirror records** — another participant's committed entry mirrored
+  here for geo-correlated fault tolerance (Section V).
+
+A :class:`TransmissionRecord` is the wide-area envelope: the
+communication record's content, its position in the source Local Log, a
+pointer to the *previous* communication record to the same destination
+(so the receiver can detect withheld messages), and an ``fi + 1``
+signature proof from the source unit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.digest import stable_digest
+from repro.crypto.signatures import QuorumProof
+
+#: Record-type annotations carried through PBFT (Section IV-B).
+RECORD_LOG_COMMIT = "log-commit"
+RECORD_COMMUNICATION = "communication"
+RECORD_RECEIVED = "received"
+RECORD_MIRROR = "mirror"
+
+
+@dataclasses.dataclass(frozen=True)
+class LogEntry:
+    """One entry of a participant's Local Log (``L_i[j]`` in the paper).
+
+    Attributes:
+        position: 1-based position in the Local Log.
+        record_type: One of the ``RECORD_*`` constants.
+        value: The record body. For communication records this is the
+            application message; for received records it is the
+            :class:`TransmissionRecord`.
+        meta: Middleware metadata (e.g. ``destination`` for
+            communication records).
+        payload_bytes: Size charged to the bandwidth model.
+    """
+
+    position: int
+    record_type: str
+    value: Any
+    meta: Optional[Dict[str, Any]] = None
+    payload_bytes: int = 0
+
+    @property
+    def destination(self) -> Optional[str]:
+        """Destination participant of a communication record, if any."""
+        if self.meta:
+            return self.meta.get("destination")
+        return None
+
+    def digest(self) -> str:
+        """Canonical digest of the entry's identity and content."""
+        return stable_digest(
+            (self.position, self.record_type, self.value, self.meta)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TransmissionRecord:
+    """The wide-area envelope for one communication record (``P`` in
+    Algorithm 2 of the paper).
+
+    Attributes:
+        source: Sending participant's name.
+        destination: Receiving participant's name.
+        message: The application message being delivered.
+        source_position: Position of the communication record in the
+            source's Local Log.
+        prev_position: Position of the *previous* communication record
+            from the same source to the same destination (None for the
+            first). The receiver verifies the chain has no gaps.
+        payload_bytes: Application payload size.
+    """
+
+    source: str
+    destination: str
+    message: Any
+    source_position: int
+    prev_position: Optional[int]
+    payload_bytes: int = 0
+
+    def digest(self) -> str:
+        """Digest covered by the source unit's ``fi + 1`` signatures."""
+        return stable_digest(
+            (
+                self.source,
+                self.destination,
+                self.message,
+                self.source_position,
+                self.prev_position,
+            )
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SealedTransmission:
+    """A transmission record together with its proofs.
+
+    Attributes:
+        record: The transmission record.
+        proof: ``fi + 1`` signatures from the source unit over
+            ``record.digest()``.
+        geo_proofs: When ``fg > 0``, per-participant proofs showing the
+            underlying entry was mirrored by ``fg`` other participants
+            (participant name → that unit's ``fi + 1``-signature proof).
+    """
+
+    record: TransmissionRecord
+    proof: QuorumProof
+    geo_proofs: Tuple[Tuple[str, QuorumProof], ...] = ()
+
+    def size_bytes(self) -> int:
+        """Wire size: payload + all attached proofs."""
+        size = self.record.payload_bytes + self.proof.size_bytes()
+        for _participant, proof in self.geo_proofs:
+            size += proof.size_bytes()
+        return size
+
+
+@dataclasses.dataclass(frozen=True)
+class MirrorEntry:
+    """A source participant's entry as shipped to a mirror.
+
+    Attributes:
+        source: Participant whose Local Log the entry belongs to.
+        position: The entry's position in the source Local Log.
+        record_type: Original record type at the source.
+        value: Entry body.
+        meta: Original metadata.
+    """
+
+    source: str
+    position: int
+    record_type: str
+    value: Any
+    meta: Optional[Dict[str, Any]] = None
+
+    def digest(self) -> str:
+        """Digest covered by mirror proofs."""
+        return stable_digest(
+            (self.source, self.position, self.record_type, self.value, self.meta)
+        )

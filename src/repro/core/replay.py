@@ -1,0 +1,184 @@
+"""Application state replay and snapshots (the recovery path).
+
+The paper's programming model requires the wrapped protocol to be
+deterministic so that "the protocol P reads the log using read
+instructions to recover the state" after a failure (Section III-C's
+counter example). :class:`StateReplayer` packages that pattern:
+
+* the application registers a reducer ``apply(state, entry) -> state``;
+* :func:`replay` folds it over a Local Log (optionally from a
+  snapshot), reproducing the state any honest replica holds;
+* :class:`SnapshotStore` keeps periodic state snapshots so recovery
+  replays only a suffix — the application-level analogue of PBFT's
+  checkpoints.
+
+Determinism checks are built in: replaying the same log twice must
+produce identical state digests, and tests use this to prove replica
+convergence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.local_log import LocalLog
+from repro.core.records import LogEntry
+from repro.crypto.digest import stable_digest
+from repro.errors import LogError
+
+#: A reducer: (state, entry) -> new state. Must be pure/deterministic.
+Reducer = Callable[[Any, LogEntry], Any]
+
+
+def replay(
+    log: LocalLog,
+    reducer: Reducer,
+    initial_state: Any,
+    from_position: int = 1,
+    to_position: Optional[int] = None,
+) -> Any:
+    """Fold ``reducer`` over a Local Log segment.
+
+    Args:
+        log: Any honest replica's Local Log copy.
+        reducer: Pure state-transition function.
+        initial_state: State before ``from_position`` (the genesis
+            state, or a snapshot's state).
+        from_position: First position to apply (1-based, inclusive).
+        to_position: Last position to apply (inclusive; None = end).
+
+    Returns:
+        The reconstructed application state.
+    """
+    state = initial_state
+    if to_position is None:
+        to_position = len(log)
+    for entry in log.read_from(from_position):
+        if entry.position > to_position:
+            break
+        state = reducer(state, entry)
+    return state
+
+
+@dataclasses.dataclass(frozen=True)
+class Snapshot:
+    """Application state as of a log position.
+
+    Attributes:
+        position: Last log position reflected in the state.
+        state: The application state (must be digestable — plain data).
+        digest: Canonical digest of ``(position, state)`` for
+            cross-replica comparison.
+    """
+
+    position: int
+    state: Any
+    digest: str
+
+    @classmethod
+    def of(cls, position: int, state: Any) -> "Snapshot":
+        """Build a snapshot, computing its digest."""
+        return cls(
+            position=position,
+            state=state,
+            digest=stable_digest((position, state)),
+        )
+
+
+class SnapshotStore:
+    """Periodic snapshots of a deterministic application's state.
+
+    Args:
+        reducer: The application's state-transition function.
+        initial_state: Genesis state shared by all replicas.
+        interval: Snapshot every this many applied entries.
+    """
+
+    def __init__(
+        self, reducer: Reducer, initial_state: Any, interval: int = 64
+    ) -> None:
+        if interval < 1:
+            raise LogError("snapshot interval must be >= 1")
+        self.reducer = reducer
+        self.initial_state = initial_state
+        self.interval = interval
+        self.snapshots: List[Snapshot] = []
+        self._state = initial_state
+        self._position = 0
+
+    def apply(self, entry: LogEntry) -> Any:
+        """Feed the next log entry (in order); returns the new state.
+
+        Raises:
+            LogError: If entries arrive out of order (a replay bug).
+        """
+        if entry.position != self._position + 1:
+            raise LogError(
+                f"snapshot store expected position {self._position + 1}, "
+                f"got {entry.position}"
+            )
+        self._state = self.reducer(self._state, entry)
+        self._position = entry.position
+        if entry.position % self.interval == 0:
+            self.snapshots.append(Snapshot.of(entry.position, self._state))
+        return self._state
+
+    @property
+    def state(self) -> Any:
+        """Current application state."""
+        return self._state
+
+    @property
+    def position(self) -> int:
+        """Last applied log position."""
+        return self._position
+
+    def latest_snapshot(self) -> Optional[Snapshot]:
+        """Most recent snapshot, or None."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    def recover(self, log: LocalLog) -> Any:
+        """Rebuild state from a (fresher) log copy.
+
+        Replays only the suffix after the latest snapshot — the
+        recovery speed-up snapshots exist for.
+        """
+        snapshot = self.latest_snapshot()
+        if snapshot is None:
+            state = self.initial_state
+            start = 1
+        else:
+            state = snapshot.state
+            start = snapshot.position + 1
+        state = replay(log, self.reducer, state, from_position=start)
+        self._state = state
+        self._position = len(log)
+        return state
+
+
+def states_agree(stores: List[SnapshotStore]) -> bool:
+    """Whether several replicas' snapshot stores hold identical state
+    (by canonical digest) at the same position."""
+    if not stores:
+        return True
+    heads: set = {
+        stable_digest((store.position, store.state)) for store in stores
+    }
+    return len(heads) == 1
+
+
+def attach_replayer(
+    node,
+    reducer: Reducer,
+    initial_state: Any,
+    interval: int = 64,
+) -> SnapshotStore:
+    """Wire a snapshot store to a Blockplane node's log stream.
+
+    Every appended Local Log entry is applied in order; the returned
+    store tracks this node's deterministic application state.
+    """
+    store = SnapshotStore(reducer, initial_state, interval)
+    node.on_log_append.append(store.apply)
+    return store

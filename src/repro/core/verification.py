@@ -1,0 +1,155 @@
+"""Verification routines — user-supplied and built-in.
+
+The system developer provides per-instruction validity checks
+(Section III-C): Blockplane replicas call them between PBFT's prepared
+state and the commit vote, so a byzantine unit member cannot commit a
+record that is not a legal state transition of the wrapped protocol
+(Lemma 3).
+
+The *receive verification routine* is built into Blockplane itself
+(Section IV-C); :func:`verify_received` implements its three checks:
+
+1. the transmission record carries ``fi + 1`` valid signatures from the
+   source participant's unit (plus ``fg`` participant proofs when geo
+   tolerance is on),
+2. the record was not received before, and
+3. no earlier transmission from that source is missing (the previous
+   pointer must equal the last received position).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.local_log import LocalLog
+from repro.core.records import SealedTransmission
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ReceiveVerificationError
+
+
+class VerificationRoutines:
+    """Base class for user verification routines.
+
+    Subclass and override the checks relevant to your protocol; the
+    defaults accept everything (appropriate only for trusted demo
+    workloads — the paper's Section III-C sketches what real routines
+    look like for the counter protocol).
+
+    Each Blockplane node gets its *own* routines instance. Stateful
+    routines (ones that replay the wrapped protocol to judge
+    transitions) override :meth:`bind` to subscribe to the node's log.
+    """
+
+    def bind(self, node) -> None:
+        """Called once with the owning node after construction.
+
+        Stateful routines typically do
+        ``node.on_log_append.append(self._replay)`` here to maintain a
+        deterministic copy of the protocol state.
+        """
+
+    def verify_log_commit(
+        self, value: Any, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        """Validate a ``log-commit`` record (a state change of ``P``).
+
+        For example, a transaction-processing application would check
+        here whether the transaction can commit.
+        """
+        return True
+
+    def verify_send(
+        self,
+        message: Any,
+        destination: str,
+        meta: Optional[Dict[str, Any]],
+    ) -> bool:
+        """Validate a ``send`` (that the communication is warranted,
+        e.g. a corresponding user request was actually received)."""
+        return True
+
+    def verify_received_payload(
+        self, message: Any, source: str, meta: Optional[Dict[str, Any]]
+    ) -> bool:
+        """Optional extra application check on a received message, run
+        *after* the built-in receive verification passes."""
+        return True
+
+
+class AcceptAll(VerificationRoutines):
+    """Explicitly permissive routines (for tests and micro-benchmarks)."""
+
+
+def verify_received(
+    sealed: SealedTransmission,
+    log: LocalLog,
+    registry: KeyRegistry,
+    source_unit_members: Sequence[str],
+    required_signatures: int,
+    expected_destination: str,
+    geo_required: int = 0,
+    geo_unit_members: Optional[Dict[str, Sequence[str]]] = None,
+) -> None:
+    """The built-in receive verification routine.
+
+    Args:
+        sealed: The transmission record plus proofs as received.
+        log: The receiving node's Local Log copy.
+        registry: The deployment's key registry.
+        source_unit_members: Node ids of the claimed source unit.
+        required_signatures: ``fi + 1``.
+        expected_destination: This participant's name.
+        geo_required: ``fg`` — number of additional participant proofs
+            a transmission must carry when geo tolerance is enabled.
+        geo_unit_members: participant name → that unit's node ids, for
+            validating geo proofs.
+
+    Raises:
+        ReceiveVerificationError: Describing which check failed.
+    """
+    record = sealed.record
+    if record.destination != expected_destination:
+        raise ReceiveVerificationError(
+            f"transmission addressed to {record.destination!r}, "
+            f"we are {expected_destination!r}"
+        )
+    # Check 1 — the source-unit proof.
+    if sealed.proof.digest != record.digest():
+        raise ReceiveVerificationError("proof does not cover this record")
+    if not sealed.proof.is_valid(
+        registry, required_signatures, allowed_signers=source_unit_members
+    ):
+        raise ReceiveVerificationError(
+            f"fewer than {required_signatures} valid source signatures"
+        )
+    # Check 1b — geo proofs (Section V: "a node receiving a transmission
+    # record would only accept it if the proofs of the source
+    # participant and the other fg participants are valid").
+    if geo_required > 0:
+        valid_geo = 0
+        for participant, proof in sealed.geo_proofs:
+            members = (geo_unit_members or {}).get(participant)
+            if members is None or participant == record.source:
+                continue
+            if proof.digest != record.digest():
+                continue
+            if proof.is_valid(registry, required_signatures, members):
+                valid_geo += 1
+        if valid_geo < geo_required:
+            raise ReceiveVerificationError(
+                f"only {valid_geo} of {geo_required} required geo proofs "
+                "are valid"
+            )
+    # Check 2 — not a duplicate.
+    if log.has_received(record.source, record.source_position):
+        raise ReceiveVerificationError(
+            f"duplicate transmission {record.source}:{record.source_position}"
+        )
+    # Check 3 — no gap: the previous pointer must match what we have.
+    last = log.last_received_from(record.source)
+    expected_prev = last if last > 0 else None
+    if record.prev_position != expected_prev:
+        raise ReceiveVerificationError(
+            f"out-of-order transmission from {record.source}: previous "
+            f"pointer {record.prev_position}, last received {expected_prev}"
+        )

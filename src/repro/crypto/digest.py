@@ -1,0 +1,76 @@
+"""Canonical digests of protocol values.
+
+Protocol payloads are arbitrary Python values (the paper's interface
+takes "an arbitrary string"; we are slightly more liberal and accept any
+tree of basic types and dataclasses). :func:`stable_digest` serializes
+such a value canonically — independent of dict insertion order — and
+hashes it with SHA-256 so that two honest nodes always derive the same
+digest for the same logical value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+from repro.errors import CryptoError
+
+
+def _canonical(value: Any, out: list) -> None:
+    """Append a canonical byte representation of ``value`` to ``out``."""
+    if value is None:
+        out.append(b"n")
+    elif isinstance(value, bool):
+        out.append(b"b1" if value else b"b0")
+    elif isinstance(value, int):
+        out.append(b"i" + str(value).encode())
+    elif isinstance(value, float):
+        out.append(b"f" + repr(value).encode())
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(b"s" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(value, bytes):
+        out.append(b"y" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l" + str(len(value)).encode() + b"[")
+        for item in value:
+            _canonical(item, out)
+        out.append(b"]")
+    elif isinstance(value, dict):
+        out.append(b"d" + str(len(value)).encode() + b"{")
+        try:
+            items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        except TypeError as exc:  # unsortable keys
+            raise CryptoError(f"cannot canonicalize dict keys: {exc}") from exc
+        for key, item in items:
+            _canonical(key, out)
+            _canonical(item, out)
+        out.append(b"}")
+    elif isinstance(value, (set, frozenset)):
+        out.append(b"S" + str(len(value)).encode() + b"(")
+        for item in sorted(value, key=repr):
+            _canonical(item, out)
+        out.append(b")")
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.append(b"D" + type(value).__name__.encode() + b"<")
+        for field in dataclasses.fields(value):
+            _canonical(field.name, out)
+            _canonical(getattr(value, field.name), out)
+        out.append(b">")
+    else:
+        raise CryptoError(
+            f"cannot canonicalize value of type {type(value).__name__}"
+        )
+
+
+def stable_digest(value: Any) -> str:
+    """Return a hex SHA-256 digest of ``value``'s canonical form.
+
+    Raises:
+        CryptoError: If the value contains a type with no canonical
+            representation (e.g. an arbitrary object).
+    """
+    out: list = []
+    _canonical(value, out)
+    return hashlib.sha256(b"".join(out)).hexdigest()

@@ -1,0 +1,32 @@
+"""One driver per table/figure of the paper's Section VIII.
+
+Every module exposes ``run(...) -> dict`` returning the figure's series
+and a ``main()`` that prints rows next to the paper's reported values.
+The benchmark suite under ``benchmarks/`` calls these same drivers, so
+``pytest benchmarks/ --benchmark-only`` regenerates the entire
+evaluation.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    costs,
+    fig4_local_commit,
+    fig5_geo,
+    fig6_communication,
+    fig7_consensus,
+    fig8_failures,
+    table1_topology,
+    table2_scalability,
+)
+
+__all__ = [
+    "ablations",
+    "costs",
+    "fig4_local_commit",
+    "fig5_geo",
+    "fig6_communication",
+    "fig7_consensus",
+    "fig8_failures",
+    "table1_topology",
+    "table2_scalability",
+]

@@ -1,0 +1,35 @@
+"""Small text-table helpers for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def fmt_ms(value: float) -> str:
+    """Milliseconds with sensible precision."""
+    if value < 10:
+        return f"{value:.2f}"
+    return f"{value:.1f}"
+
+
+def fmt_mb_s(value: float) -> str:
+    """Megabytes/second with sensible precision."""
+    if value < 10:
+        return f"{value:.2f}"
+    return f"{value:.1f}"

@@ -1,0 +1,37 @@
+"""Table I — the RTT matrix between the four AWS datacenters.
+
+This is an *input* of the evaluation, not a measurement; the driver
+prints the matrix the simulation uses so every other experiment can be
+interpreted against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.report import format_table
+from repro.sim.topology import AWS_SITES, aws_four_dc_topology
+
+
+def run() -> Dict[Tuple[str, str], float]:
+    """Return the pairwise RTT matrix in milliseconds."""
+    topology = aws_four_dc_topology()
+    matrix = {}
+    for a in AWS_SITES:
+        for b in AWS_SITES:
+            matrix[(a, b)] = 0.0 if a == b else topology.rtt_ms(a, b)
+    return matrix
+
+
+def main() -> None:
+    """Print Table I."""
+    matrix = run()
+    rows = [
+        [a] + [f"{matrix[(a, b)]:.0f}" for b in AWS_SITES] for a in AWS_SITES
+    ]
+    print("Table I — average RTTs (ms) between the 4 datacenters")
+    print(format_table([""] + list(AWS_SITES), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Table II — local commitment while varying the number of nodes.
+
+One datacenter, 100 KB batches (the paper's best balance point), unit
+size swept over 4/7/10/13 nodes (fi = 1..4). The paper reports
+throughput dropping 83 → 51 → 28 → 25 MB/s and latency rising
+1.2 → 1.9 → 3.5 → 4 ms: pre-prepare has to push the batch to ``3·fi``
+replicas through one NIC, so resilience costs bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.experiments.report import fmt_mb_s, fmt_ms, format_table
+from repro.sim.simulator import Simulator
+from repro.sim.topology import single_dc_topology
+from repro.workloads.generator import BatchWorkload
+from repro.workloads.runner import sequential_commit_latency
+
+#: fi values corresponding to the paper's 4/7/10/13-node columns.
+DEFAULT_F_VALUES = (1, 2, 3, 4)
+
+#: Paper's Table II: nodes → (throughput MB/s, latency ms).
+PAPER_TABLE2 = {4: (83.0, 1.2), 7: (51.0, 1.9), 10: (28.0, 3.5), 13: (25.0, 4.0)}
+
+BATCH_BYTES = 100_000
+
+
+def run_one(
+    f_independent: int,
+    measured: int = 1000,
+    warmup: int = 100,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Measure local commitment for one fault-tolerance level."""
+    sim = Simulator(seed=seed)
+    deployment = BlockplaneDeployment(
+        sim,
+        single_dc_topology("V"),
+        BlockplaneConfig(f_independent=f_independent),
+    )
+    api = deployment.api("V")
+    workload = BatchWorkload(
+        measured=measured, warmup=warmup, batch_bytes=BATCH_BYTES, seed=seed
+    )
+    result = sequential_commit_latency(
+        sim,
+        lambda batch, size: api.log_commit(batch, payload_bytes=size),
+        workload,
+    )
+    return {
+        "nodes": 3 * f_independent + 1,
+        "latency_ms": result["latency_ms"],
+        "throughput_mb_s": result["throughput_mb_s"],
+    }
+
+
+def run(
+    f_values: Sequence[int] = DEFAULT_F_VALUES,
+    measured: int = 1000,
+    warmup: int = 100,
+    seed: int = 0,
+) -> Dict[int, Dict[str, float]]:
+    """Sweep fi; returns node count → metrics."""
+    results = {}
+    for f_independent in f_values:
+        metrics = run_one(
+            f_independent, measured=measured, warmup=warmup, seed=seed
+        )
+        results[int(metrics["nodes"])] = metrics
+    return results
+
+
+def main(measured: int = 200, warmup: int = 20) -> Dict[int, Dict[str, float]]:
+    """Print Table II (smaller run by default)."""
+    results = run(measured=measured, warmup=warmup)
+    rows = []
+    for nodes, metrics in results.items():
+        paper_throughput, paper_latency = PAPER_TABLE2.get(nodes, (None, None))
+        rows.append(
+            [
+                f"{nodes} (fi={(nodes - 1) // 3})",
+                fmt_mb_s(metrics["throughput_mb_s"]),
+                f"{paper_throughput:.0f}" if paper_throughput else "-",
+                fmt_ms(metrics["latency_ms"]),
+                f"{paper_latency:.1f}" if paper_latency else "-",
+            ]
+        )
+    print("Table II — local commitment vs number of nodes (100 KB batches)")
+    print(
+        format_table(
+            ["nodes", "MB/s", "paper MB/s", "latency ms", "paper ms"], rows
+        )
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Paxos (Lamport, "Paxos Made Simple").
+
+Used three ways in this reproduction, mirroring the paper:
+
+* as the **flat wide-area baseline** of Figure 7 (one node per
+  datacenter, no byzantine tolerance),
+* as the global layer of the **Hierarchical PBFT** baseline, and
+* as the benign protocol ``P`` that Section VI-E *byzantizes* through
+  the Blockplane API (:mod:`repro.apps.bp_paxos`) — that variant speaks
+  Paxos purely through ``log_commit``/``send``/``receive``.
+
+This package is the classic message-passing implementation: multi-decree
+Paxos with ballot-based leader election (Phase 1) amortized across slots
+and per-slot replication (Phase 2).
+"""
+
+from repro.paxos.messages import (
+    Accept,
+    Accepted,
+    Learn,
+    Nack,
+    PaxosPrepare,
+    Promise,
+)
+from repro.paxos.node import MultiPaxosNode
+
+__all__ = [
+    "MultiPaxosNode",
+    "PaxosPrepare",
+    "Promise",
+    "Accept",
+    "Accepted",
+    "Nack",
+    "Learn",
+]

@@ -1,0 +1,74 @@
+"""Paxos wire messages.
+
+Ballots are ``(round, node_id)`` tuples: lexicographic comparison gives
+the total order Paxos needs, and including the node id makes ballots
+unique across proposers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.node import Message
+
+#: A ballot number: (round, proposer node id).
+Ballot = Tuple[int, str]
+
+
+@dataclasses.dataclass
+class PaxosPrepare(Message):
+    """Phase-1a: a proposer asks acceptors to promise a ballot."""
+
+    ballot: Ballot = (0, "")
+    first_unchosen: int = 0
+
+
+@dataclasses.dataclass
+class Promise(Message):
+    """Phase-1b: an acceptor promises and reports accepted values.
+
+    ``accepted`` maps slot → (ballot, value) for every slot at or above
+    the proposer's ``first_unchosen`` that this acceptor has accepted.
+    """
+
+    ballot: Ballot = (0, "")
+    accepted: Dict[int, Tuple[Ballot, Any]] = dataclasses.field(
+        default_factory=dict
+    )
+    acceptor: str = ""
+
+
+@dataclasses.dataclass
+class Accept(Message):
+    """Phase-2a: the leader proposes a value for a slot."""
+
+    ballot: Ballot = (0, "")
+    slot: int = 0
+    value: Any = None
+
+
+@dataclasses.dataclass
+class Accepted(Message):
+    """Phase-2b: an acceptor accepted the proposal."""
+
+    ballot: Ballot = (0, "")
+    slot: int = 0
+    acceptor: str = ""
+
+
+@dataclasses.dataclass
+class Nack(Message):
+    """An acceptor rejects a stale ballot and reveals the newer one."""
+
+    ballot: Ballot = (0, "")
+    promised: Ballot = (0, "")
+    slot: Optional[int] = None
+
+
+@dataclasses.dataclass
+class Learn(Message):
+    """The leader announces a chosen value (asynchronous)."""
+
+    slot: int = 0
+    value: Any = None

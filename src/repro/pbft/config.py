@@ -1,0 +1,32 @@
+"""PBFT tuning parameters."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class PBFTConfig:
+    """Timing and log-management knobs for a PBFT group.
+
+    Attributes:
+        request_timeout_ms: How long the submitter of a request waits
+            for commitment before suspecting the leader and voting for a
+            view change. Intra-datacenter commits take about a
+            millisecond, so the default leaves ample slack.
+        view_change_timeout_ms: How long a replica waits for a NewView
+            after voting before escalating to the next view.
+        checkpoint_interval: Execute this many entries between
+            checkpoint broadcasts; the message log below a stable
+            checkpoint is garbage-collected.
+        catch_up_timeout_ms: How long a recovering replica waits for
+            catch-up responses before asking again.
+        max_log_gap: A replica that sees commitment running this far
+            ahead of its execution point proactively requests catch-up.
+    """
+
+    request_timeout_ms: float = 50.0
+    view_change_timeout_ms: float = 100.0
+    checkpoint_interval: int = 64
+    catch_up_timeout_ms: float = 20.0
+    max_log_gap: int = 256

@@ -1,0 +1,171 @@
+"""PBFT protocol messages.
+
+Payload-carrying messages (:class:`ClientRequest`, :class:`PrePrepare`,
+catch-up responses, new-view retransmissions) charge their batch size to
+the network's bandwidth model; vote messages (:class:`Prepare`,
+:class:`Commit`, :class:`Reply`, :class:`Checkpoint`) carry only digests
+and are charged as control traffic.
+
+The Blockplane modification is visible here as the ``record_type``
+annotation on every proposal (Section IV-B: "every value has a type
+annotation that represents the type of the record").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.node import Message
+
+#: Record-type annotations (Blockplane modification #1). The middleware
+#: defines richer semantics for these in :mod:`repro.core.records`.
+RECORD_TYPE_COMMIT = "log-commit"
+RECORD_TYPE_COMMUNICATION = "communication"
+RECORD_TYPE_RECEIVED = "received"
+
+
+@dataclasses.dataclass(frozen=True)
+class CommittedEntry:
+    """An entry durably committed by the PBFT group.
+
+    Attributes:
+        seq: Position in the group's ordered log (1-based).
+        view: View in which the entry committed.
+        value: The application value (opaque to PBFT).
+        record_type: Blockplane record-type annotation.
+        meta: Free-form metadata the submitter attached (e.g. the
+            destination participant of a communication record).
+        payload_bytes: Size charged to the bandwidth model.
+    """
+
+    seq: int
+    view: int
+    value: Any
+    record_type: str
+    meta: Optional[Dict[str, Any]] = None
+    payload_bytes: int = 0
+
+
+@dataclasses.dataclass
+class ClientRequest(Message):
+    """Submit a value for commitment (client/submitter → leader)."""
+
+    request_id: Tuple[str, int] = ("", 0)
+    value: Any = None
+    record_type: str = RECORD_TYPE_COMMIT
+    meta: Optional[Dict[str, Any]] = None
+
+
+@dataclasses.dataclass
+class PrePrepare(Message):
+    """Leader's ordering proposal (leader → all replicas)."""
+
+    view: int = 0
+    seq: int = 0
+    digest: str = ""
+    request_id: Tuple[str, int] = ("", 0)
+    value: Any = None
+    record_type: str = RECORD_TYPE_COMMIT
+    meta: Optional[Dict[str, Any]] = None
+
+
+@dataclasses.dataclass
+class Prepare(Message):
+    """Replica's echo of the proposal digest (replica → all)."""
+
+    view: int = 0
+    seq: int = 0
+    digest: str = ""
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class Commit(Message):
+    """Replica's commit vote, sent after the verification routine
+    accepts the prepared value (replica → all)."""
+
+    view: int = 0
+    seq: int = 0
+    digest: str = ""
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class Reply(Message):
+    """Execution acknowledgement (replica → request origin). The origin
+    accepts a request as committed after ``f + 1`` matching replies."""
+
+    view: int = 0
+    seq: int = 0
+    digest: str = ""
+    request_id: Tuple[str, int] = ("", 0)
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class RejectRequest(Message):
+    """Leader's refusal to propose a request (failed pre-validation,
+    e.g. a duplicate transmission record or an invalid transition).
+    The origin's submit future is rejected instead of timing out."""
+
+    request_id: Tuple[str, int] = ("", 0)
+    reason: str = ""
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class Checkpoint(Message):
+    """Periodic state summary enabling log truncation (replica → all)."""
+
+    seq: int = 0
+    state_digest: str = ""
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class PreparedCertificate(Message):
+    """Evidence inside a view change that a slot was prepared."""
+
+    view: int = 0
+    seq: int = 0
+    digest: str = ""
+    value: Any = None
+    record_type: str = RECORD_TYPE_COMMIT
+    meta: Optional[Dict[str, Any]] = None
+    request_id: Tuple[str, int] = ("", 0)
+
+
+@dataclasses.dataclass
+class ViewChange(Message):
+    """Vote to replace the current leader (replica → all)."""
+
+    new_view: int = 0
+    last_executed: int = 0
+    prepared: List[PreparedCertificate] = dataclasses.field(default_factory=list)
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class NewView(Message):
+    """New leader's announcement, re-proposing prepared slots."""
+
+    new_view: int = 0
+    pre_prepares: List[PrePrepare] = dataclasses.field(default_factory=list)
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class CatchUpRequest(Message):
+    """A lagging/recovered replica asks peers for committed entries."""
+
+    from_seq: int = 0
+    replica: str = ""
+
+
+@dataclasses.dataclass
+class CatchUpResponse(Message):
+    """Committed entries above the requester's execution point."""
+
+    entries: List[CommittedEntry] = dataclasses.field(default_factory=list)
+    replica: str = ""

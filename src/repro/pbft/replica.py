@@ -1,0 +1,955 @@
+"""The PBFT replica state machine.
+
+Each :class:`PBFTReplica` is a simulated machine participating in one
+PBFT group of ``n = 3f + 1`` members. The normal case follows Castro &
+Liskov exactly: the leader orders a client request with a pre-prepare,
+replicas echo prepares, and — once *prepared* — broadcast commit votes.
+An entry executes when it has ``2f + 1`` commit votes and every lower
+sequence number has executed. The submitter learns the outcome from
+``f + 1`` matching replies.
+
+Blockplane's modifications (Section IV-B of the paper):
+
+* every proposal carries a ``record_type`` annotation, and
+* between the prepared state and the commit broadcast the replica runs
+  the user-supplied **verification routine**; a replica never votes to
+  commit a value that is not a valid state transition of the wrapped
+  protocol.
+
+Replicas in this module are honest; byzantine variants used by the test
+suite live in :mod:`repro.pbft.byzantine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.digest import stable_digest
+from repro.errors import ProtocolError, VerificationFailed
+from repro.pbft.config import PBFTConfig
+from repro.pbft.messages import (
+    CatchUpRequest,
+    CatchUpResponse,
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    CommittedEntry,
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedCertificate,
+    RejectRequest,
+    Reply,
+    ViewChange,
+)
+from repro.sim.node import Node
+from repro.sim.process import Future
+
+#: Verification routine signature: receives the proposed value, its
+#: record-type annotation, and the submitter metadata; returns True to
+#: accept the state transition. See Section III-C of the paper.
+Verifier = Callable[[Any, str, Optional[Dict[str, Any]]], bool]
+
+#: Filler proposal used to plug sequence holes after a view change.
+#: Verification routines must accept it; executors must ignore it.
+NOOP_VALUE = "__pbft_noop__"
+NOOP_RECORD_TYPE = "noop"
+
+
+@dataclasses.dataclass
+class _Slot:
+    """Book-keeping for one sequence number."""
+
+    view: int = 0
+    digest: str = ""
+    value: Any = None
+    record_type: str = ""
+    meta: Optional[Dict[str, Any]] = None
+    request_id: Tuple[str, int] = ("", 0)
+    payload_bytes: int = 0
+    has_pre_prepare: bool = False
+    prepares: set = dataclasses.field(default_factory=set)
+    commits: set = dataclasses.field(default_factory=set)
+    prepare_sent: bool = False
+    commit_sent: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+@dataclasses.dataclass
+class _PendingRequest:
+    """Origin-side state for a submitted request."""
+
+    future: Future
+    value: Any
+    record_type: str
+    meta: Optional[Dict[str, Any]]
+    payload_bytes: int
+    replies: Dict[str, Tuple[int, int, str]] = dataclasses.field(
+        default_factory=dict
+    )
+    retries: int = 0
+
+
+class PBFTReplica(Node):
+    """One member of a PBFT group.
+
+    Args:
+        sim: Owning simulator.
+        network: Transport.
+        node_id: This replica's id; must appear in ``peers``.
+        site: Datacenter name.
+        peers: Ordered ids of *all* group members (including this one).
+            The leader of view ``v`` is ``peers[v % len(peers)]``.
+        config: Timing/log parameters.
+        verifier: Optional Blockplane verification routine consulted
+            before this replica casts a commit vote.
+
+    Attributes:
+        on_executed: Callbacks invoked with each :class:`CommittedEntry`
+            as it executes, in sequence order. Blockplane attaches its
+            Local-Log append here.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network,
+        node_id: str,
+        site: str,
+        peers: List[str],
+        config: Optional[PBFTConfig] = None,
+        verifier: Optional[Verifier] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, site)
+        if node_id not in peers:
+            raise ProtocolError(f"{node_id} missing from its own peer list")
+        if len(peers) < 4:
+            raise ProtocolError(
+                f"PBFT needs at least 4 replicas (3f+1), got {len(peers)}"
+            )
+        self.peers = list(peers)
+        self.config = config or PBFTConfig()
+        self.verifier = verifier
+        self.view = 0
+        self.in_view_change = False
+        self.next_seq = 1  # used only while leader
+        self.last_executed = 0
+        self.stable_checkpoint = 0
+        self.slots: Dict[int, _Slot] = {}
+        self.executed_entries: List[CommittedEntry] = []
+        self.on_executed: List[Callable[[CommittedEntry], None]] = []
+        self._exec_chain = hashlib.sha256(b"genesis").hexdigest()
+        self._request_counter = 0
+        self._pending: Dict[Tuple[str, int], _PendingRequest] = {}
+        self._assigned_requests: Dict[Tuple[str, int], int] = {}
+        self._executed_requests: set = set()
+        self._request_watchdogs: Dict[Tuple[str, int], int] = {}
+        self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
+        self._voted_view = 0
+        self._highest_vote: Dict[str, int] = {}
+        self._last_view_change_vote: Optional[ViewChange] = None
+        self._escalations = 0
+        self._checkpoints: Dict[int, Dict[str, str]] = {}
+        self._deferred_verification: set = set()
+        self._catch_up_tally: Dict[int, Dict[str, set]] = {}
+        self._catch_up_values: Dict[Tuple[int, str], CommittedEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Group arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Group size."""
+        return len(self.peers)
+
+    @property
+    def f(self) -> int:
+        """Tolerated byzantine failures: ``(n - 1) // 3``."""
+        return (self.n - 1) // 3
+
+    def leader_of(self, view: int) -> str:
+        """Deterministic leader rotation: the view number modulo n."""
+        return self.peers[view % self.n]
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this replica leads the current view."""
+        return self.leader_of(self.view) == self.node_id
+
+    # ------------------------------------------------------------------
+    # Submission (the "client" side lives on the replicas themselves:
+    # in Blockplane, the submitter is the middleware node co-located
+    # with the application)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        value: Any,
+        record_type: str = "log-commit",
+        meta: Optional[Dict[str, Any]] = None,
+        payload_bytes: int = 0,
+    ) -> Future:
+        """Submit a value for total-order commitment.
+
+        Returns:
+            A future resolving with the :class:`CommittedEntry` once
+            ``f + 1`` replicas have replied with matching execution
+            results. The future outlives leader failures: the request is
+            retried into new views until it commits.
+        """
+        self._request_counter += 1
+        request_id = (self.node_id, self._request_counter)
+        pending = _PendingRequest(
+            future=Future(self.sim, label=f"pbft:{request_id}"),
+            value=value,
+            record_type=record_type,
+            meta=meta,
+            payload_bytes=payload_bytes,
+        )
+        self._pending[request_id] = pending
+        self._dispatch_request(request_id)
+        self.set_timer(
+            self.config.request_timeout_ms, self._request_timeout, request_id
+        )
+        return pending.future
+
+    def _dispatch_request(self, request_id: Tuple[str, int]) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        request = ClientRequest(
+            payload_bytes=pending.payload_bytes,
+            request_id=request_id,
+            value=pending.value,
+            record_type=pending.record_type,
+            meta=pending.meta,
+        )
+        leader = self.leader_of(self.view)
+        if leader == self.node_id:
+            self.handle_client_request(request, self.node_id)
+        else:
+            self.send(leader, request)
+
+    def _request_timeout(self, request_id: Tuple[str, int]) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        pending.retries += 1
+        self.sim.trace.record(
+            "pbft.request_timeout", self.sim.now,
+            node=self.node_id, request=request_id, retries=pending.retries,
+        )
+        # If we lead and already proposed this request, retransmit the
+        # pre-prepare (a quorum member may have been down and missed the
+        # original round). Otherwise suspect the leader.
+        seq = self._assigned_requests.get(request_id)
+        if self.is_leader and seq is not None:
+            slot = self.slots.get(seq)
+            if slot is not None and slot.has_pre_prepare and not slot.executed:
+                self.broadcast(
+                    self.peers,
+                    PrePrepare(
+                        payload_bytes=slot.payload_bytes,
+                        view=slot.view,
+                        seq=seq,
+                        digest=slot.digest,
+                        request_id=slot.request_id,
+                        value=slot.value,
+                        record_type=slot.record_type,
+                        meta=slot.meta,
+                    ),
+                )
+        else:
+            self._start_view_change(self.view + 1)
+            # Broadcast the request to the whole group (standard PBFT):
+            # every replica forwards it to the leader and arms its own
+            # watchdog, so the group — not just this origin — suspects
+            # a leader that fails to order it.
+            request = ClientRequest(
+                payload_bytes=pending.payload_bytes,
+                request_id=request_id,
+                value=pending.value,
+                record_type=pending.record_type,
+                meta=pending.meta,
+            )
+            self.broadcast(self.peers, request)
+            self._dispatch_request(request_id)
+        self.set_timer(
+            self.config.request_timeout_ms * (pending.retries + 1),
+            self._request_timeout,
+            request_id,
+        )
+
+    #: How many leader suspicions one stuck request may trigger at a
+    #: non-origin replica. Bounded so a request the leader legitimately
+    #: *rejected* (which never executes) cannot drive view changes
+    #: forever — the origin's own retry timer carries liveness beyond
+    #: this budget.
+    WATCHDOG_BUDGET = 8
+
+    def _client_request_watchdog(self, request_id: Tuple[str, int]) -> None:
+        """A forwarded client request never executed: suspect the
+        leader, and keep watching until it executes or the budget ends."""
+        if request_id in self._executed_requests:
+            self._request_watchdogs.pop(request_id, None)
+            return
+        fired = self._request_watchdogs.get(request_id, 0)
+        if fired >= self.WATCHDOG_BUDGET:
+            return
+        self._request_watchdogs[request_id] = fired + 1
+        self._start_view_change(self.view + 1)
+        self.set_timer(
+            2 * self.config.request_timeout_ms * (fired + 1),
+            self._client_request_watchdog,
+            request_id,
+        )
+
+    def _slot_timeout(self, seq: int, view: int) -> None:
+        """An accepted proposal did not execute in time: suspect the
+        leader of that view (unless we have moved past it already)."""
+        slot = self.slots.get(seq)
+        if slot is None or slot.executed or seq <= self.last_executed:
+            return
+        if self.view != view:
+            return
+        self._start_view_change(self.view + 1)
+
+    def _has_progress_pressure(self) -> bool:
+        """Is there work stuck behind the current (suspect) leader?"""
+        if self._pending:
+            return True
+        return any(
+            slot.has_pre_prepare and not slot.executed
+            for slot in self.slots.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Normal case
+    # ------------------------------------------------------------------
+    def handle_client_request(self, msg: ClientRequest, src: str) -> None:
+        """Leader: assign a sequence number and broadcast pre-prepare."""
+        if not self.is_leader or self.in_view_change:
+            # Forward to whoever we believe leads, and arm a watchdog:
+            # if the request never executes, this replica joins the
+            # suspicion against the leader (PBFT's liveness rule).
+            leader = self.leader_of(self.view)
+            if leader != self.node_id and src == msg.request_id[0]:
+                self.send(leader, msg)
+            if msg.request_id not in self._request_watchdogs:
+                self._request_watchdogs[msg.request_id] = 0
+                self.set_timer(
+                    2 * self.config.request_timeout_ms,
+                    self._client_request_watchdog,
+                    msg.request_id,
+                )
+            return
+        if msg.request_id in self._assigned_requests:
+            return  # duplicate (client retry); already in flight
+        reject_reason = self._pre_validate(msg)
+        if reject_reason is not None:
+            self.sim.trace.record(
+                "pbft.request_rejected", self.sim.now,
+                node=self.node_id, request=msg.request_id,
+                reason=reject_reason,
+            )
+            rejection = RejectRequest(
+                request_id=msg.request_id,
+                reason=reject_reason,
+                replica=self.node_id,
+            )
+            if msg.request_id[0] == self.node_id:
+                self.handle_reject_request(rejection, self.node_id)
+            else:
+                self.send(msg.request_id[0], rejection)
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        self._assigned_requests[msg.request_id] = seq
+        digest = stable_digest((msg.value, msg.record_type, msg.request_id))
+        pre_prepare = PrePrepare(
+            payload_bytes=msg.payload_bytes,
+            view=self.view,
+            seq=seq,
+            digest=digest,
+            request_id=msg.request_id,
+            value=msg.value,
+            record_type=msg.record_type,
+            meta=msg.meta,
+        )
+        self.broadcast(self.peers, pre_prepare)
+        self.handle_pre_prepare(pre_prepare, self.node_id)
+
+    def _pre_validate(self, msg: ClientRequest) -> Optional[str]:
+        """Leader-side gate before assigning a sequence number.
+
+        Returns None to accept, or a human-readable reason to refuse.
+        An honest leader refuses values its own verification routine
+        would reject — otherwise it would burn a sequence number on a
+        proposal that can never gather commit votes. Subclasses extend
+        this (e.g. Blockplane's duplicate-transmission check).
+        """
+        if self.verifier is None:
+            return None
+        slot_like = _Slot(
+            value=msg.value, record_type=msg.record_type, meta=msg.meta
+        )
+        verdict = self._verify_slot(slot_like)
+        if verdict is False:
+            return "verification routine rejected the value"
+        return None
+
+    def handle_reject_request(self, msg: RejectRequest, src: str) -> None:
+        """Origin side: fail the submit future with the leader's reason.
+
+        Only the current leader's word is taken; a byzantine non-leader
+        cannot kill someone else's request this way.
+        """
+        if src != self.leader_of(self.view) and src != msg.replica:
+            return
+        if msg.replica != self.leader_of(self.view):
+            return
+        pending = self._pending.pop(msg.request_id, None)
+        if pending is None:
+            return
+        if not pending.future.resolved:
+            pending.future.reject(
+                VerificationFailed(
+                    f"request {msg.request_id} rejected by leader: {msg.reason}"
+                )
+            )
+
+    def handle_pre_prepare(self, msg: PrePrepare, src: str) -> None:
+        """Accept the leader's ordering proposal and echo a prepare."""
+        if msg.view != self.view or self.in_view_change:
+            return
+        if src != self.leader_of(msg.view):
+            return  # only the view's leader may pre-prepare
+        slot = self.slots.get(msg.seq)
+        if slot is not None and slot.has_pre_prepare:
+            if slot.view == msg.view and slot.digest == msg.digest:
+                # Retransmitted pre-prepare (the leader healing a lost
+                # round, or a recovered replica's gap): re-send our own
+                # votes so the quorum can re-form.
+                if slot.prepare_sent:
+                    self.broadcast(
+                        self.peers,
+                        Prepare(
+                            view=slot.view, seq=msg.seq, digest=slot.digest,
+                            replica=self.node_id,
+                        ),
+                    )
+                if slot.commit_sent:
+                    self.broadcast(
+                        self.peers,
+                        Commit(
+                            view=slot.view, seq=msg.seq, digest=slot.digest,
+                            replica=self.node_id,
+                        ),
+                    )
+                return
+            if slot.view >= msg.view:
+                return  # already accepted a proposal for this slot
+        if slot is None or msg.view > slot.view:
+            slot = _Slot()
+            self.slots[msg.seq] = slot
+        slot.view = msg.view
+        slot.digest = msg.digest
+        slot.value = msg.value
+        slot.record_type = msg.record_type
+        slot.meta = msg.meta
+        slot.request_id = msg.request_id
+        slot.payload_bytes = msg.payload_bytes
+        slot.has_pre_prepare = True
+        if not slot.prepare_sent:
+            slot.prepare_sent = True
+            slot.prepares.add(self.node_id)
+            prepare = Prepare(
+                view=msg.view, seq=msg.seq, digest=msg.digest,
+                replica=self.node_id,
+            )
+            self.broadcast(self.peers, prepare)
+        # Execution watchdog: an accepted proposal that never executes
+        # makes this replica suspect the leader (standard PBFT timer —
+        # this is what lets non-submitting replicas join view changes).
+        self.set_timer(
+            self.config.request_timeout_ms * 2,
+            self._slot_timeout,
+            msg.seq,
+            msg.view,
+        )
+        self._check_prepared(msg.seq)
+
+    def handle_prepare(self, msg: Prepare, src: str) -> None:
+        """Tally a prepare vote."""
+        if msg.replica != src:
+            return  # a replica may only vote as itself
+        slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
+        if slot.has_pre_prepare and msg.digest != slot.digest:
+            return  # vote for a different proposal; ignore
+        if msg.view < slot.view:
+            return
+        slot.prepares.add(src)
+        self._check_prepared(msg.seq)
+
+    def _check_prepared(self, seq: int) -> None:
+        """Prepared ⇒ run the verification routine, then vote commit."""
+        slot = self.slots.get(seq)
+        if slot is None or not slot.has_pre_prepare or slot.commit_sent:
+            return
+        if len(slot.prepares) < 2 * self.f + 1:
+            return
+        # --- Blockplane modification #2: the verification routine runs
+        # between the prepared state and the commit broadcast. A routine
+        # may return None to *defer* (e.g. a received record whose chain
+        # predecessor has not been voted yet); the check is retried when
+        # earlier slots make progress.
+        verdict = self._verify_slot(slot)
+        if verdict is None:
+            self._deferred_verification.add(seq)
+            return
+        if not verdict:
+            self.sim.trace.record(
+                "pbft.verify_reject", self.sim.now,
+                node=self.node_id, seq=seq, record_type=slot.record_type,
+            )
+            return
+        slot.commit_sent = True
+        slot.commits.add(self.node_id)
+        commit = Commit(
+            view=slot.view, seq=seq, digest=slot.digest, replica=self.node_id
+        )
+        self.broadcast(self.peers, commit)
+        self._check_committed(seq)
+        self._retry_deferred_verification()
+
+    def _retry_deferred_verification(self) -> None:
+        """Re-run verification for slots that previously deferred."""
+        if not self._deferred_verification:
+            return
+        pending = sorted(self._deferred_verification)
+        self._deferred_verification.clear()
+        for seq in pending:
+            self._check_prepared(seq)
+
+    def _verify_slot(self, slot: _Slot) -> Optional[bool]:
+        if slot.record_type == NOOP_RECORD_TYPE:
+            return True  # hole fillers are always legal
+        if self.verifier is None:
+            return True
+        try:
+            verdict = self.verifier(slot.value, slot.record_type, slot.meta)
+        except Exception:
+            # A crashing verification routine must read as a rejection:
+            # byzantine proposals may be arbitrarily malformed.
+            return False
+        if verdict is None:
+            return None
+        return bool(verdict)
+
+    def handle_commit(self, msg: Commit, src: str) -> None:
+        """Tally a commit vote; execute once a quorum exists in order."""
+        if msg.replica != src:
+            return
+        slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
+        if slot.has_pre_prepare and msg.digest != slot.digest:
+            return
+        slot.commits.add(src)
+        self._check_committed(msg.seq)
+
+    def _check_committed(self, seq: int) -> None:
+        slot = self.slots.get(seq)
+        if slot is None or slot.committed or not slot.has_pre_prepare:
+            return
+        if len(slot.commits) < 2 * self.f + 1:
+            return
+        if not slot.commit_sent:
+            return  # our own verification routine has not accepted it
+        slot.committed = True
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        """Execute committed slots in strict sequence order."""
+        while True:
+            slot = self.slots.get(self.last_executed + 1)
+            if slot is None or not slot.committed or slot.executed:
+                break
+            slot.executed = True
+            self.last_executed += 1
+            rid = slot.request_id
+            if rid != ("", 0) and rid in self._executed_requests:
+                # A request retried across a view change can commit in
+                # two slots; every honest replica executes the second
+                # occurrence as a no-op (still replying, in case the
+                # origin missed the first round's replies).
+                entry = CommittedEntry(
+                    seq=self.last_executed,
+                    view=slot.view,
+                    value=NOOP_VALUE,
+                    record_type=NOOP_RECORD_TYPE,
+                    meta=None,
+                    payload_bytes=0,
+                )
+                self._apply(entry, slot)
+            else:
+                if rid != ("", 0):
+                    self._executed_requests.add(rid)
+                entry = CommittedEntry(
+                    seq=self.last_executed,
+                    view=slot.view,
+                    value=slot.value,
+                    record_type=slot.record_type,
+                    meta=slot.meta,
+                    payload_bytes=slot.payload_bytes,
+                )
+                self._apply(entry, slot)
+            self._retry_deferred_verification()
+
+    def _apply(self, entry: CommittedEntry, slot: _Slot) -> None:
+        self.executed_entries.append(entry)
+        self._exec_chain = hashlib.sha256(
+            (self._exec_chain + slot.digest).encode()
+        ).hexdigest()
+        self.sim.trace.record(
+            "pbft.execute", self.sim.now,
+            node=self.node_id, seq=entry.seq, record_type=entry.record_type,
+        )
+        for callback in self.on_executed:
+            callback(entry)
+        origin = slot.request_id[0]
+        if origin:
+            reply = Reply(
+                view=slot.view, seq=entry.seq, digest=slot.digest,
+                request_id=slot.request_id, replica=self.node_id,
+            )
+            if origin == self.node_id:
+                self.handle_reply(reply, self.node_id)
+            else:
+                self.send(origin, reply)
+        if (
+            self.config.checkpoint_interval
+            and entry.seq % self.config.checkpoint_interval == 0
+        ):
+            self._broadcast_checkpoint(entry.seq)
+
+    def handle_reply(self, msg: Reply, src: str) -> None:
+        """Origin side: resolve the submit future on f+1 matching
+        replies."""
+        pending = self._pending.get(msg.request_id)
+        if pending is None:
+            return
+        pending.replies[msg.replica] = (msg.view, msg.seq, msg.digest)
+        matching = [
+            replica
+            for replica, (view, seq, digest) in pending.replies.items()
+            if (seq, digest) == (msg.seq, msg.digest)
+        ]
+        if len(matching) < self.f + 1:
+            return
+        del self._pending[msg.request_id]
+        entry = CommittedEntry(
+            seq=msg.seq,
+            view=msg.view,
+            value=pending.value,
+            record_type=pending.record_type,
+            meta=pending.meta,
+            payload_bytes=pending.payload_bytes,
+        )
+        if not pending.future.resolved:
+            pending.future.resolve(entry)
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _broadcast_checkpoint(self, seq: int) -> None:
+        checkpoint = Checkpoint(
+            seq=seq, state_digest=self._exec_chain, replica=self.node_id
+        )
+        self.broadcast(self.peers, checkpoint)
+        self.handle_checkpoint(checkpoint, self.node_id)
+
+    def handle_checkpoint(self, msg: Checkpoint, src: str) -> None:
+        """Gather checkpoint votes; truncate the slot log when stable."""
+        if msg.replica != src or msg.seq <= self.stable_checkpoint:
+            return
+        votes = self._checkpoints.setdefault(msg.seq, {})
+        votes[src] = msg.state_digest
+        digests = list(votes.values())
+        for digest in set(digests):
+            if digests.count(digest) >= 2 * self.f + 1:
+                self.stable_checkpoint = msg.seq
+                for seq in [s for s in self.slots if s <= msg.seq]:
+                    if self.slots[seq].executed:
+                        del self.slots[seq]
+                for seq in [s for s in self._checkpoints if s <= msg.seq]:
+                    del self._checkpoints[seq]
+                self.sim.trace.record(
+                    "pbft.stable_checkpoint", self.sim.now,
+                    node=self.node_id, seq=msg.seq,
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # View changes
+    # ------------------------------------------------------------------
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view or new_view <= self._voted_view:
+            return
+        self._voted_view = new_view
+        self.in_view_change = True
+        prepared = [
+            PreparedCertificate(
+                view=slot.view,
+                seq=seq,
+                digest=slot.digest,
+                value=slot.value,
+                record_type=slot.record_type,
+                meta=slot.meta,
+                request_id=slot.request_id,
+            )
+            for seq, slot in sorted(self.slots.items())
+            if slot.has_pre_prepare
+            and len(slot.prepares) >= 2 * self.f + 1
+            and not slot.executed
+        ]
+        vote = ViewChange(
+            new_view=new_view,
+            last_executed=self.last_executed,
+            prepared=prepared,
+            replica=self.node_id,
+        )
+        self._last_view_change_vote = vote
+        self.sim.trace.record(
+            "pbft.view_change_vote", self.sim.now,
+            node=self.node_id, new_view=new_view,
+        )
+        self.broadcast(self.peers, vote)
+        self.handle_view_change(vote, self.node_id)
+        # Exponential backoff (standard PBFT): if view changes keep
+        # failing — e.g. too many replicas are down for any progress —
+        # escalation slows instead of spinning.
+        self._escalations += 1
+        backoff = self.config.view_change_timeout_ms * (
+            2 ** min(self._escalations - 1, 8)
+        )
+        self.set_timer(backoff, self._view_change_timeout, new_view)
+
+    def _view_change_timeout(self, voted_view: int) -> None:
+        if self.view >= voted_view or self._voted_view != voted_view:
+            return
+        if self._has_progress_pressure():
+            # The view change itself is stuck (its leader may be down):
+            # escalate.
+            self._start_view_change(voted_view + 1)
+        else:
+            # Nothing urgent; keep re-announcing our vote so recovered
+            # replicas can join, and check again later.
+            if self._last_view_change_vote is not None:
+                self.broadcast(self.peers, self._last_view_change_vote)
+            self.set_timer(
+                self.config.view_change_timeout_ms,
+                self._view_change_timeout,
+                voted_view,
+            )
+
+    def handle_view_change(self, msg: ViewChange, src: str) -> None:
+        """Tally view-change votes; the new leader installs the view."""
+        if msg.replica != src or msg.new_view <= self.view:
+            return
+        votes = self._view_change_votes.setdefault(msg.new_view, {})
+        votes[src] = msg
+        self._highest_vote[src] = max(
+            self._highest_vote.get(src, 0), msg.new_view
+        )
+        # Join rule: once f+1 distinct replicas demand views above ours,
+        # at least one of them is honest — adopt the (f+1)-th highest
+        # demanded view so votes can converge even if suspecters
+        # escalated at different rates.
+        higher = sorted(
+            (view for view in self._highest_vote.values() if view > self.view),
+            reverse=True,
+        )
+        if len(higher) >= self.f + 1:
+            target = higher[self.f]
+            if target > self._voted_view:
+                self._start_view_change(target)
+        if len(votes) < 2 * self.f + 1:
+            return
+        if self.leader_of(msg.new_view) != self.node_id:
+            return
+        self._install_view_as_leader(msg.new_view, list(votes.values()))
+
+    def _install_view_as_leader(
+        self, new_view: int, votes: List[ViewChange]
+    ) -> None:
+        best: Dict[int, PreparedCertificate] = {}
+        for vote in votes:
+            for cert in vote.prepared:
+                current = best.get(cert.seq)
+                if current is None or cert.view > current.view:
+                    best[cert.seq] = cert
+        max_executed = max(vote.last_executed for vote in votes)
+        max_executed = max(max_executed, self.last_executed)
+        pre_prepares = []
+        for seq in sorted(best):
+            if seq <= self.last_executed:
+                continue
+            cert = best[seq]
+            pre_prepares.append(
+                PrePrepare(
+                    view=new_view,
+                    seq=seq,
+                    digest=cert.digest,
+                    request_id=cert.request_id,
+                    value=cert.value,
+                    record_type=cert.record_type,
+                    meta=cert.meta,
+                )
+            )
+        self.view = new_view
+        self.in_view_change = False
+        self._escalations = 0
+        self.next_seq = max(
+            [max_executed + 1] + [pp.seq + 1 for pp in pre_prepares]
+        )
+        # Fill sequence holes left by the deposed leader (numbers it
+        # assigned to proposals that can never commit) with no-ops so
+        # in-order execution cannot stall behind them.
+        proposed_seqs = {pp.seq for pp in pre_prepares}
+        for seq in range(self.last_executed + 1, self.next_seq):
+            if seq in proposed_seqs:
+                continue
+            slot = self.slots.get(seq)
+            if slot is not None and (slot.committed or slot.commit_sent):
+                continue
+            noop_rid = ("", 0)
+            pre_prepares.append(
+                PrePrepare(
+                    view=new_view,
+                    seq=seq,
+                    digest=stable_digest((NOOP_VALUE, NOOP_RECORD_TYPE, noop_rid)),
+                    request_id=noop_rid,
+                    value=NOOP_VALUE,
+                    record_type=NOOP_RECORD_TYPE,
+                    meta=None,
+                )
+            )
+        pre_prepares.sort(key=lambda pp: pp.seq)
+        new_view_msg = NewView(
+            new_view=new_view, pre_prepares=pre_prepares, replica=self.node_id
+        )
+        self.sim.trace.record(
+            "pbft.new_view", self.sim.now, node=self.node_id, view=new_view
+        )
+        self.broadcast(self.peers, new_view_msg)
+        for pre_prepare in pre_prepares:
+            self.handle_pre_prepare(pre_prepare, self.node_id)
+        self._resubmit_pending()
+        if self.last_executed < max_executed:
+            self._request_catch_up()
+
+    def handle_new_view(self, msg: NewView, src: str) -> None:
+        """Adopt the announced view and replay re-proposed slots."""
+        if msg.new_view <= self.view or src != self.leader_of(msg.new_view):
+            return
+        self.view = msg.new_view
+        self.in_view_change = False
+        self._escalations = 0
+        self._voted_view = max(self._voted_view, msg.new_view)
+        for pre_prepare in msg.pre_prepares:
+            self.handle_pre_prepare(pre_prepare, src)
+        self._resubmit_pending()
+
+    def _resubmit_pending(self) -> None:
+        for request_id in list(self._pending):
+            self._dispatch_request(request_id)
+
+    # ------------------------------------------------------------------
+    # Catch-up / recovery
+    # ------------------------------------------------------------------
+    def on_recover(self) -> None:
+        """After a benign crash, re-fetch the suffix of the log."""
+        self._request_catch_up()
+
+    def _request_catch_up(self) -> None:
+        request = CatchUpRequest(
+            from_seq=self.last_executed + 1, replica=self.node_id
+        )
+        self.broadcast(self.peers, request)
+
+    def handle_catch_up_request(self, msg: CatchUpRequest, src: str) -> None:
+        """Serve committed entries above the requester's watermark."""
+        entries = [
+            entry
+            for entry in self.executed_entries
+            if entry.seq >= msg.from_seq
+        ]
+        if entries:
+            payload = sum(entry.payload_bytes for entry in entries)
+            self.send(
+                src,
+                CatchUpResponse(
+                    payload_bytes=payload, entries=entries, replica=self.node_id
+                ),
+            )
+
+    def handle_catch_up_response(self, msg: CatchUpResponse, src: str) -> None:
+        """Adopt entries vouched for by f+1 distinct peers."""
+        if msg.replica != src:
+            return
+        for entry in msg.entries:
+            if entry.seq <= self.last_executed:
+                continue
+            digest = stable_digest((entry.value, entry.record_type, entry.seq))
+            tally = self._catch_up_tally.setdefault(entry.seq, {})
+            tally.setdefault(digest, set()).add(src)
+            self._catch_up_values[(entry.seq, digest)] = entry
+        self._apply_caught_up()
+
+    def _apply_caught_up(self) -> None:
+        while True:
+            seq = self.last_executed + 1
+            tally = self._catch_up_tally.get(seq)
+            if tally is None:
+                return
+            adopted = None
+            for digest, voters in tally.items():
+                if len(voters) >= self.f + 1:
+                    adopted = self._catch_up_values[(seq, digest)]
+                    break
+            if adopted is None:
+                return
+            slot = self.slots.setdefault(seq, _Slot(view=adopted.view))
+            slot.view = adopted.view
+            slot.digest = stable_digest(
+                (adopted.value, adopted.record_type, adopted.seq)
+            )
+            slot.value = adopted.value
+            slot.record_type = adopted.record_type
+            slot.meta = adopted.meta
+            slot.payload_bytes = adopted.payload_bytes
+            slot.has_pre_prepare = True
+            slot.committed = True
+            slot.commit_sent = True
+            slot.executed = True
+            self.last_executed = seq
+            del self._catch_up_tally[seq]
+            entry = CommittedEntry(
+                seq=seq,
+                view=adopted.view,
+                value=adopted.value,
+                record_type=adopted.record_type,
+                meta=adopted.meta,
+                payload_bytes=adopted.payload_bytes,
+            )
+            self.executed_entries.append(entry)
+            self._exec_chain = hashlib.sha256(
+                (self._exec_chain + slot.digest).encode()
+            ).hexdigest()
+            self.sim.trace.record(
+                "pbft.catch_up_apply", self.sim.now,
+                node=self.node_id, seq=seq,
+            )
+            for callback in self.on_executed:
+                callback(entry)

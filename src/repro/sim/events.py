@@ -1,0 +1,47 @@
+"""Scheduled events for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at a virtual timestamp. Events
+are ordered by ``(time, seq)`` where ``seq`` is a monotonically increasing
+insertion counter — two events at the same instant always fire in the
+order they were scheduled, which keeps every simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Tuple
+
+
+@dataclasses.dataclass
+class Event:
+    """A callback scheduled on the simulator's virtual clock.
+
+    Attributes:
+        time: Virtual timestamp (milliseconds) at which the event fires.
+        seq: Insertion sequence number used to break timestamp ties.
+        fn: The callback to invoke.
+        args: Positional arguments passed to ``fn``.
+        cancelled: When true the event is skipped at fire time. Use
+            :meth:`cancel` rather than mutating this directly.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.
+
+        Cancelling is O(1): the event stays in the heap and is discarded
+        when popped.
+        """
+        self.cancelled = True
+
+    def sort_key(self) -> Tuple[float, int]:
+        """Return the deterministic ordering key ``(time, seq)``."""
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()

@@ -1,0 +1,138 @@
+"""Fault injection: crashes, partitions, message loss, tampering.
+
+The paper distinguishes *independent byzantine failures* (arbitrary
+behaviour of single nodes) from *benign geo-correlated failures* (an
+entire datacenter crashing). :class:`FaultInjector` can stage both,
+plus the network-level misbehaviour (drops, delays, corruption) that
+Blockplane's transmission-record machinery must survive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.sim.network import DropFilter, TamperHook
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+    from repro.sim.node import Node
+    from repro.sim.simulator import Simulator
+
+
+class FaultInjector:
+    """Schedules failures against a simulator/network pair."""
+
+    def __init__(self, sim: "Simulator", network: "Network") -> None:
+        self.sim = sim
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # Crashes
+    # ------------------------------------------------------------------
+    def crash_at(self, node: "Node", at: float) -> None:
+        """Crash ``node`` at absolute virtual time ``at``."""
+        self.sim.schedule_at(at, node.crash)
+
+    def recover_at(self, node: "Node", at: float) -> None:
+        """Recover ``node`` at absolute virtual time ``at``."""
+        self.sim.schedule_at(at, node.recover)
+
+    def crash_site_at(self, site: str, at: float) -> None:
+        """Geo-correlated failure: crash every node in a datacenter.
+
+        This is the paper's ``fg`` failure model — a whole-participant
+        outage (Section V, Figure 8).
+        """
+
+        def _down() -> None:
+            for node in self.network.nodes_at_site(site):
+                node.crash()
+
+        self.sim.schedule_at(at, _down)
+
+    def recover_site_at(self, site: str, at: float) -> None:
+        """Bring a crashed datacenter back."""
+
+        def _up() -> None:
+            for node in self.network.nodes_at_site(site):
+                if node.crashed:
+                    node.recover()
+
+        self.sim.schedule_at(at, _up)
+
+    # ------------------------------------------------------------------
+    # Network faults
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        group_a: Iterable[str],
+        group_b: Iterable[str],
+        start: float,
+        end: Optional[float] = None,
+    ) -> DropFilter:
+        """Drop all traffic between two node-id groups in [start, end)."""
+        set_a = set(group_a)
+        set_b = set(group_b)
+
+        def _blocked(src: str, dst: str, _msg: Any) -> bool:
+            if self.sim.now < start:
+                return False
+            if end is not None and self.sim.now >= end:
+                return False
+            return (src in set_a and dst in set_b) or (
+                src in set_b and dst in set_a
+            )
+
+        return self.network.add_drop_filter(_blocked)
+
+    def drop_matching(
+        self,
+        predicate: Callable[[str, str, Any], bool],
+        start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> DropFilter:
+        """Drop messages matching ``predicate`` inside a time window."""
+
+        def _drop(src: str, dst: str, msg: Any) -> bool:
+            if self.sim.now < start:
+                return False
+            if end is not None and self.sim.now >= end:
+                return False
+            return predicate(src, dst, msg)
+
+        return self.network.add_drop_filter(_drop)
+
+    def drop_probabilistically(
+        self, probability: float, start: float = 0.0, end: Optional[float] = None
+    ) -> DropFilter:
+        """Drop each message with the given probability (seeded RNG)."""
+
+        def _lossy(_src: str, _dst: str, _msg: Any) -> bool:
+            if self.sim.now < start:
+                return False
+            if end is not None and self.sim.now >= end:
+                return False
+            return self.sim.rng.random() < probability
+
+        return self.network.add_drop_filter(_lossy)
+
+    def tamper_matching(
+        self,
+        predicate: Callable[[str, str, Any], bool],
+        mutate: Callable[[Any], Any],
+    ) -> TamperHook:
+        """Byzantine link: replace matching messages with
+        ``mutate(message)`` (return None from ``mutate`` to swallow)."""
+
+        def _hook(src: str, dst: str, msg: Any) -> Any:
+            if predicate(src, dst, msg):
+                return mutate(msg)
+            return msg
+
+        return self.network.add_tamper_hook(_hook)
+
+    def heal(self, *hooks: Any) -> None:
+        """Remove previously installed drop filters / tamper hooks."""
+        for hook in hooks:
+            self.network.remove_drop_filter(hook)
+            self.network.remove_tamper_hook(hook)

@@ -1,0 +1,102 @@
+"""Latency/throughput aggregation used by experiments and benchmarks.
+
+The paper reports average latencies over 1000 committed batches after a
+100-batch warm-up, and throughput as bytes committed per unit time. The
+helpers here implement exactly those aggregations plus the usual
+percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+class LatencySeries:
+    """An append-only series of latency samples in milliseconds."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many samples."""
+        self.samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        # a + (b - a) * frac rather than a*(1-f) + b*f: exact when the
+        # neighbours are equal, keeping percentiles monotone in q.
+        return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+    def summary(self) -> Dict[str, float]:
+        """Dict with count/mean/p50/p95/p99/min/max."""
+        return {
+            "count": float(len(self.samples)),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def drop_warmup(self, count: int) -> "LatencySeries":
+        """Return a new series without the first ``count`` samples.
+
+        Mirrors the paper's 100-batch warm-up before its 1000 measured
+        batches.
+        """
+        trimmed = LatencySeries(self.name)
+        trimmed.samples = self.samples[count:]
+        return trimmed
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Convenience wrapper: summary stats for a plain sequence."""
+    series = LatencySeries()
+    series.extend(samples)
+    return series.summary()
+
+
+def throughput_mb_per_s(total_bytes: float, elapsed_ms: float) -> float:
+    """Throughput in MB/s (decimal megabytes, as in the paper's iperf
+    numbers) given bytes moved over ``elapsed_ms`` virtual milliseconds."""
+    if elapsed_ms <= 0:
+        return 0.0
+    return (total_bytes / 1e6) / (elapsed_ms / 1e3)

@@ -1,0 +1,221 @@
+"""Wide-area network model: latency matrix, NIC serialization, faults.
+
+Delivery time of a message is computed from three components, matching
+the factors the paper's evaluation attributes its numbers to:
+
+* **Egress serialization** — each node owns one NIC; payload bytes are
+  transmitted at ``bandwidth_mb_per_s`` (the paper measured 640 MB/s with
+  iperf) and back-to-back sends queue behind each other. This is what
+  makes large batches slow (Figure 4) and extra replicas slower
+  (Table II).
+* **Propagation** — one-way latency from the topology: RTT/2 across
+  datacenters (Table I), a sub-millisecond constant within one.
+* **Receiver processing** — a small per-message CPU cost plus ingress
+  serialization, modelled as a second queue at the destination NIC.
+
+The network also hosts the fault hooks (drops, partitions, tampering)
+used by :mod:`repro.sim.faults` and by byzantine tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import UnknownNodeError
+from repro.sim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.node import Message, Node
+    from repro.sim.simulator import Simulator
+
+#: A filter decides the fate of a message: it receives
+#: ``(src_id, dst_id, message)`` and returns True to drop the message.
+DropFilter = Callable[[str, str, Any], bool]
+
+#: A tamper hook receives ``(src_id, dst_id, message)`` and returns the
+#: (possibly replaced) message to deliver.
+TamperHook = Callable[[str, str, Any], Any]
+
+
+@dataclasses.dataclass
+class NetworkOptions:
+    """Tunable parameters of the network model.
+
+    Attributes:
+        bandwidth_mb_per_s: NIC bandwidth in decimal MB/s; the paper
+            measured 640 MB/s between same-datacenter machines.
+        per_message_overhead_bytes: Framing bytes added to every message.
+        receiver_processing_ms: CPU cost charged per received message
+            (serialized at the receiver), the knob behind Table II's
+            latency growth with the number of replicas.
+        wan_bandwidth_mb_per_s: Bandwidth applied on cross-datacenter
+            hops; None means same as local bandwidth.
+        jitter_ms: Uniform random extra delay in [0, jitter_ms] applied
+            per hop. Zero keeps runs exactly reproducible (it is the
+            default); tests of timeout logic turn it on.
+    """
+
+    bandwidth_mb_per_s: float = 640.0
+    per_message_overhead_bytes: int = 128
+    receiver_processing_ms: float = 0.01
+    wan_bandwidth_mb_per_s: Optional[float] = None
+    jitter_ms: float = 0.0
+
+    def bytes_per_ms(self, wide_area: bool) -> float:
+        """NIC throughput in bytes per virtual millisecond."""
+        bandwidth = self.bandwidth_mb_per_s
+        if wide_area and self.wan_bandwidth_mb_per_s is not None:
+            bandwidth = self.wan_bandwidth_mb_per_s
+        return bandwidth * 1e3  # MB/s == bytes/ms * 1e-3
+
+
+class Network:
+    """Message transport between registered nodes.
+
+    Args:
+        sim: The owning simulator.
+        topology: Site layout and latency matrix.
+        options: Bandwidth/overhead parameters (defaults match the
+            paper's testbed).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Topology,
+        options: Optional[NetworkOptions] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.options = options or NetworkOptions()
+        self.nodes: Dict[str, "Node"] = {}
+        self.drop_filters: List[DropFilter] = []
+        self.tamper_hooks: List[TamperHook] = []
+        self._egress_free_at: Dict[str, float] = {}
+        self._ingress_free_at: Dict[str, float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        """Attach a node so it can send and receive messages."""
+        if node.node_id in self.nodes:
+            raise UnknownNodeError(f"node id {node.node_id!r} registered twice")
+        self.nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "Node":
+        """Look up a registered node by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node {node_id!r}") from None
+
+    def nodes_at_site(self, site_name: str) -> List["Node"]:
+        """All registered nodes located in one datacenter."""
+        return [n for n in self.nodes.values() if n.site == site_name]
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def send(self, src_id: str, dst_id: str, message: "Message") -> None:
+        """Transmit ``message`` from ``src_id`` to ``dst_id``.
+
+        The call returns immediately; delivery happens at a future
+        virtual time (or never, if a fault hook drops the message or the
+        destination is crashed at delivery time).
+        """
+        src = self.node(src_id)
+        dst = self.node(dst_id)
+        self.messages_sent += 1
+        if src.crashed:
+            return
+        for drop in self.drop_filters:
+            if drop(src_id, dst_id, message):
+                self.sim.trace.record(
+                    "net.drop", self.sim.now, src=src_id, dst=dst_id,
+                    msg=type(message).__name__,
+                )
+                return
+        for tamper in self.tamper_hooks:
+            message = tamper(src_id, dst_id, message)
+            if message is None:
+                return
+        wide_area = src.site != dst.site
+        size = message.size_bytes() + self.options.per_message_overhead_bytes
+        self.bytes_sent += size
+        if src_id == dst_id:
+            # Loopback: no NIC involved, only local processing cost.
+            self.sim.schedule(
+                self.options.receiver_processing_ms,
+                self._deliver, dst_id, src_id, message,
+            )
+            return
+        arrival = self._compute_arrival_time(src, dst, size, wide_area)
+        self.sim.schedule_at(arrival, self._arrive, dst_id, src_id, message, size)
+
+    def _compute_arrival_time(
+        self, src: "Node", dst: "Node", size: int, wide_area: bool
+    ) -> float:
+        """Egress serialization + propagation.
+
+        Egress reservations are monotone because sends happen in event
+        order; ingress serialization is applied separately at arrival
+        time (see :meth:`_arrive`) so a message with long propagation
+        cannot reserve the receiver's NIC ahead of earlier arrivals.
+        """
+        bytes_per_ms = self.options.bytes_per_ms(wide_area)
+        start = max(self.sim.now, self._egress_free_at.get(src.node_id, 0.0))
+        tx_delay = size / bytes_per_ms
+        self._egress_free_at[src.node_id] = start + tx_delay
+        propagation = self.topology.one_way_ms(src.site, dst.site)
+        if self.options.jitter_ms > 0:
+            propagation += self.sim.rng.uniform(0.0, self.options.jitter_ms)
+        return start + tx_delay + propagation
+
+    def _arrive(
+        self, dst_id: str, src_id: str, message: "Message", size: int
+    ) -> None:
+        """Serialize arrivals through the receiver NIC, then deliver."""
+        bytes_per_ms = self.options.bytes_per_ms(wide_area=False)
+        ingress_start = max(self.sim.now, self._ingress_free_at.get(dst_id, 0.0))
+        ingress_done = (
+            ingress_start
+            + size / bytes_per_ms
+            + self.options.receiver_processing_ms
+        )
+        self._ingress_free_at[dst_id] = ingress_done
+        self.sim.schedule_at(ingress_done, self._deliver, dst_id, src_id, message)
+
+    def _deliver(self, dst_id: str, src_id: str, message: "Message") -> None:
+        dst = self.nodes.get(dst_id)
+        if dst is None or dst.crashed:
+            return
+        self.messages_delivered += 1
+        dst.receive_message(message, src_id)
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def add_drop_filter(self, drop: DropFilter) -> DropFilter:
+        """Install a drop filter; returns it for later removal."""
+        self.drop_filters.append(drop)
+        return drop
+
+    def remove_drop_filter(self, drop: DropFilter) -> None:
+        """Remove a previously installed drop filter (no-op if absent)."""
+        if drop in self.drop_filters:
+            self.drop_filters.remove(drop)
+
+    def add_tamper_hook(self, hook: TamperHook) -> TamperHook:
+        """Install a tamper hook (byzantine link); returns it."""
+        self.tamper_hooks.append(hook)
+        return hook
+
+    def remove_tamper_hook(self, hook: TamperHook) -> None:
+        """Remove a previously installed tamper hook (no-op if absent)."""
+        if hook in self.tamper_hooks:
+            self.tamper_hooks.remove(hook)

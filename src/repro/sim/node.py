@@ -1,0 +1,156 @@
+"""Actor-style nodes with typed message handlers and timers.
+
+Every machine in a deployment — PBFT replicas, Paxos nodes, Blockplane
+nodes, baseline servers — derives from :class:`Node`. Incoming messages
+are dispatched to ``handle_<kind>`` methods where ``<kind>`` is the
+message class's :attr:`Message.kind` (a snake_case name derived from the
+class name by default)::
+
+    class Ping(Message):
+        pass
+
+    class EchoServer(Node):
+        def handle_ping(self, msg, src):
+            self.send(src, Pong())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Callable, ClassVar, Iterable, Optional, TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+    from repro.sim.simulator import Simulator
+
+
+def _snake_case(name: str) -> str:
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+@dataclasses.dataclass
+class Message:
+    """Base class for all simulated protocol messages.
+
+    Subclasses are dataclasses; payload-bearing messages should set
+    :attr:`payload_bytes` so the network's bandwidth model charges for
+    them. ``kind`` (the handler-dispatch name) defaults to the
+    snake_cased class name and may be overridden as a class attribute.
+    """
+
+    #: Handler dispatch name; set automatically per subclass.
+    kind: ClassVar[str] = "message"
+
+    #: Bytes of application payload carried (0 for pure control traffic).
+    payload_bytes: int = 0
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if "kind" not in cls.__dict__:
+            cls.kind = _snake_case(cls.__name__)
+
+    def size_bytes(self) -> int:
+        """Wire size charged against NIC bandwidth (excl. framing)."""
+        return self.payload_bytes
+
+
+class Node:
+    """A simulated machine: site placement, mailbox, timers, crash state.
+
+    Args:
+        sim: The owning simulator.
+        network: Transport to register with.
+        node_id: Globally unique identifier (e.g. ``"C-1"``).
+        site: Name of the datacenter this node lives in.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        node_id: str,
+        site: str,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.site = site
+        self.crashed = False
+        self._timers: list = []
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst_id: str, message: Message) -> None:
+        """Send a message to another node (ignored while crashed)."""
+        if self.crashed:
+            return
+        self.network.send(self.node_id, dst_id, message)
+
+    def broadcast(self, dst_ids: Iterable[str], message: Message) -> None:
+        """Send the same message to several nodes (self is skipped)."""
+        for dst_id in dst_ids:
+            if dst_id != self.node_id:
+                self.send(dst_id, message)
+
+    def receive_message(self, message: Message, src_id: str) -> None:
+        """Entry point used by the network; dispatches to a handler."""
+        if self.crashed:
+            return
+        self.on_message(message, src_id)
+
+    def on_message(self, message: Message, src_id: str) -> None:
+        """Dispatch ``message`` to ``handle_<kind>``.
+
+        Override for custom routing. Unknown messages raise
+        :class:`ProtocolError` — silent drops hide protocol bugs.
+        """
+        handler: Optional[Callable[[Message, str], None]]
+        handler = getattr(self, f"handle_{message.kind}", None)
+        if handler is None:
+            raise ProtocolError(
+                f"{type(self).__name__} {self.node_id} has no handler for "
+                f"message kind {message.kind!r}"
+            )
+        handler(message, src_id)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a callback that is suppressed if the node is crashed
+        when it fires (crashed machines do not execute local work)."""
+
+        def _guarded() -> None:
+            if not self.crashed:
+                fn(*args)
+
+        event = self.sim.schedule(delay, _guarded)
+        self._timers.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Failure control
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Benign crash: stop sending, receiving, and firing timers."""
+        self.crashed = True
+        self.sim.trace.record("node.crash", self.sim.now, node=self.node_id)
+
+    def recover(self) -> None:
+        """Return the node to service; subclasses refresh state here."""
+        self.crashed = False
+        self.sim.trace.record("node.recover", self.sim.now, node=self.node_id)
+        self.on_recover()
+
+    def on_recover(self) -> None:
+        """Hook for subclasses: run state catch-up after recovery."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.node_id}@{self.site} {status}>"

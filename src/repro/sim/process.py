@@ -1,0 +1,228 @@
+"""Generator-based processes and futures.
+
+Protocol code in the paper (Algorithms 1 and 3) is written as blocking
+pseudocode: ``log-commit(...)``, then ``send(...)``, then ``receive()``.
+To keep the library code equally readable on top of a callback-driven
+simulator, application protocols are written as Python generators that
+``yield`` the :class:`Future` returned by each middleware call::
+
+    def replication(self, value):
+        yield self.bp.log_commit(("replication", value))
+        for m in self.majority():
+            yield self.bp.send(m, ("paxos-propose", self.r, value))
+        responses = yield self.collect_votes()
+
+A :class:`Process` drives such a generator: each yielded future suspends
+the process until the future resolves, at which point the future's value
+is sent back into the generator. Processes are themselves futures (they
+resolve with the generator's return value), so they compose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.errors import ProcessError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class Future:
+    """A one-shot container for a value produced at a later virtual time.
+
+    Futures may be resolved with a value or rejected with an exception.
+    Callbacks added with :meth:`add_done_callback` run immediately if the
+    future already completed, otherwise at completion time.
+    """
+
+    __slots__ = ("sim", "_value", "_exception", "resolved", "_callbacks", "label")
+
+    def __init__(self, sim: "Simulator", label: str = "") -> None:
+        self.sim = sim
+        self.label = label
+        self.resolved = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future successfully with ``value``.
+
+        Raises:
+            ProcessError: If the future already completed.
+        """
+        if self.resolved:
+            raise ProcessError(f"future {self.label!r} resolved twice")
+        self.resolved = True
+        self._value = value
+        self._fire_callbacks()
+
+    def reject(self, exception: BaseException) -> None:
+        """Complete the future with an exception.
+
+        The exception propagates into any process that yields on this
+        future (it is thrown into the generator).
+        """
+        if self.resolved:
+            raise ProcessError(f"future {self.label!r} resolved twice")
+        self.resolved = True
+        self._exception = exception
+        self._fire_callbacks()
+
+    def result(self) -> Any:
+        """Return the value, or raise the rejection exception.
+
+        Raises:
+            ProcessError: If the future has not completed yet.
+        """
+        if not self.resolved:
+            raise ProcessError(f"future {self.label!r} is still pending")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The rejection exception, or None."""
+        return self._exception
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Invoke ``fn(self)`` when the future completes (or now if done)."""
+        if self.resolved:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Process(Future):
+    """Drives a generator, suspending it on every yielded future.
+
+    A process accepts these yield values:
+
+    * a :class:`Future` — suspend until it resolves; its value is sent
+      back into the generator,
+    * a list/tuple of futures — suspend until all resolve; the list of
+      values is sent back,
+    * an ``int``/``float`` — sleep that many virtual milliseconds,
+    * ``None`` — yield to the scheduler (resume on the next event tick).
+
+    The process resolves with the generator's ``return`` value.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you forget a yield in the process function?"
+            )
+        super().__init__(sim, label=getattr(generator, "__name__", "process"))
+        self._generator = generator
+
+    def start(self) -> None:
+        """Begin execution on the next simulator tick."""
+        self.sim.schedule(0.0, self._advance, None, None)
+
+    def _advance(self, value: Any, exception: Optional[BaseException]) -> None:
+        try:
+            if exception is not None:
+                yielded = self._generator.throw(exception)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except Exception as exc:  # deliberate: surface protocol bugs
+            self.reject(exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if yielded is None:
+            self.sim.schedule(0.0, self._advance, None, None)
+        elif isinstance(yielded, Future):
+            yielded.add_done_callback(self._resume_from)
+        elif hasattr(yielded, "send") and hasattr(yielded, "throw"):
+            # A sub-generator: run it as a child process and resume with
+            # its return value (like an implicit `yield from`).
+            child = Process(self.sim, yielded)
+            child.start()
+            child.add_done_callback(self._resume_from)
+        elif isinstance(yielded, (list, tuple)):
+            all_of_future = all_of(self.sim, yielded)
+            all_of_future.add_done_callback(self._resume_from)
+        elif isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._advance, None, None)
+        else:
+            self._advance(
+                None,
+                ProcessError(
+                    f"process {self.label!r} yielded {type(yielded).__name__}; "
+                    "expected Future, list of Futures, number, or None"
+                ),
+            )
+
+    def _resume_from(self, future: Future) -> None:
+        # Resume on a fresh event so deep future chains cannot recurse.
+        if future.exception is not None:
+            self.sim.schedule(0.0, self._advance, None, future.exception)
+        else:
+            self.sim.schedule(0.0, self._advance, future.result(), None)
+
+
+def all_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
+    """Return a future resolving with a list of all results.
+
+    Rejects with the first rejection among ``futures``.
+    """
+    futures = list(futures)
+    combined = Future(sim, label="all_of")
+    if not futures:
+        combined.resolve([])
+        return combined
+    remaining = [len(futures)]
+
+    def _one_done(_completed: Future) -> None:
+        if combined.resolved:
+            return
+        if _completed.exception is not None:
+            combined.reject(_completed.exception)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            combined.resolve([future.result() for future in futures])
+
+    for future in futures:
+        future.add_done_callback(_one_done)
+    return combined
+
+
+def any_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
+    """Return a future resolving with ``(index, value)`` of the first
+    completed input future. Rejections also win the race (re-raised)."""
+    futures = list(futures)
+    if not futures:
+        raise ProcessError("any_of() needs at least one future")
+    combined = Future(sim, label="any_of")
+
+    def _make_callback(index: int) -> Callable[[Future], None]:
+        def _one_done(completed: Future) -> None:
+            if combined.resolved:
+                return
+            if completed.exception is not None:
+                combined.reject(completed.exception)
+            else:
+                combined.resolve((index, completed.result()))
+
+        return _one_done
+
+    for index, future in enumerate(futures):
+        future.add_done_callback(_make_callback(index))
+    return combined

@@ -1,0 +1,186 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the virtual clock, the event heap, the seeded
+random generator, and the tracer. Everything else in the library —
+network links, consensus protocols, the middleware, workloads — schedules
+work through it, so a whole deployment advances deterministically from a
+single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a millisecond clock.
+
+    Example:
+        >>> sim = Simulator(seed=7)
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, fired.append, "a")
+        >>> _ = sim.schedule(1.0, fired.append, "b")
+        >>> sim.run()
+        >>> fired
+        ['b', 'a']
+        >>> sim.now
+        5.0
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.trace = Tracer()
+        self._heap: list = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` milliseconds from now.
+
+        Args:
+            delay: Non-negative offset from the current virtual time.
+            fn: Callback to invoke.
+            *args: Positional arguments for the callback.
+
+        Returns:
+            The scheduled :class:`Event`; call its :meth:`Event.cancel`
+            to revoke it.
+
+        Raises:
+            SimulationError: If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ms in the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={self.now}"
+            )
+        event = Event(time=when, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns:
+            True if an event fired, False if the heap was empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the heap drains or a bound is hit.
+
+        Args:
+            until: Stop once the next event would fire after this virtual
+                time; the clock is advanced to ``until``.
+            max_events: Stop after firing this many events (safety valve
+                against livelock in buggy protocols).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    return
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    self.now = max(self.now, until)
+                    return
+                if self.step():
+                    fired += 1
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def run_until_resolved(self, future: "Future", max_events: int = 10_000_000):
+        """Run until ``future`` resolves; return its value.
+
+        Raises:
+            SimulationError: If the event heap drains (or ``max_events``
+                events fire) while the future is still pending.
+        """
+        fired = 0
+        while not future.resolved:
+            if fired >= max_events:
+                raise SimulationError(
+                    f"future still pending after {max_events} events"
+                )
+            if not self.step():
+                raise SimulationError(
+                    "event heap drained before the awaited future resolved"
+                )
+            fired += 1
+        return future.result()
+
+    def _peek(self) -> Optional[Event]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired since construction."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator) -> "Process":
+        """Start a generator-based process; see :mod:`repro.sim.process`."""
+        from repro.sim.process import Process
+
+        process = Process(self, generator)
+        process.start()
+        return process
+
+    def sleep(self, delay: float) -> "Future":
+        """Return a future that resolves ``delay`` milliseconds from now.
+
+        Intended to be ``yield``-ed from inside a process.
+        """
+        from repro.sim.process import Future
+
+        future = Future(self)
+        self.schedule(delay, future.resolve, None)
+        return future

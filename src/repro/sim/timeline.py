@@ -1,0 +1,77 @@
+"""Human-readable rendering of simulation traces.
+
+Debugging distributed protocols from raw event lists is painful; these
+helpers turn a :class:`~repro.sim.trace.Tracer`'s records into a
+timeline (one line per event, aligned timestamps) and per-kind
+summaries. Used by examples and by humans poking at failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.trace import Tracer
+
+
+def render_timeline(
+    tracer: Tracer,
+    kinds: Optional[Iterable[str]] = None,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    limit: int = 200,
+) -> str:
+    """Render trace records as an aligned text timeline.
+
+    Args:
+        tracer: The simulator's tracer (``sim.trace``).
+        kinds: Only include these record kinds (None = all).
+        start: Skip records before this virtual time.
+        end: Skip records after this virtual time.
+        limit: Truncate the output after this many lines.
+
+    Returns:
+        A newline-joined timeline, ending with a truncation note when
+        more records matched than ``limit``.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    lines: List[str] = []
+    matched = 0
+    for record in tracer.records:
+        if wanted is not None and record["kind"] not in wanted:
+            continue
+        if record["time"] < start:
+            continue
+        if end is not None and record["time"] > end:
+            continue
+        matched += 1
+        if len(lines) < limit:
+            fields = " ".join(
+                f"{key}={value!r}"
+                for key, value in record.items()
+                if key not in ("kind", "time")
+            )
+            lines.append(
+                f"[{record['time']:12.3f} ms] {record['kind']:<24} {fields}"
+            )
+    if matched > limit:
+        lines.append(f"... {matched - limit} more record(s) truncated")
+    return "\n".join(lines)
+
+
+def kind_summary(tracer: Tracer) -> Dict[str, int]:
+    """Record counts per kind (including records dropped while the
+    tracer was disabled)."""
+    return dict(tracer.counters)
+
+
+def render_summary(tracer: Tracer) -> str:
+    """A compact per-kind count table, most frequent first."""
+    counts = sorted(
+        kind_summary(tracer).items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    if not counts:
+        return "(no trace records)"
+    width = max(len(kind) for kind, _count in counts)
+    return "\n".join(
+        f"{kind.ljust(width)}  {count}" for kind, count in counts
+    )

@@ -1,0 +1,54 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` collects structured trace records — message sends,
+commits, failovers — that tests and experiments inspect after a run.
+Tracing is cheap (a dict append) and can be disabled wholesale for the
+longest benchmark runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Tracer:
+    """Collects timestamped trace records.
+
+    Attributes:
+        enabled: When False, :meth:`record` is a no-op (counters still
+            update so message tallies remain available).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[Dict[str, Any]] = []
+        self.counters: Counter = Counter()
+
+    def record(self, kind: str, time: float, **fields: Any) -> None:
+        """Append a trace record of ``kind`` at virtual time ``time``."""
+        self.counters[kind] += 1
+        if self.enabled:
+            entry = {"kind": kind, "time": time}
+            entry.update(fields)
+            self.records.append(entry)
+
+    def count(self, kind: str) -> int:
+        """Number of records of ``kind`` (counted even when disabled)."""
+        return self.counters[kind]
+
+    def of_kind(self, kind: str) -> Iterator[Dict[str, Any]]:
+        """Iterate records of one kind."""
+        return (record for record in self.records if record["kind"] == kind)
+
+    def last(self, kind: str) -> Optional[Dict[str, Any]]:
+        """The most recent record of ``kind``, or None."""
+        for record in reversed(self.records):
+            if record["kind"] == kind:
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counters.clear()

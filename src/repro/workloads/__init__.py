@@ -1,0 +1,14 @@
+"""Workload generation and experiment-running helpers."""
+
+from repro.workloads.generator import BatchWorkload, make_batch
+from repro.workloads.runner import (
+    sequential_commit_latency,
+    sequential_process,
+)
+
+__all__ = [
+    "BatchWorkload",
+    "make_batch",
+    "sequential_commit_latency",
+    "sequential_process",
+]

@@ -1,0 +1,60 @@
+"""Experiment-running helpers shared by all figure/table drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.metrics import LatencySeries, throughput_mb_per_s
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import BatchWorkload
+
+
+def sequential_process(
+    commit: Callable[[str, int], Any],
+    workload: BatchWorkload,
+    series: LatencySeries,
+    sim: Simulator,
+):
+    """Generator process: commit batches back to back (group commit —
+    the next batch starts when the previous one is durable), recording
+    per-batch latency into ``series`` after the warm-up."""
+    for index, batch in enumerate(workload.batches()):
+        start = sim.now
+        yield commit(batch, workload.batch_bytes)
+        if index >= workload.warmup:
+            series.add(sim.now - start)
+
+
+def sequential_commit_latency(
+    sim: Simulator,
+    commit: Callable[[str, int], Any],
+    workload: Optional[BatchWorkload] = None,
+    max_events: int = 200_000_000,
+) -> dict:
+    """Run the paper's standard sequential workload to completion.
+
+    Args:
+        sim: The simulator (deployment already built on it).
+        commit: ``commit(batch, payload_bytes) -> Future`` — e.g.
+            ``api.log_commit``, ``replica.submit``, or a baseline's
+            ``replicate``.
+        workload: Batch counts/sizes; defaults to the paper's numbers.
+
+    Returns:
+        Dict with ``latency_ms`` (mean over measured batches),
+        ``series`` (the full :class:`LatencySeries`), and
+        ``throughput_mb_s`` (batch size / mean latency, the identity the
+        paper's Figure 4 exhibits under group commit).
+    """
+    workload = workload or BatchWorkload()
+    series = LatencySeries()
+    process = sim.spawn(sequential_process(commit, workload, series, sim))
+    sim.run_until_resolved(process, max_events=max_events)
+    mean_latency = series.mean
+    return {
+        "latency_ms": mean_latency,
+        "series": series,
+        "throughput_mb_s": throughput_mb_per_s(
+            workload.batch_bytes * len(series), mean_latency * len(series)
+        ),
+    }

@@ -1,0 +1,106 @@
+"""Tests for the bank ledger: invariants enforced by verification."""
+
+import pytest
+
+from repro.apps.bank import BankParticipant, BankVerification
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.errors import VerificationFailed
+from repro.sim.simulator import Simulator
+from repro.sim.topology import aws_four_dc_topology
+
+INITIAL = {
+    "C": {"c-alice": 100, "c-bob": 50},
+    "O": {"o-carol": 30},
+    "V": {"v-dave": 0},
+    "I": {},
+}
+
+
+@pytest.fixture
+def branches(sim):
+    deployment = BlockplaneDeployment(
+        sim,
+        aws_four_dc_topology(),
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda name: BankVerification(INITIAL[name]),
+    )
+    branches = {
+        site: BankParticipant(deployment.api(site), INITIAL[site])
+        for site in deployment.participants
+    }
+    for branch in branches.values():
+        branch.start()
+    return deployment, branches
+
+
+def test_local_transfer(sim, branches):
+    _deployment, parts = branches
+    sim.run_until_resolved(
+        parts["C"].transfer("c-alice", "c-bob", 40), max_events=50_000_000
+    )
+    assert parts["C"].balances == {"c-alice": 60, "c-bob": 90}
+
+
+def test_overdraft_rejected_by_verification(sim, branches):
+    _deployment, parts = branches
+    future = parts["C"].transfer("c-alice", "c-bob", 1000)
+    sim.run(until=2000.0, max_events=50_000_000)
+    assert isinstance(future.exception, VerificationFailed)
+    assert parts["C"].balances["c-alice"] == 100  # untouched
+
+
+def test_cross_branch_transfer_conserves_money(sim, branches):
+    _deployment, parts = branches
+    total_before = sum(branch.total_money() for branch in parts.values())
+    sim.run_until_resolved(
+        parts["C"].transfer_to_branch("c-alice", "V", "v-dave", 25),
+        max_events=100_000_000,
+    )
+    sim.run(until=sim.now + 1000)
+    assert parts["C"].balances["c-alice"] == 75
+    assert parts["V"].balances["v-dave"] == 25
+    total_after = sum(branch.total_money() for branch in parts.values())
+    assert total_after == total_before
+
+
+def test_cross_branch_overdraft_rejected(sim, branches):
+    _deployment, parts = branches
+    future = parts["O"].transfer_to_branch("o-carol", "C", "c-bob", 500)
+    sim.run(until=2000.0, max_events=50_000_000)
+    assert isinstance(future.exception, VerificationFailed)
+    assert parts["C"].balances["c-bob"] == 50
+
+
+def test_forged_credit_message_rejected(sim, branches):
+    # A byzantine branch node cannot mint money: a credit-message with
+    # no committed matching debit fails the send verification routine.
+    deployment, parts = branches
+    forged = deployment.api("C").send(
+        {"kind": "credit-message", "dst": "v-dave", "amount": 1_000_000,
+         "transfer_id": 777},
+        to="V",
+        payload_bytes=128,
+    )
+    sim.run(until=2000.0, max_events=50_000_000)
+    assert isinstance(forged.exception, VerificationFailed)
+    assert parts["V"].balances["v-dave"] == 0
+
+
+def test_open_account(sim, branches):
+    _deployment, parts = branches
+    sim.run_until_resolved(parts["I"].open_account("i-erin", 10))
+    assert parts["I"].balances["i-erin"] == 10
+
+
+def test_duplicate_account_rejected(sim, branches):
+    _deployment, parts = branches
+    future = parts["C"].open_account("c-alice", 999)
+    sim.run(until=2000.0, max_events=50_000_000)
+    assert isinstance(future.exception, VerificationFailed)
+
+
+def test_negative_amount_rejected(sim, branches):
+    _deployment, parts = branches
+    future = parts["C"].transfer("c-alice", "c-bob", -5)
+    sim.run(until=2000.0, max_events=50_000_000)
+    assert isinstance(future.exception, VerificationFailed)

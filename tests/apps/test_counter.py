@@ -1,0 +1,105 @@
+"""Tests for the Algorithm 1 counter protocol and its verification
+routines."""
+
+import pytest
+
+from repro.apps.counter import CounterParticipant, CounterVerification
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.errors import VerificationFailed
+from repro.sim.simulator import Simulator
+from repro.sim.topology import aws_four_dc_topology
+
+
+@pytest.fixture
+def deployment(sim):
+    return BlockplaneDeployment(
+        sim,
+        aws_four_dc_topology(),
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda _name: CounterVerification(),
+    )
+
+
+@pytest.fixture
+def participants(deployment):
+    parts = {
+        site: CounterParticipant(deployment.api(site))
+        for site in deployment.participants
+    }
+    for participant in parts.values():
+        participant.start_server()
+    return parts
+
+
+def test_counter_increments_per_received_message(sim, participants):
+    def driver():
+        yield participants["C"].user_request("alice", "V")
+        yield participants["C"].user_request("bob", "V")
+        yield participants["O"].user_request("carol", "V")
+
+    sim.run_until_resolved(sim.spawn(driver()), max_events=50_000_000)
+    sim.run(until=sim.now + 500)
+    assert participants["V"].counter == 3
+    assert participants["C"].counter == 0
+
+
+def test_counter_recovery_replays_log(sim, participants):
+    def driver():
+        yield participants["C"].user_request("alice", "O")
+        yield participants["V"].user_request("bob", "O")
+
+    sim.run_until_resolved(sim.spawn(driver()), max_events=50_000_000)
+    sim.run(until=sim.now + 500)
+    assert participants["O"].recover_counter_from_log() == 2
+
+
+def test_untrusted_user_rejected_by_verification_routine(sim, participants):
+    def driver():
+        yield participants["C"].user_request("mallory", "V")
+
+    process = sim.spawn(driver())
+    sim.run(until=2000.0, max_events=20_000_000)
+    assert isinstance(process.exception, VerificationFailed)
+    assert participants["V"].counter == 0
+
+
+def test_send_without_committed_request_rejected(sim, deployment):
+    # A (malicious) participant trying to send a count-me message with
+    # no corresponding user request is vetoed by verification routine 2.
+    api = deployment.api("C")
+    future = api.send(
+        {"kind": "count-me", "user": "alice", "request_id": 999},
+        to="V",
+        payload_bytes=64,
+    )
+    sim.run(until=2000.0, max_events=20_000_000)
+    assert isinstance(future.exception, VerificationFailed)
+
+
+def test_same_request_cannot_be_sent_twice(sim, deployment, participants):
+    def driver():
+        yield participants["C"].user_request("alice", "V")
+
+    sim.run_until_resolved(sim.spawn(driver()), max_events=50_000_000)
+    sim.run(until=sim.now + 500)
+    # Replaying the send for the already-consumed request must fail.
+    replay = deployment.api("C").send(
+        {"kind": "count-me", "user": "alice", "request_id": 1},
+        to="V",
+        payload_bytes=64,
+    )
+    sim.run(until=sim.now + 2000.0, max_events=20_000_000)
+    assert isinstance(replay.exception, VerificationFailed)
+    assert participants["V"].counter == 1
+
+
+def test_counters_are_per_participant(sim, participants):
+    def driver():
+        yield participants["C"].user_request("alice", "V")
+        yield participants["V"].user_request("bob", "C")
+
+    sim.run_until_resolved(sim.spawn(driver()), max_events=50_000_000)
+    sim.run(until=sim.now + 500)
+    assert participants["V"].counter == 1
+    assert participants["C"].counter == 1
+    assert participants["O"].counter == 0

@@ -1,0 +1,132 @@
+"""Tests for the partitioned byzantized key-value store."""
+
+import pytest
+
+from repro.apps.kvstore import KVStoreParticipant, KVVerification, owner_of
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.sim.simulator import Simulator
+from repro.sim.topology import aws_four_dc_topology
+
+
+@pytest.fixture
+def cluster(sim):
+    topology = aws_four_dc_topology()
+    sites = topology.site_names
+    deployment = BlockplaneDeployment(
+        sim,
+        topology,
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda name: KVVerification(sites, name),
+    )
+    stores = {
+        site: KVStoreParticipant(deployment.api(site), sites)
+        for site in sites
+    }
+    for store in stores.values():
+        store.start()
+    return deployment, stores
+
+
+def test_owner_partitioning_is_deterministic():
+    sites = ["C", "O", "V", "I"]
+    assert owner_of("some-key", sites) == owner_of("some-key", sites)
+    owners = {owner_of(f"key-{i}", sites) for i in range(64)}
+    assert len(owners) > 1  # keys spread across partitions
+
+
+def test_local_put_get_roundtrip(sim, cluster):
+    _deployment, stores = cluster
+    # Find a key owned by C so the put is local.
+    key = next(
+        f"key-{i}"
+        for i in range(100)
+        if owner_of(f"key-{i}", list(stores)) == "C"
+    )
+    result = sim.run_until_resolved(
+        stores["C"].put(key, "value"), max_events=50_000_000
+    )
+    assert result == "ok"
+    value = sim.run_until_resolved(stores["C"].get(key))
+    assert value == "value"
+
+
+def test_remote_put_routed_to_owner(sim, cluster):
+    _deployment, stores = cluster
+    key = next(
+        f"key-{i}"
+        for i in range(100)
+        if owner_of(f"key-{i}", list(stores)) == "V"
+    )
+    result = sim.run_until_resolved(
+        stores["C"].put(key, "routed"), max_events=100_000_000
+    )
+    assert result == "ok"
+    assert stores["V"].store[key] == "routed"
+    assert key not in stores["C"].store
+
+
+def test_remote_get_sees_owner_state(sim, cluster):
+    _deployment, stores = cluster
+    key = next(
+        f"key-{i}"
+        for i in range(100)
+        if owner_of(f"key-{i}", list(stores)) == "O"
+    )
+    sim.run_until_resolved(
+        stores["O"].put(key, "shared"), max_events=50_000_000
+    )
+    value = sim.run_until_resolved(
+        stores["V"].get(key), max_events=100_000_000
+    )
+    assert value == "shared"
+
+
+def test_delete(sim, cluster):
+    _deployment, stores = cluster
+    key = next(
+        f"key-{i}"
+        for i in range(100)
+        if owner_of(f"key-{i}", list(stores)) == "C"
+    )
+    sim.run_until_resolved(stores["C"].put(key, "gone-soon"))
+    result = sim.run_until_resolved(stores["C"].delete(key))
+    assert result == "deleted"
+    assert sim.run_until_resolved(stores["C"].get(key)) is None
+
+
+def test_non_owner_cannot_commit_foreign_keys(sim, cluster):
+    deployment, stores = cluster
+    key = next(
+        f"key-{i}"
+        for i in range(100)
+        if owner_of(f"key-{i}", list(stores)) == "V"
+    )
+    # A malicious unit member at C proposing a write for V's partition
+    # is rejected by C's own verification routines.
+    rogue = deployment.api("C").log_commit(
+        {"op": "put", "key": key, "value": "stolen", "reply_to": None,
+         "op_id": None}
+    )
+    sim.run(until=2000.0, max_events=50_000_000)
+    assert rogue.exception is not None
+
+
+def test_writes_replicated_across_owner_unit(sim, cluster):
+    deployment, stores = cluster
+    key = next(
+        f"key-{i}"
+        for i in range(100)
+        if owner_of(f"key-{i}", list(stores)) == "C"
+    )
+    sim.run_until_resolved(stores["C"].put(key, "durable"))
+    sim.run(until=sim.now + 100)
+    for node in deployment.unit("C").nodes:
+        committed = [
+            entry.value
+            for entry in node.local_log
+            if entry.record_type == "log-commit"
+        ]
+        assert any(
+            isinstance(value, dict) and value.get("key") == key
+            for value in committed
+        )

@@ -1,0 +1,138 @@
+"""Tests for the byzantized lock service."""
+
+import pytest
+
+from repro.apps.lockservice import (
+    LockServiceParticipant,
+    LockVerification,
+    lock_owner,
+)
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.sim.simulator import Simulator
+from repro.sim.topology import aws_four_dc_topology
+
+
+@pytest.fixture
+def service(sim):
+    topology = aws_four_dc_topology()
+    deployment = BlockplaneDeployment(
+        sim,
+        topology,
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda name: LockVerification(name),
+    )
+    participants = {
+        site: LockServiceParticipant(deployment.api(site), topology.site_names)
+        for site in topology.site_names
+    }
+    for participant in participants.values():
+        participant.start()
+    return deployment, participants
+
+
+def test_lock_owner_prefix():
+    assert lock_owner("C/database") == "C"
+    assert lock_owner("V/a/b") == "V"
+
+
+def test_local_acquire_and_release(sim, service):
+    _deployment, parts = service
+    granted = sim.run_until_resolved(
+        parts["C"].acquire("C/db", "worker-1"), max_events=20_000_000
+    )
+    assert granted is True
+    assert parts["C"].table.holders["C/db"] == "worker-1"
+    released = sim.run_until_resolved(
+        parts["C"].release("C/db", "worker-1"), max_events=20_000_000
+    )
+    assert released is True
+    assert "C/db" not in parts["C"].table.holders
+
+
+def test_mutual_exclusion(sim, service):
+    _deployment, parts = service
+    first = sim.run_until_resolved(
+        parts["C"].acquire("C/db", "worker-1"), max_events=20_000_000
+    )
+    second = sim.run_until_resolved(
+        parts["C"].acquire("C/db", "worker-2"), max_events=20_000_000
+    )
+    assert first is True and second is False
+    assert parts["C"].table.holders["C/db"] == "worker-1"
+
+
+def test_remote_acquire_routed_to_host(sim, service):
+    _deployment, parts = service
+    granted = sim.run_until_resolved(
+        parts["V"].acquire("C/shared", "v-worker"), max_events=100_000_000
+    )
+    assert granted is True
+    assert parts["C"].table.holders["C/shared"] == "v-worker"
+
+
+def test_remote_denial_gets_a_reply(sim, service):
+    _deployment, parts = service
+    sim.run_until_resolved(
+        parts["C"].acquire("C/shared", "local"), max_events=20_000_000
+    )
+    denied = sim.run_until_resolved(
+        parts["O"].acquire("C/shared", "o-worker"), max_events=100_000_000
+    )
+    assert denied is False
+    assert parts["C"].table.holders["C/shared"] == "local"
+
+
+def test_release_by_non_holder_rejected(sim, service):
+    _deployment, parts = service
+    sim.run_until_resolved(
+        parts["C"].acquire("C/db", "owner"), max_events=20_000_000
+    )
+    stolen = sim.run_until_resolved(
+        parts["C"].release("C/db", "thief"), max_events=20_000_000
+    )
+    assert stolen is False
+    assert parts["C"].table.holders["C/db"] == "owner"
+
+
+def test_byzantine_node_cannot_forge_acquisition(sim, service):
+    deployment, parts = service
+    sim.run_until_resolved(
+        parts["C"].acquire("C/db", "legit"), max_events=20_000_000
+    )
+    sim.run(until=sim.now + 50)
+    # A corrupt unit member proposes stealing the lock directly.
+    corrupt = deployment.unit("C").nodes[2]
+    corrupt.local_commit(
+        {"op": "acquire", "lock": "C/db", "holder": "thief",
+         "reply_to": None, "op_id": None},
+        "log-commit",
+        None,
+        128,
+    )
+    sim.run(until=sim.now + 2000, max_events=20_000_000)
+    for node in deployment.unit("C").nodes:
+        holders = [
+            e.value.get("holder")
+            for e in node.local_log
+            if e.record_type == "log-commit"
+            and isinstance(e.value, dict)
+            and e.value.get("op") == "acquire"
+            and e.value.get("lock") == "C/db"
+        ]
+        assert holders == ["legit"]
+
+
+def test_verification_state_consistent_across_unit(sim, service):
+    deployment, parts = service
+    sim.run_until_resolved(
+        parts["C"].acquire("C/a", "w1"), max_events=20_000_000
+    )
+    sim.run_until_resolved(
+        parts["C"].acquire("C/b", "w2"), max_events=20_000_000
+    )
+    sim.run(until=sim.now + 100)
+    tables = [
+        node.routines.table.holders for node in deployment.unit("C").nodes
+    ]
+    assert all(table == tables[0] for table in tables)
+    assert tables[0] == {"C/a": "w1", "C/b": "w2"}

@@ -1,0 +1,93 @@
+"""Tests for batching and group commit (Section VI-C)."""
+
+import pytest
+
+from repro.core.batching import Batcher
+from repro.errors import ConfigurationError
+
+from tests.conftest import build_single_dc
+
+
+def test_commands_resolve_with_batch_position(sim):
+    deployment = build_single_dc(sim)
+    batcher = Batcher(deployment.api("DC"))
+    futures = [batcher.submit(f"cmd{i}") for i in range(3)]
+    for future in futures:
+        sim.run_until_resolved(future)
+    # Group commit: the first command opens a batch immediately; the
+    # two submitted while it was in flight coalesce into the next one.
+    positions = [future.result()[0] for future in futures]
+    assert positions[0] < positions[1] == positions[2]
+    assert futures[1].result()[1] == 0
+    assert futures[2].result()[1] == 1
+
+
+def test_one_batch_in_flight_at_a_time(sim):
+    deployment = build_single_dc(sim)
+    api = deployment.api("DC")
+    batcher = Batcher(api, max_batch_commands=2)
+    futures = [batcher.submit(f"cmd{i}") for i in range(6)]
+    for future in futures:
+        sim.run_until_resolved(future)
+    # Batches: {c0} (opened immediately), {c1,c2}, {c3,c4}, {c5}.
+    assert batcher.batches_committed == 4
+    positions = [future.result()[0] for future in futures]
+    assert positions == sorted(positions)
+
+
+def test_commands_submitted_during_flight_join_next_batch(sim):
+    deployment = build_single_dc(sim)
+    batcher = Batcher(deployment.api("DC"))
+    first = batcher.submit("first")
+    late = []
+
+    def submit_late():
+        yield 0.1  # while the first batch is still committing
+        late.append(batcher.submit("late"))
+
+    sim.spawn(submit_late())
+    sim.run_until_resolved(first)
+    sim.run_until_resolved(late[0])
+    assert first.result()[0] < late[0].result()[0]
+
+
+def test_batch_respects_byte_limit(sim):
+    deployment = build_single_dc(sim)
+    batcher = Batcher(
+        deployment.api("DC"), max_batch_commands=100, max_batch_bytes=1000
+    )
+    futures = [batcher.submit(f"c{i}", payload_bytes=600) for i in range(4)]
+    for future in futures:
+        sim.run_until_resolved(future)
+    assert batcher.batches_committed == 4  # 600+600 > 1000 -> one each
+
+
+def test_dependencies_preserved_in_batch_order(sim):
+    deployment = build_single_dc(sim)
+    batcher = Batcher(deployment.api("DC"))
+    writer = batcher.submit("write-x")
+    reader = batcher.submit("read-x", depends_on=[writer])
+    sim.run_until_resolved(reader)
+    sim.run_until_resolved(writer)
+    w_pos, w_idx = writer.result()
+    r_pos, r_idx = reader.result()
+    assert (w_pos, w_idx) < (r_pos, r_idx)
+
+
+def test_batch_content_committed_to_log(sim):
+    deployment = build_single_dc(sim)
+    api = deployment.api("DC")
+    batcher = Batcher(api)
+    future = batcher.submit("payload-cmd")
+    sim.run_until_resolved(future)
+    position, _index = future.result()
+    entry = deployment.unit("DC").gateway_node().local_log.read(position)
+    marker, commands = entry.value
+    assert marker == "__batch__"
+    assert "payload-cmd" in commands
+
+
+def test_invalid_configuration_rejected(sim):
+    deployment = build_single_dc(sim)
+    with pytest.raises(ConfigurationError):
+        Batcher(deployment.api("DC"), max_batch_commands=0)

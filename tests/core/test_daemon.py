@@ -1,0 +1,193 @@
+"""Tests for communication daemons and reserves."""
+
+from repro.core import BlockplaneConfig
+
+from tests.conftest import build_four_dc, build_pair
+
+
+def test_daemon_ships_committed_sends(sim):
+    deployment = build_pair(sim)
+    sim.run_until_resolved(deployment.api("A").send("x", to="B"))
+    sim.run(until=300.0)
+    assert sim.trace.count("bp.transmit") >= 1
+    log_b = deployment.unit("B").gateway_node().local_log
+    assert any(entry.record_type == "received" for entry in log_b)
+
+
+def test_daemon_attaches_chain_pointers(sim):
+    deployment = build_pair(sim)
+
+    def sender():
+        api = deployment.api("A")
+        yield api.send("m1", to="B")
+        yield api.send("m2", to="B")
+
+    sim.run_until_resolved(sim.spawn(sender()))
+    sim.run(until=500.0)
+    log_b = deployment.unit("B").gateway_node().local_log
+    received = [e.value.record for e in log_b if e.record_type == "received"]
+    assert received[0].prev_position is None
+    assert received[1].prev_position == received[0].source_position
+
+
+def test_per_destination_daemons_are_independent(sim):
+    deployment = build_four_dc(sim)
+    api_c = deployment.api("C")
+
+    def sender():
+        yield api_c.send("to-v", to="V")
+        yield api_c.send("to-o", to="O")
+
+    sim.run_until_resolved(sim.spawn(sender()))
+    sim.run(until=1000.0)
+    log_v = deployment.unit("V").gateway_node().local_log
+    log_o = deployment.unit("O").gateway_node().local_log
+    assert any(
+        e.record_type == "received" and e.value.record.message == "to-v"
+        for e in log_v
+    )
+    assert any(
+        e.record_type == "received" and e.value.record.message == "to-o"
+        for e in log_o
+    )
+    # Each log only received what was addressed to it.
+    assert all(
+        e.value.record.message != "to-o"
+        for e in log_v
+        if e.record_type == "received"
+    )
+
+
+def test_reserve_promotes_when_daemon_withholds(sim):
+    # Simulate a malicious/failed communication daemon by deactivating
+    # the primary daemon after commit but before shipping.
+    config = BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=100.0,
+        reserve_gap_threshold=0,
+    )
+    deployment = build_pair(sim, config=config)
+    unit_a = deployment.unit("A")
+    unit_a.daemons["B"].active = False  # the daemon goes rogue
+
+    def sender():
+        api = deployment.api("A")
+        yield api.send("withheld", to="B")
+
+    sim.run_until_resolved(sim.spawn(sender()))
+    sim.run(until=2000.0)
+    assert sim.trace.count("bp.reserve_promoted") >= 1
+    log_b = deployment.unit("B").gateway_node().local_log
+    assert any(
+        e.record_type == "received" and e.value.record.message == "withheld"
+        for e in log_b
+    )
+
+
+def test_reserves_do_not_promote_when_daemon_healthy(sim):
+    config = BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=50.0,
+        reserve_gap_threshold=2,
+    )
+    deployment = build_pair(sim, config=config)
+
+    def sender():
+        api = deployment.api("A")
+        for index in range(5):
+            yield api.send(f"m{index}", to="B")
+
+    sim.run_until_resolved(sim.spawn(sender()))
+    sim.run(until=2000.0)
+    assert sim.trace.count("bp.reserve_promoted") == 0
+
+
+def test_duplicate_deliveries_from_promoted_reserve_are_harmless(sim):
+    # Promotion re-ships everything above the trusted floor; the
+    # receiver must deduplicate.
+    config = BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=100.0,
+        reserve_gap_threshold=0,
+    )
+    deployment = build_pair(sim, config=config)
+
+    def sender():
+        api = deployment.api("A")
+        yield api.send("m1", to="B")
+        yield api.send("m2", to="B")
+
+    sim.run_until_resolved(sim.spawn(sender()))
+    sim.run(until=3000.0)
+    log_b = deployment.unit("B").gateway_node().local_log
+    received = [
+        e.value.record.source_position
+        for e in log_b
+        if e.record_type == "received"
+    ]
+    assert len(received) == len(set(received)) == 2
+
+
+def test_reserve_shipments_carry_geo_proofs(sim):
+    # With fg > 0, a reserve-promoted daemon must attach geo proofs to
+    # the transmissions it re-ships (its host holds a passive
+    # coordinator), or receivers would reject them.
+    config = BlockplaneConfig(
+        f_independent=1,
+        f_geo=1,
+        reserve_poll_interval_ms=100.0,
+        reserve_gap_threshold=0,
+    )
+    deployment = build_four_dc(
+        sim,
+        config=config,
+        replication_sets={
+            "C": ["C", "V", "O"],
+            "V": ["C", "V", "O"],
+            "O": ["C", "V", "O"],
+            "I": ["I", "V", "C"],
+        },
+    )
+    deployment.unit("C").daemons["V"].active = False  # rogue daemon
+
+    def sender():
+        yield deployment.api("C").send("geo-via-reserve", to="V")
+
+    sim.run_until_resolved(sim.spawn(sender()), max_events=100_000_000)
+    sim.run(until=5000.0, max_events=100_000_000)
+    assert sim.trace.count("bp.reserve_promoted") >= 1
+    log_v = deployment.unit("V").gateway_node().local_log
+    delivered = [
+        e.value
+        for e in log_v
+        if e.record_type == "received"
+        and e.value.record.message == "geo-via-reserve"
+    ]
+    assert delivered and len(delivered[0].geo_proofs) >= 1
+
+
+def test_transmission_survives_message_loss_via_reserves(sim):
+    # Drop the first wide-area transmission attempts entirely; the
+    # reserve path must eventually deliver.
+    from repro.core.messages import TransmissionMessage
+    from repro.sim.faults import FaultInjector
+
+    config = BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=100.0,
+        reserve_gap_threshold=0,
+    )
+    deployment = build_pair(sim, config=config)
+    injector = FaultInjector(sim, deployment.network)
+    injector.drop_matching(
+        lambda src, dst, msg: isinstance(msg, TransmissionMessage),
+        start=0.0,
+        end=400.0,
+    )
+    sim.run_until_resolved(deployment.api("A").send("lossy", to="B"))
+    sim.run(until=3000.0)
+    log_b = deployment.unit("B").gateway_node().local_log
+    assert any(
+        e.record_type == "received" and e.value.record.message == "lossy"
+        for e in log_b
+    )

@@ -1,0 +1,132 @@
+"""Tests for state replay and snapshots."""
+
+import pytest
+
+from repro.core.local_log import LocalLog
+from repro.core.records import RECORD_LOG_COMMIT
+from repro.core.replay import (
+    Snapshot,
+    SnapshotStore,
+    attach_replayer,
+    replay,
+    states_agree,
+)
+from repro.errors import LogError
+
+from tests.conftest import build_single_dc
+
+
+def adder(state, entry):
+    if entry.record_type == RECORD_LOG_COMMIT and isinstance(entry.value, int):
+        return state + entry.value
+    return state
+
+
+def make_log(values):
+    log = LocalLog("DC")
+    for value in values:
+        log.append(RECORD_LOG_COMMIT, value)
+    return log
+
+
+def test_replay_folds_in_order():
+    log = make_log([1, 2, 3, 4])
+    assert replay(log, adder, 0) == 10
+
+
+def test_replay_segment():
+    log = make_log([1, 2, 3, 4])
+    assert replay(log, adder, 0, from_position=2, to_position=3) == 5
+
+
+def test_replay_is_deterministic():
+    log = make_log(list(range(20)))
+    assert replay(log, adder, 0) == replay(log, adder, 0)
+
+
+def test_snapshot_digest_identity():
+    a = Snapshot.of(5, {"x": 1})
+    b = Snapshot.of(5, {"x": 1})
+    c = Snapshot.of(6, {"x": 1})
+    assert a.digest == b.digest
+    assert a.digest != c.digest
+
+
+def test_snapshot_store_applies_in_order():
+    store = SnapshotStore(adder, 0, interval=2)
+    log = make_log([5, 6, 7])
+    for entry in log:
+        store.apply(entry)
+    assert store.state == 18
+    assert store.position == 3
+    assert store.latest_snapshot().position == 2
+    assert store.latest_snapshot().state == 11
+
+
+def test_snapshot_store_rejects_gaps():
+    store = SnapshotStore(adder, 0)
+    log = make_log([1, 2])
+    store.apply(log.read(1))
+    with pytest.raises(LogError):
+        store.apply(log.read(1))  # replayed entry
+    with pytest.raises(LogError):
+        SnapshotStore(adder, 0).apply(log.read(2))  # skipped entry
+
+
+def test_recover_replays_only_the_suffix():
+    calls = []
+
+    def counting_adder(state, entry):
+        calls.append(entry.position)
+        return adder(state, entry)
+
+    store = SnapshotStore(counting_adder, 0, interval=3)
+    log = make_log([1, 1, 1, 1, 1])
+    for entry in list(log)[:3]:
+        store.apply(entry)
+    calls.clear()
+    state = store.recover(log)
+    assert state == 5
+    assert calls == [4, 5]  # only the post-snapshot suffix
+
+
+def test_recover_without_snapshot_replays_everything():
+    store = SnapshotStore(adder, 0, interval=100)
+    log = make_log([2, 2, 2])
+    assert store.recover(log) == 6
+
+
+def test_states_agree_detects_divergence():
+    a = SnapshotStore(adder, 0)
+    b = SnapshotStore(adder, 0)
+    log = make_log([3, 4])
+    for entry in log:
+        a.apply(entry)
+        b.apply(entry)
+    assert states_agree([a, b])
+    b._state = 999  # simulated corruption
+    assert not states_agree([a, b])
+    assert states_agree([])
+
+
+def test_attach_replayer_tracks_unit_commits(sim):
+    deployment = build_single_dc(sim)
+    api = deployment.api("DC")
+    stores = [
+        attach_replayer(node, adder, 0, interval=2)
+        for node in deployment.unit("DC").nodes
+    ]
+
+    def workload():
+        for value in (10, 20, 30):
+            yield api.log_commit(value)
+
+    sim.run_until_resolved(sim.spawn(workload()))
+    sim.run(until=sim.now + 50)
+    assert all(store.state == 60 for store in stores)
+    assert states_agree(stores)
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(LogError):
+        SnapshotStore(adder, 0, interval=0)

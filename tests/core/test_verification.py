@@ -1,0 +1,164 @@
+"""Unit tests for the built-in receive verification routine."""
+
+import pytest
+
+from repro.core.local_log import LocalLog
+from repro.core.records import (
+    RECORD_RECEIVED,
+    SealedTransmission,
+    TransmissionRecord,
+)
+from repro.core.verification import verify_received
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import QuorumProof, collect_signatures
+from repro.errors import ReceiveVerificationError
+
+SOURCE_UNIT = ["A-0", "A-1", "A-2", "A-3"]
+
+
+@pytest.fixture
+def registry():
+    reg = KeyRegistry(seed=2)
+    reg.register_all(SOURCE_UNIT + ["B-0", "V-0", "V-1"])
+    return reg
+
+
+def make_sealed(registry, position, prev, signers=("A-0", "A-1"), message="m"):
+    record = TransmissionRecord(
+        source="A",
+        destination="B",
+        message=message,
+        source_position=position,
+        prev_position=prev,
+    )
+    proof = QuorumProof.build(
+        record.digest(),
+        collect_signatures(registry, list(signers), record.digest()),
+    )
+    return SealedTransmission(record=record, proof=proof)
+
+
+def check(sealed, log, registry, **kwargs):
+    verify_received(
+        sealed,
+        log,
+        registry,
+        source_unit_members=SOURCE_UNIT,
+        required_signatures=2,
+        expected_destination="B",
+        **kwargs,
+    )
+
+
+def test_valid_first_transmission_passes(registry):
+    check(make_sealed(registry, 1, None), LocalLog("B"), registry)
+
+
+def test_wrong_destination_rejected(registry):
+    sealed = make_sealed(registry, 1, None)
+    with pytest.raises(ReceiveVerificationError, match="addressed"):
+        verify_received(
+            sealed,
+            LocalLog("X"),
+            registry,
+            SOURCE_UNIT,
+            2,
+            expected_destination="X",
+        )
+
+
+def test_insufficient_signatures_rejected(registry):
+    sealed = make_sealed(registry, 1, None, signers=("A-0",))
+    with pytest.raises(ReceiveVerificationError, match="valid source"):
+        check(sealed, LocalLog("B"), registry)
+
+
+def test_signatures_from_outside_source_unit_do_not_count(registry):
+    sealed = make_sealed(registry, 1, None, signers=("A-0", "B-0"))
+    with pytest.raises(ReceiveVerificationError, match="valid source"):
+        check(sealed, LocalLog("B"), registry)
+
+
+def test_proof_over_different_record_rejected(registry):
+    good = make_sealed(registry, 1, None)
+    other = make_sealed(registry, 2, 1)
+    mismatched = SealedTransmission(record=good.record, proof=other.proof)
+    with pytest.raises(ReceiveVerificationError, match="cover"):
+        check(mismatched, LocalLog("B"), registry)
+
+
+def test_duplicate_rejected(registry):
+    log = LocalLog("B")
+    sealed = make_sealed(registry, 1, None)
+    log.append(RECORD_RECEIVED, sealed)
+    with pytest.raises(ReceiveVerificationError, match="duplicate"):
+        check(sealed, log, registry)
+
+
+def test_gap_rejected(registry):
+    log = LocalLog("B")
+    log.append(RECORD_RECEIVED, make_sealed(registry, 1, None))
+    # position 3 claims prev=2, but we only have 1: message 2 was
+    # withheld or is still in flight.
+    sealed = make_sealed(registry, 3, 2)
+    with pytest.raises(ReceiveVerificationError, match="out-of-order"):
+        check(sealed, log, registry)
+
+
+def test_chain_successor_accepted(registry):
+    log = LocalLog("B")
+    log.append(RECORD_RECEIVED, make_sealed(registry, 1, None))
+    check(make_sealed(registry, 4, 1), log, registry)
+
+
+def test_geo_proofs_required_when_enabled(registry):
+    sealed = make_sealed(registry, 1, None)
+    with pytest.raises(ReceiveVerificationError, match="geo"):
+        check(
+            sealed,
+            LocalLog("B"),
+            registry,
+            geo_required=1,
+            geo_unit_members={"V": ["V-0", "V-1"]},
+        )
+
+
+def test_geo_proofs_validated(registry):
+    record = TransmissionRecord("A", "B", "m", 1, None)
+    proof = QuorumProof.build(
+        record.digest(),
+        collect_signatures(registry, ["A-0", "A-1"], record.digest()),
+    )
+    geo_proof = QuorumProof.build(
+        record.digest(),
+        collect_signatures(registry, ["V-0", "V-1"], record.digest()),
+    )
+    sealed = SealedTransmission(
+        record=record, proof=proof, geo_proofs=(("V", geo_proof),)
+    )
+    check(
+        sealed,
+        LocalLog("B"),
+        registry,
+        geo_required=1,
+        geo_unit_members={"V": ["V-0", "V-1"], "A": SOURCE_UNIT},
+    )
+
+
+def test_geo_proof_from_source_itself_does_not_count(registry):
+    record = TransmissionRecord("A", "B", "m", 1, None)
+    proof = QuorumProof.build(
+        record.digest(),
+        collect_signatures(registry, ["A-0", "A-1"], record.digest()),
+    )
+    sealed = SealedTransmission(
+        record=record, proof=proof, geo_proofs=(("A", proof),)
+    )
+    with pytest.raises(ReceiveVerificationError, match="geo"):
+        check(
+            sealed,
+            LocalLog("B"),
+            registry,
+            geo_required=1,
+            geo_unit_members={"A": SOURCE_UNIT},
+        )

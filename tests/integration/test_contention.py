@@ -1,0 +1,113 @@
+"""Contention scenarios: concurrent conflicting operations across
+participants must resolve consistently."""
+
+import pytest
+
+from repro.apps.bp_paxos import BlockplanePaxosParticipant, PaxosVerification
+from repro.apps.lockservice import LockServiceParticipant, LockVerification
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.sim.topology import aws_four_dc_topology
+
+
+def test_racing_lock_acquirers_exactly_one_wins(sim):
+    topology = aws_four_dc_topology()
+    deployment = BlockplaneDeployment(
+        sim,
+        topology,
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda name: LockVerification(name),
+    )
+    parts = {
+        site: LockServiceParticipant(deployment.api(site), topology.site_names)
+        for site in topology.site_names
+    }
+    for participant in parts.values():
+        participant.start()
+    # Three remote participants race for a lock hosted at V.
+    futures = {
+        site: parts[site].acquire("V/contended", f"{site}-worker")
+        for site in ("C", "O", "I")
+    }
+    sim.run(until=10_000.0, max_events=200_000_000)
+    outcomes = {site: future.result() for site, future in futures.items()}
+    winners = [site for site, granted in outcomes.items() if granted]
+    assert len(winners) == 1
+    holder = parts["V"].table.holders["V/contended"]
+    assert holder == f"{winners[0]}-worker"
+    # Every replica of V's unit replays the same single grant.
+    for node in deployment.unit("V").nodes:
+        assert node.routines.table.holders["V/contended"] == holder
+
+
+def test_dueling_blockplane_paxos_leaders_never_diverge(sim):
+    topology = aws_four_dc_topology()
+    deployment = BlockplaneDeployment(
+        sim,
+        topology,
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda _name: PaxosVerification(),
+    )
+    parts = {
+        site: BlockplanePaxosParticipant(
+            deployment.api(site), topology.site_names
+        )
+        for site in topology.site_names
+    }
+    for participant in parts.values():
+        participant.start()
+
+    def campaign(site):
+        leader = parts[site]
+        elected = yield sim.spawn(leader.leader_election())
+        if elected:
+            yield sim.spawn(leader.replicate(f"value-of-{site}"))
+
+    sim.spawn(campaign("C"))
+    sim.spawn(campaign("V"))
+    sim.run(until=20_000.0, max_events=400_000_000)
+    # Safety: any slot chosen by multiple participants has one value.
+    slots = set()
+    for participant in parts.values():
+        slots.update(participant.chosen)
+    for slot in slots:
+        values = {
+            participant.chosen[slot]
+            for participant in parts.values()
+            if slot in participant.chosen
+        }
+        assert len(values) == 1, f"slot {slot}: {values}"
+
+
+def test_sequential_lock_handoff_across_participants(sim):
+    topology = aws_four_dc_topology()
+    deployment = BlockplaneDeployment(
+        sim,
+        topology,
+        BlockplaneConfig(f_independent=1),
+        routines_factory=lambda name: LockVerification(name),
+    )
+    parts = {
+        site: LockServiceParticipant(deployment.api(site), topology.site_names)
+        for site in topology.site_names
+    }
+    for participant in parts.values():
+        participant.start()
+
+    def handoff():
+        granted = yield parts["C"].acquire("V/baton", "c-runner")
+        assert granted is True
+        # While C holds it, O is denied.
+        denied = yield parts["O"].acquire("V/baton", "o-runner")
+        assert denied is False
+        released = yield parts["C"].release("V/baton", "c-runner")
+        assert released is True
+        # Now O can take it.
+        granted = yield parts["O"].acquire("V/baton", "o-runner")
+        assert granted is True
+        return True
+
+    result = sim.run_until_resolved(
+        sim.spawn(handoff()), max_events=400_000_000
+    )
+    assert result is True
+    assert parts["V"].table.holders["V/baton"] == "o-runner"

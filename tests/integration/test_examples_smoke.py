@@ -1,0 +1,36 @@
+"""Smoke tests: the runnable examples execute end to end."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path):
+    argv = sys.argv
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = argv
+
+
+def test_quickstart_example(capsys):
+    run_example("examples/quickstart.py")
+    out = capsys.readouterr().out
+    assert "V received: 'hello from California'" in out
+    assert "'received'" in out
+
+
+def test_counter_example(capsys):
+    run_example("examples/counter_protocol.py")
+    out = capsys.readouterr().out
+    assert "V's counter: 3" in out
+    assert "mallory rejected" in out
+
+
+def test_bank_example(capsys):
+    run_example("examples/bank_ledger.py")
+    out = capsys.readouterr().out
+    assert "Total money in the system: $175" in out
+    assert "Forged $1M credit rejected: True" in out

@@ -1,0 +1,96 @@
+"""Wide-area partition scenarios: Blockplane's delivery machinery must
+heal once connectivity returns."""
+
+from repro.core import BlockplaneConfig
+from repro.sim.faults import FaultInjector
+
+from tests.conftest import build_pair
+
+
+def partition_config():
+    return BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=100.0,
+        reserve_gap_threshold=0,
+    )
+
+
+def test_messages_sent_during_partition_arrive_after_heal(sim):
+    deployment = build_pair(sim, config=partition_config())
+    injector = FaultInjector(sim, deployment.network)
+    a_nodes = deployment.directory.unit_members("A")
+    b_nodes = deployment.directory.unit_members("B")
+    injector.partition(a_nodes, b_nodes, start=0.0, end=1_000.0)
+    got = []
+
+    def receiver():
+        while len(got) < 3:
+            message = yield deployment.api("B").receive("A")
+            got.append(message)
+
+    sim.spawn(receiver())
+
+    def sender():
+        for index in range(3):
+            yield deployment.api("A").send(f"m{index}", to="B")
+
+    sim.run_until_resolved(sim.spawn(sender()), max_events=50_000_000)
+    # Sends are durable locally even while partitioned.
+    assert got == []
+    sim.run(until=800.0, max_events=50_000_000)
+    assert got == []  # still partitioned
+    sim.run(until=6_000.0, max_events=100_000_000)
+    assert got == [f"m{index}" for index in range(3)]
+
+
+def test_partition_does_not_block_local_commits(sim):
+    deployment = build_pair(sim, config=partition_config())
+    injector = FaultInjector(sim, deployment.network)
+    injector.partition(
+        deployment.directory.unit_members("A"),
+        deployment.directory.unit_members("B"),
+        start=0.0,
+    )
+    positions = []
+
+    def committer():
+        for index in range(5):
+            position = yield deployment.api("A").log_commit(f"v{index}")
+            positions.append(position)
+
+    sim.run_until_resolved(sim.spawn(committer()), max_events=20_000_000)
+    assert positions == [1, 2, 3, 4, 5]
+
+
+def test_bidirectional_traffic_resumes_after_heal(sim):
+    deployment = build_pair(sim, config=partition_config())
+    injector = FaultInjector(sim, deployment.network)
+    injector.partition(
+        deployment.directory.unit_members("A"),
+        deployment.directory.unit_members("B"),
+        start=100.0,
+        end=900.0,
+    )
+    got_a, got_b = [], []
+
+    def receiver_a():
+        message = yield deployment.api("A").receive("B")
+        got_a.append(message)
+
+    def receiver_b():
+        message = yield deployment.api("B").receive("A")
+        got_b.append(message)
+
+    sim.spawn(receiver_a())
+    sim.spawn(receiver_b())
+
+    def crossfire():
+        # Sent at t≈0 (before the partition): delivered normally.
+        yield deployment.api("A").send("early", to="B")
+        yield sim.sleep(300.0)  # now inside the partition window
+        yield deployment.api("B").send("during", to="A")
+
+    sim.run_until_resolved(sim.spawn(crossfire()), max_events=50_000_000)
+    sim.run(until=8_000.0, max_events=100_000_000)
+    assert got_b == ["early"]
+    assert got_a == ["during"]

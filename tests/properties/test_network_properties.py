@@ -1,0 +1,108 @@
+"""Property-based tests for the network model (hypothesis)."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.network import Network, NetworkOptions
+from repro.sim.node import Message, Node
+from repro.sim.simulator import Simulator
+from repro.sim.topology import symmetric_topology
+
+
+@dataclasses.dataclass
+class Tagged(Message):
+    n: int = 0
+
+
+class Sink(Node):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen = []
+
+    def handle_tagged(self, msg, src):
+        self.seen.append((src, msg.n))
+
+
+def build(rtt, seed=0, options=None):
+    sim = Simulator(seed=seed)
+    network = Network(sim, symmetric_topology(["A", "B"], rtt), options)
+    a = Sink(sim, network, "a", "A")
+    b = Sink(sim, network, "b", "B")
+    return sim, a, b
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=0, max_value=2_000_000),
+        min_size=1,
+        max_size=20,
+    ),
+    rtt=st.floats(min_value=1.0, max_value=200.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_same_link_traffic_is_fifo(sizes, rtt):
+    # One sender, one receiver: deliveries preserve send order no
+    # matter how payload sizes vary (egress and ingress both serialize).
+    sim, a, b = build(rtt)
+    for index, size in enumerate(sizes):
+        a.send("b", Tagged(payload_bytes=size, n=index))
+    sim.run()
+    assert [n for _src, n in b.seen] == list(range(len(sizes)))
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=1_000_000),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_delivery_time_at_least_propagation_plus_serialization(sizes):
+    options = NetworkOptions(bandwidth_mb_per_s=100.0)
+    sim, a, b = build(rtt=20.0, options=options)
+    for index, size in enumerate(sizes):
+        a.send("b", Tagged(payload_bytes=size, n=index))
+    sim.run()
+    bytes_per_ms = 100.0 * 1e3
+    total_bytes = sum(size + 128 for size in sizes)
+    # The last delivery cannot beat egress serialization of everything
+    # plus one propagation delay.
+    lower_bound = total_bytes / bytes_per_ms + 10.0
+    last_delivery = sim.now
+    assert last_delivery >= lower_bound - 1e-6
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_network_is_deterministic_per_seed(seed):
+    def run():
+        sim, a, b = build(
+            rtt=30.0, seed=seed, options=NetworkOptions(jitter_ms=3.0)
+        )
+        for index in range(10):
+            a.send("b", Tagged(payload_bytes=index * 1000, n=index))
+        sim.run()
+        return sim.now, [n for _src, n in b.seen]
+
+    assert run() == run()
+
+
+@given(
+    drop_every=st.integers(min_value=2, max_value=5),
+    count=st.integers(min_value=4, max_value=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_drop_filters_drop_exactly_what_they_match(drop_every, count):
+    sim, a, b = build(rtt=10.0)
+    sim  # noqa: B018
+    a.network.add_drop_filter(
+        lambda src, dst, msg: msg.n % drop_every == 0
+    )
+    for index in range(count):
+        a.send("b", Tagged(n=index))
+    sim.run()
+    expected = [n for n in range(count) if n % drop_every != 0]
+    assert [n for _src, n in b.seen] == expected

@@ -1,0 +1,73 @@
+"""Property-based tests for PBFT safety under random fault schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pbft.byzantine import SilentReplica, TamperingVoter
+from repro.pbft.config import PBFTConfig
+from tests.pbft.helpers import make_group
+
+FAST = PBFTConfig(request_timeout_ms=30.0, view_change_timeout_ms=60.0)
+
+
+@given(
+    byzantine_index=st.integers(min_value=1, max_value=3),
+    byzantine_class=st.sampled_from([SilentReplica, TamperingVoter]),
+    values=st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_one_byzantine_replica_never_breaks_agreement(
+    byzantine_index, byzantine_class, values, seed
+):
+    sim, replicas = make_group(
+        seed=seed, config=FAST, overrides={byzantine_index: byzantine_class}
+    )
+    submitter = replicas[0]
+    futures = [submitter.submit(value) for value in values]
+    sim.run(until=2000.0, max_events=20_000_000)
+    honest = [
+        replica
+        for index, replica in enumerate(replicas)
+        if index != byzantine_index
+    ]
+    logs = [
+        [(e.seq, e.value) for e in replica.executed_entries]
+        for replica in honest
+    ]
+    longest = max(logs, key=len)
+    for log in logs:
+        assert log == longest[: len(log)]  # prefix agreement
+    assert all(future.resolved for future in futures)  # liveness
+
+
+@given(
+    crash_after=st.integers(min_value=0, max_value=4),
+    values=st.lists(st.text(min_size=1, max_size=4), min_size=2, max_size=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_single_crash_at_random_point_preserves_prefix_agreement(
+    crash_after, values, seed
+):
+    sim, replicas = make_group(seed=seed, config=FAST)
+    victim = replicas[3]
+
+    def workload():
+        for index, value in enumerate(values):
+            if index == crash_after:
+                victim.crash()
+            yield replicas[0].submit(value)
+
+    sim.run_until_resolved(sim.spawn(workload()), max_events=30_000_000)
+    sim.run(until=sim.now + 100)
+    live = [replica for replica in replicas if not replica.crashed]
+    logs = [
+        [(e.seq, e.value) for e in replica.executed_entries]
+        for replica in live
+    ]
+    longest = max(logs, key=len)
+    for log in logs:
+        assert log == longest[: len(log)]
+    executed = [value for _seq, value in longest]
+    assert executed == list(values)

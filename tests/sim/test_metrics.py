@@ -1,0 +1,85 @@
+"""Unit tests for metrics aggregation and tracing."""
+
+import pytest
+
+from repro.sim.metrics import LatencySeries, summarize, throughput_mb_per_s
+from repro.sim.trace import Tracer
+
+
+def test_latency_series_stats():
+    series = LatencySeries("test")
+    series.extend([1.0, 2.0, 3.0, 4.0])
+    assert series.mean == 2.5
+    assert series.minimum == 1.0
+    assert series.maximum == 4.0
+    assert len(series) == 4
+
+
+def test_percentiles_interpolate():
+    series = LatencySeries()
+    series.extend([0.0, 10.0])
+    assert series.percentile(50) == 5.0
+    assert series.percentile(0) == 0.0
+    assert series.percentile(100) == 10.0
+
+
+def test_percentile_out_of_range():
+    series = LatencySeries()
+    series.add(1.0)
+    with pytest.raises(ValueError):
+        series.percentile(101)
+
+
+def test_empty_series_is_zeroes():
+    series = LatencySeries()
+    assert series.mean == 0.0
+    assert series.percentile(99) == 0.0
+    assert series.summary()["count"] == 0.0
+
+
+def test_drop_warmup():
+    series = LatencySeries()
+    series.extend([100.0, 100.0, 1.0, 1.0])
+    trimmed = series.drop_warmup(2)
+    assert trimmed.mean == 1.0
+    assert len(series) == 4  # original untouched
+
+
+def test_summary_keys():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert set(summary) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+def test_throughput_identity():
+    # 100 KB in 1.2 ms -> ~83 MB/s (the paper's Table II fixture).
+    assert throughput_mb_per_s(100_000, 1.2) == pytest.approx(83.3, abs=0.1)
+
+
+def test_throughput_zero_time():
+    assert throughput_mb_per_s(1000, 0.0) == 0.0
+
+
+def test_tracer_records_and_counts():
+    tracer = Tracer()
+    tracer.record("commit", 1.0, seq=1)
+    tracer.record("commit", 2.0, seq=2)
+    tracer.record("other", 3.0)
+    assert tracer.count("commit") == 2
+    assert [r["seq"] for r in tracer.of_kind("commit")] == [1, 2]
+    assert tracer.last("commit")["seq"] == 2
+    assert tracer.last("missing") is None
+
+
+def test_tracer_disabled_still_counts():
+    tracer = Tracer(enabled=False)
+    tracer.record("x", 1.0)
+    assert tracer.count("x") == 1
+    assert tracer.records == []
+
+
+def test_tracer_clear():
+    tracer = Tracer()
+    tracer.record("x", 1.0)
+    tracer.clear()
+    assert tracer.count("x") == 0
+    assert tracer.records == []

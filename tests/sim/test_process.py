@@ -1,0 +1,219 @@
+"""Unit tests for generator-based processes and futures."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.process import Future, all_of, any_of
+from repro.sim.simulator import Simulator
+
+
+def test_future_resolve_and_result():
+    sim = Simulator()
+    future = Future(sim)
+    assert not future.resolved
+    future.resolve(41)
+    assert future.resolved
+    assert future.result() == 41
+
+
+def test_future_double_resolve_rejected():
+    sim = Simulator()
+    future = Future(sim)
+    future.resolve(1)
+    with pytest.raises(ProcessError):
+        future.resolve(2)
+
+
+def test_future_result_before_resolution_raises():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Future(sim).result()
+
+
+def test_future_rejection_propagates():
+    sim = Simulator()
+    future = Future(sim)
+    future.reject(ValueError("boom"))
+    with pytest.raises(ValueError):
+        future.result()
+
+
+def test_callbacks_fire_immediately_when_already_done():
+    sim = Simulator()
+    future = Future(sim)
+    future.resolve("x")
+    seen = []
+    future.add_done_callback(lambda f: seen.append(f.result()))
+    assert seen == ["x"]
+
+
+def test_process_sleep_and_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(3.0)
+        yield sim.sleep(2.0)
+        return "done"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.result() == "done"
+    assert sim.now == 5.0
+
+
+def test_process_yield_number_sleeps():
+    sim = Simulator()
+
+    def proc():
+        yield 7.5
+        return sim.now
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.result() == 7.5
+
+
+def test_process_yield_none_yields_to_scheduler():
+    sim = Simulator()
+    order = []
+
+    def proc_a():
+        order.append("a1")
+        yield None
+        order.append("a2")
+
+    def proc_b():
+        order.append("b1")
+        yield None
+        order.append("b2")
+
+    sim.spawn(proc_a())
+    sim.spawn(proc_b())
+    sim.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+
+
+def test_process_waits_on_future():
+    sim = Simulator()
+    gate = Future(sim)
+
+    def proc():
+        value = yield gate
+        return value * 2
+
+    process = sim.spawn(proc())
+    sim.schedule(4.0, gate.resolve, 21)
+    sim.run()
+    assert process.result() == 42
+
+
+def test_process_yield_list_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        values = yield [sim.sleep(1.0), sim.sleep(5.0), sim.sleep(3.0)]
+        return (sim.now, len(values))
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.result() == (5.0, 3)
+
+
+def test_process_subgenerator_delegation():
+    sim = Simulator()
+
+    def child(n):
+        yield sim.sleep(1.0)
+        return n + 1
+
+    def parent():
+        value = yield child(1)
+        value = yield child(value)
+        return value
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert process.result() == 3
+
+
+def test_process_exception_rejects_its_future():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(1.0)
+        raise RuntimeError("inside")
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert isinstance(process.exception, RuntimeError)
+
+
+def test_exception_thrown_into_waiting_process():
+    sim = Simulator()
+    gate = Future(sim)
+    caught = []
+
+    def proc():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(proc())
+    sim.schedule(1.0, gate.reject, ValueError("rejected"))
+    sim.run()
+    assert caught == ["rejected"]
+
+
+def test_process_bad_yield_type_raises():
+    sim = Simulator()
+
+    def proc():
+        yield object()
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert isinstance(process.exception, ProcessError)
+
+
+def test_spawn_non_generator_raises():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        sim.spawn(42)
+
+
+def test_all_of_empty_resolves_immediately():
+    sim = Simulator()
+    combined = all_of(sim, [])
+    assert combined.result() == []
+
+
+def test_all_of_rejects_on_first_failure():
+    sim = Simulator()
+    good = Future(sim)
+    bad = Future(sim)
+    combined = all_of(sim, [good, bad])
+    bad.reject(KeyError("nope"))
+    assert combined.resolved
+    with pytest.raises(KeyError):
+        combined.result()
+
+
+def test_any_of_returns_first_winner_index():
+    sim = Simulator()
+
+    def proc():
+        result = yield any_of(sim, [sim.sleep(9.0), sim.sleep(2.0)])
+        return result
+
+    process = sim.spawn(proc())
+    sim.run()
+    index, _value = process.result()
+    assert index == 1
+    assert sim.now == 9.0  # the loser still fires later
+
+
+def test_any_of_requires_at_least_one():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        any_of(sim, [])

@@ -1,0 +1,57 @@
+"""Tests for trace timeline rendering."""
+
+from repro.sim.timeline import kind_summary, render_summary, render_timeline
+from repro.sim.trace import Tracer
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.record("commit", 1.5, node="a", seq=1)
+    tracer.record("send", 2.0, src="a", dst="b")
+    tracer.record("commit", 3.25, node="b", seq=2)
+    return tracer
+
+
+def test_timeline_includes_all_records_in_order():
+    out = render_timeline(make_tracer())
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert "commit" in lines[0] and "1.500" in lines[0]
+    assert "send" in lines[1]
+    assert "seq=2" in lines[2]
+
+
+def test_timeline_kind_filter():
+    out = render_timeline(make_tracer(), kinds=["send"])
+    assert out.count("\n") == 0
+    assert "src='a'" in out
+
+
+def test_timeline_time_window():
+    out = render_timeline(make_tracer(), start=1.9, end=2.5)
+    assert "send" in out
+    assert "commit" not in out
+
+
+def test_timeline_truncation_note():
+    tracer = Tracer()
+    for index in range(10):
+        tracer.record("tick", float(index))
+    out = render_timeline(tracer, limit=4)
+    assert "6 more record(s) truncated" in out
+    assert out.count("tick") == 4
+
+
+def test_kind_summary_counts():
+    assert kind_summary(make_tracer()) == {"commit": 2, "send": 1}
+
+
+def test_render_summary_sorted_by_frequency():
+    out = render_summary(make_tracer())
+    lines = out.splitlines()
+    assert lines[0].startswith("commit")
+    assert lines[1].startswith("send")
+
+
+def test_render_summary_empty():
+    assert render_summary(Tracer()) == "(no trace records)"

@@ -1,0 +1,24 @@
+"""Tests for the `python -m repro` command-line entry point."""
+
+from repro.__main__ import main
+
+
+def test_single_experiment_runs(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "130" in out  # C-I RTT
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["nonsense"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiment" in out
+    assert "fig7" in out  # the available list is shown
+
+
+def test_multiple_experiments_separated(capsys):
+    assert main(["table1", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Table I") == 2
+    assert "=" * 68 in out

@@ -1,0 +1,30 @@
+"""Tests for the experiment report formatting helpers."""
+
+from repro.experiments.report import fmt_mb_s, fmt_ms, format_table
+
+
+def test_format_table_aligns_columns():
+    table = format_table(
+        ["name", "value"], [["a", 1], ["longer-name", 22]]
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "longer-name" in lines[3]
+    # All rows have the same width.
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_format_table_empty_rows():
+    table = format_table(["a", "b"], [])
+    assert "a" in table and "b" in table
+
+
+def test_fmt_ms_precision():
+    assert fmt_ms(1.234) == "1.23"
+    assert fmt_ms(123.456) == "123.5"
+
+
+def test_fmt_mb_s_precision():
+    assert fmt_mb_s(5.678) == "5.68"
+    assert fmt_mb_s(83.21) == "83.2"

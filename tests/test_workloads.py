@@ -1,0 +1,41 @@
+"""Tests for workload generation and the experiment runner."""
+
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import BatchWorkload, make_batch
+from repro.workloads.runner import sequential_commit_latency
+
+
+def test_make_batch_has_requested_size():
+    for size in (10, 1000, 100_000):
+        assert len(make_batch(3, size)) == size
+
+
+def test_make_batch_deterministic_per_seed():
+    assert make_batch(5, 100, seed=1) == make_batch(5, 100, seed=1)
+    assert make_batch(5, 100, seed=1) != make_batch(5, 100, seed=2)
+
+
+def test_make_batch_distinct_per_index():
+    assert make_batch(1, 100) != make_batch(2, 100)
+
+
+def test_batch_workload_counts():
+    workload = BatchWorkload(measured=10, warmup=3, batch_bytes=50)
+    batches = workload.batch_list()
+    assert len(batches) == 13
+    assert workload.total == 13
+    assert all(len(batch) == 50 for batch in batches)
+
+
+def test_sequential_commit_latency_records_after_warmup():
+    sim = Simulator(seed=1)
+
+    def fake_commit(batch, payload_bytes):
+        return sim.sleep(2.0)  # constant 2ms 'commit'
+
+    workload = BatchWorkload(measured=5, warmup=2, batch_bytes=100)
+    result = sequential_commit_latency(sim, fake_commit, workload)
+    assert len(result["series"]) == 5
+    assert result["latency_ms"] == 2.0
+    # throughput identity: 100 bytes / 2 ms = 0.05 MB/s
+    assert abs(result["throughput_mb_s"] - 0.05) < 1e-9
