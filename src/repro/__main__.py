@@ -5,6 +5,15 @@ Usage::
     python -m repro                 # every table and figure (quick sizes)
     python -m repro fig4 table2     # a subset
     python -m repro --full          # paper-sized runs (slower)
+    python -m repro fig4 --obs-out DIR   # + observability artifacts
+
+With ``--obs-out DIR`` the obs-aware drivers (fig4/fig5/fig6/table2)
+record metrics and commit-lifecycle spans into one shared
+:class:`~repro.obs.Observability` session, a canonical fully traced
+cross-datacenter commit is appended, and three artifacts are written to
+``DIR``: ``metrics.json``, ``metrics.prom`` (Prometheus text format),
+and ``trace.json`` (Chrome trace-event JSON — load it in
+``chrome://tracing`` or Perfetto).
 
 Each driver prints its table with the paper's reported values alongside.
 """
@@ -24,33 +33,72 @@ from repro.experiments import (
     table2_scalability,
 )
 
+# Drivers take ``obs=None``; the ones not yet instrumented ignore the
+# flag (their lambdas below simply drop it).
 _QUICK = {
-    "table1": lambda: table1_topology.main(),
-    "fig4": lambda: fig4_local_commit.main(measured=100, warmup=10),
-    "table2": lambda: table2_scalability.main(measured=100, warmup=10),
-    "fig5": lambda: fig5_geo.main(measured=20, warmup=2),
-    "fig6": lambda: fig6_communication.main(rounds=8),
-    "fig7": lambda: fig7_consensus.main(rounds=8),
-    "fig8": lambda: fig8_failures.main(backup_batches=70,
-                                       primary_batches=100),
-    "ablations": lambda: ablations.main(),
+    "table1": lambda obs=None: table1_topology.main(),
+    "fig4": lambda obs=None: fig4_local_commit.main(
+        measured=100, warmup=10, obs=obs
+    ),
+    "table2": lambda obs=None: table2_scalability.main(
+        measured=100, warmup=10, obs=obs
+    ),
+    "fig5": lambda obs=None: fig5_geo.main(measured=20, warmup=2, obs=obs),
+    "fig6": lambda obs=None: fig6_communication.main(rounds=8, obs=obs),
+    "fig7": lambda obs=None: fig7_consensus.main(rounds=8),
+    "fig8": lambda obs=None: fig8_failures.main(backup_batches=70,
+                                                primary_batches=100),
+    "ablations": lambda obs=None: ablations.main(),
 }
 
 _FULL = {
-    "table1": lambda: table1_topology.main(),
-    "fig4": lambda: fig4_local_commit.main(measured=1000, warmup=100),
-    "table2": lambda: table2_scalability.main(measured=1000, warmup=100),
-    "fig5": lambda: fig5_geo.main(measured=100, warmup=10),
-    "fig6": lambda: fig6_communication.main(rounds=20),
-    "fig7": lambda: fig7_consensus.main(rounds=20),
-    "fig8": lambda: fig8_failures.main(backup_batches=100,
-                                       primary_batches=160),
-    "ablations": lambda: ablations.main(),
+    "table1": lambda obs=None: table1_topology.main(),
+    "fig4": lambda obs=None: fig4_local_commit.main(
+        measured=1000, warmup=100, obs=obs
+    ),
+    "table2": lambda obs=None: table2_scalability.main(
+        measured=1000, warmup=100, obs=obs
+    ),
+    "fig5": lambda obs=None: fig5_geo.main(measured=100, warmup=10, obs=obs),
+    "fig6": lambda obs=None: fig6_communication.main(rounds=20, obs=obs),
+    "fig7": lambda obs=None: fig7_consensus.main(rounds=20),
+    "fig8": lambda obs=None: fig8_failures.main(backup_batches=100,
+                                                primary_batches=160),
+    "ablations": lambda obs=None: ablations.main(),
 }
+
+
+def _parse_obs_out(argv: list) -> tuple:
+    """Extract ``--obs-out DIR`` / ``--obs-out=DIR``; returns
+    (remaining argv, directory or None, error message or None)."""
+    remaining = []
+    directory = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--obs-out":
+            if index + 1 >= len(argv):
+                return argv, None, "--obs-out requires a directory argument"
+            directory = argv[index + 1]
+            index += 2
+            continue
+        if arg.startswith("--obs-out="):
+            directory = arg.split("=", 1)[1]
+            if not directory:
+                return argv, None, "--obs-out requires a directory argument"
+            index += 1
+            continue
+        remaining.append(arg)
+        index += 1
+    return remaining, directory, None
 
 
 def main(argv: list) -> int:
     """Run the selected (or all) experiment drivers."""
+    argv, obs_out, error = _parse_obs_out(argv)
+    if error:
+        print(error)
+        return 2
     full = "--full" in argv
     names = [arg for arg in argv if not arg.startswith("-")]
     table = _FULL if full else _QUICK
@@ -60,12 +108,30 @@ def main(argv: list) -> int:
         print(f"available: {', '.join(table)}")
         return 2
     selected = names or list(table)
+    obs = None
+    if obs_out is not None:
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True, histogram_window_ms=1000.0)
     for index, name in enumerate(selected):
         if index:
             print()
             print("=" * 68)
             print()
-        table[name]()
+        table[name](obs=obs)
+    if obs is not None:
+        from repro.obs import export_all
+        from repro.obs.demo import trace_commit_lifecycle
+
+        # Append one canonical fully traced cross-DC commit so the
+        # exported Chrome trace always covers the complete lifecycle,
+        # whatever experiments were selected.
+        trace_commit_lifecycle(obs)
+        paths = export_all(obs, obs_out)
+        print()
+        print("observability artifacts:")
+        for _name, path in sorted(paths.items()):
+            print(f"  {path}")
     return 0
 
 

@@ -97,13 +97,37 @@ class BlockplaneAPI:
     ):
         if payload_bytes is None:
             payload_bytes = self.unit.config.default_payload_bytes
+        obs = self.unit.obs
+        started = self.sim.now
+        root = None
+        trace_ctx = None
+        if obs.tracing:
+            # Root of the commit's end-to-end trace; everything below
+            # (PBFT phases, daemon shipping, the WAN hop, the remote
+            # receive-verification) hangs off this span.
+            root = obs.begin_span(
+                "commit", None, participant=self.participant,
+                node=self.unit.gateway_node().node_id,
+                record_type=record_type,
+                destination=(meta or {}).get("destination", ""),
+            )
+            trace_ctx = obs.ctx_of(root)
         gateway = self.unit.gateway_node()
         committed = yield gateway.local_commit(
-            value, record_type, meta, payload_bytes
+            value, record_type, meta, payload_bytes, trace_ctx=trace_ctx
         )
         position = yield gateway.position_future(committed.seq)
         if self.unit.config.f_geo > 0 and self.unit.geo is not None:
             yield self.unit.geo.proofs_for(position)
+        if obs.enabled:
+            obs.histogram(
+                "commit_latency_ms", participant=self.participant,
+            ).observe(self.sim.now - started, at=self.sim.now)
+            obs.counter(
+                "bp_commits_total", participant=self.participant,
+                record_type=record_type,
+            ).inc()
+            obs.end_span(root, position=position)
         return position
 
     def read(

@@ -69,9 +69,20 @@ class CommunicationDaemon:
         self.node.sim.spawn(self._ship_process(entry))
 
     def _ship_process(self, entry: LogEntry):
-        log = self.node.local_log
+        node = self.node
+        obs = node.obs
+        log = node.local_log
+        ctx = None
+        ship_span = None
+        if obs.tracing:
+            ctx = obs.entry_trace(node.participant, entry.position)
+            ship_span = obs.begin_span(
+                "daemon.ship", ctx,
+                participant=node.participant, node=node.node_id,
+                destination=self.destination, position=entry.position,
+            )
         record = TransmissionRecord(
-            source=self.node.participant,
+            source=node.participant,
             destination=self.destination,
             message=entry.value,
             source_position=entry.position,
@@ -81,23 +92,48 @@ class CommunicationDaemon:
             payload_bytes=entry.payload_bytes,
         )
         # Gather f_i + 1 signatures from local nodes (one local round).
-        proof = yield self.node.collect_local_signatures(
+        sign_started = node.sim.now
+        proof = yield node.collect_local_signatures(
             entry.position, record.digest(), purpose="transmission"
         )
+        if obs.enabled:
+            obs.histogram(
+                "daemon_sign_ms", participant=node.participant
+            ).observe(node.sim.now - sign_started, at=node.sim.now)
+            if ship_span is not None:
+                obs.complete_span(
+                    "sign.collect", sign_started, node.sim.now,
+                    obs.ctx_of(ship_span),
+                    participant=node.participant, node=node.node_id,
+                    position=entry.position,
+                )
         geo_proofs = ()
-        if self.geo is not None and self.node.bp_config.f_geo > 0:
+        if self.geo is not None and node.bp_config.f_geo > 0:
             geo_proofs = yield self.geo.ensure_proofs(entry)
         sealed = SealedTransmission(
             record=record, proof=proof, geo_proofs=tuple(geo_proofs)
         )
-        targets = self.node.directory.unit_members(self.destination)
-        fanout = min(self.node.bp_config.transmission_fanout, len(targets))
-        message = TransmissionMessage(sealed=sealed)
+        targets = node.directory.unit_members(self.destination)
+        fanout = min(node.bp_config.transmission_fanout, len(targets))
+        trace_field = None
+        if ship_span is not None:
+            wan_span = obs.begin_wan_span(
+                node.participant, self.destination, entry.position,
+                obs.ctx_of(ship_span), node=node.node_id,
+            )
+            trace_field = obs.ctx_of(wan_span)
+            obs.end_span(ship_span)
+        message = TransmissionMessage(sealed=sealed, trace=trace_field)
         for target in targets[:fanout]:
-            self.node.send(target, message)
-        self.node.sim.trace.record(
-            "bp.transmit", self.node.sim.now,
-            src=self.node.participant, dst=self.destination,
+            node.send(target, message)
+        if obs.enabled:
+            obs.counter(
+                "bp_transmissions_total",
+                source=node.participant, destination=self.destination,
+            ).inc()
+        node.sim.trace.record(
+            "bp.transmit", node.sim.now,
+            src=node.participant, dst=self.destination,
             position=entry.position,
         )
 
@@ -182,6 +218,12 @@ class ReserveDaemon:
 
     def _promote(self, trusted_floor: int, latest: int) -> None:
         """Become a full communication daemon (suspected withholding)."""
+        if self.node.obs.enabled:
+            self.node.obs.counter(
+                "bp_reserve_promotions_total",
+                participant=self.node.participant,
+                destination=self.destination,
+            ).inc()
         self.node.sim.trace.record(
             "bp.reserve_promoted", self.node.sim.now,
             node=self.node.node_id, dst=self.destination,

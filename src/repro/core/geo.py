@@ -116,6 +116,8 @@ class GeoCoordinator:
     def _gather(self, entry: LogEntry, future: Future):
         """Collect fg mirror proofs, failing over to farther peers."""
         node = self.node
+        obs = node.obs
+        gather_started = node.sim.now
         fg = node.bp_config.f_geo
         mirror = MirrorEntry(
             source=node.participant,
@@ -172,6 +174,19 @@ class GeoCoordinator:
                 )
         if not future.resolved:
             future.resolve(tuple(collected))
+        if obs.enabled:
+            obs.histogram(
+                "geo_proof_ms", participant=node.participant
+            ).observe(node.sim.now - gather_started, at=node.sim.now)
+            if obs.tracing:
+                ctx = obs.entry_trace(node.participant, entry.position)
+                if ctx is not None:
+                    obs.complete_span(
+                        "geo.proofs", gather_started, node.sim.now, ctx,
+                        participant=node.participant, node=node.node_id,
+                        position=entry.position,
+                        mirrors=[p for p, _ in collected],
+                    )
         self.node.sim.trace.record(
             "geo.proved", node.sim.now,
             participant=node.participant, position=entry.position,
@@ -223,6 +238,11 @@ class GeoCoordinator:
             node.sim, [waiter, node.sim.sleep(timeout)]
         )
         if which != 0:
+            if node.obs.enabled:
+                node.obs.counter(
+                    "geo_mirror_timeouts_total",
+                    participant=node.participant, target=target,
+                ).inc()
             node.sim.trace.record(
                 "geo.mirror_timeout", node.sim.now,
                 participant=node.participant, target=target,
@@ -293,6 +313,10 @@ class GeoCoordinator:
     def _take_over(self) -> None:
         self.epoch += 1
         self.current_primary = self.node.participant
+        if self.node.obs.enabled:
+            self.node.obs.counter(
+                "geo_takeovers_total", participant=self.node.participant
+            ).inc()
         self._last_heard = self.node.sim.now
         announcement = TakeOver(
             new_primary=self.node.participant, epoch=self.epoch

@@ -22,6 +22,7 @@ from repro.core.records import (
     SealedTransmission,
 )
 from repro.errors import LogError
+from repro.obs.hub import DISABLED
 
 
 class LocalLog:
@@ -29,10 +30,12 @@ class LocalLog:
 
     Args:
         participant: Name of the owning participant (for errors/traces).
+        obs: Observability hub (defaults to the shared disabled hub).
     """
 
-    def __init__(self, participant: str) -> None:
+    def __init__(self, participant: str, obs=None) -> None:
         self.participant = participant
+        self.obs = obs if obs is not None else DISABLED
         self.entries: List[LogEntry] = []
         self._comm_by_destination: Dict[str, List[int]] = {}
         self._last_received_from: Dict[str, int] = {}
@@ -83,6 +86,15 @@ class LocalLog:
                     self._last_received_from.get(source, 0), position
                 )
                 self._received_positions.setdefault(source, set()).add(position)
+        if self.obs.enabled:
+            self.obs.counter(
+                "log_appends_total",
+                participant=self.participant,
+                record_type=record_type,
+            ).inc()
+            self.obs.gauge(
+                "log_length", participant=self.participant
+            ).set(len(self.entries))
         return entry
 
     def read(self, position: int) -> LogEntry:

@@ -43,9 +43,16 @@ class SignResponse(Message):
 
 @dataclasses.dataclass
 class TransmissionMessage(Message):
-    """A sealed transmission record crossing the wide area."""
+    """A sealed transmission record crossing the wide area.
+
+    ``trace`` carries the originating commit's observability context
+    (``(trace_id, parent_span_id)``) across the WAN so the destination's
+    receive-verification joins the same trace. Metadata only: it is not
+    part of the sealed record and never covered by signatures.
+    """
 
     sealed: Optional[SealedTransmission] = None
+    trace: Optional[Tuple[int, int]] = None
 
     def size_bytes(self) -> int:
         if self.sealed is None:

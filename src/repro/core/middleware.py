@@ -30,6 +30,7 @@ from repro.core.unit import BlockplaneUnit
 from repro.core.verification import AcceptAll, VerificationRoutines
 from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigurationError
+from repro.obs.hub import DISABLED, Observability
 from repro.sim.network import Network, NetworkOptions
 from repro.sim.simulator import Simulator
 from repro.sim.topology import Topology
@@ -54,6 +55,10 @@ class BlockplaneDeployment:
         replication_sets: participant → ordered geo replication set
             (``2·fg + 1`` names, the participant first). Defaults to
             each participant plus its ``2·fg`` closest peers.
+        obs: :class:`~repro.obs.Observability` hub; when enabled, every
+            layer (PBFT, Local Logs, daemons, geo, network) records
+            metrics and commit-lifecycle spans into it. Defaults to the
+            shared disabled hub (near-zero overhead).
     """
 
     def __init__(
@@ -70,11 +75,19 @@ class BlockplaneDeployment:
         node_class_overrides: Optional[Dict[str, Type[BlockplaneNode]]] = None,
         replication_sets: Optional[Dict[str, List[str]]] = None,
         key_seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.config = config or BlockplaneConfig()
-        self.network = network or Network(sim, topology, network_options)
+        self.obs = obs if obs is not None else DISABLED
+        if self.obs.enabled:
+            self.obs.bind_clock(sim)
+        self.network = network or Network(
+            sim, topology, network_options, obs=self.obs
+        )
+        if network is not None and self.obs.enabled:
+            network.obs = self.obs
         self.registry = KeyRegistry(seed=key_seed)
         self.directory = Directory(topology, self.registry)
         names = participants or topology.site_names
@@ -103,6 +116,7 @@ class BlockplaneDeployment:
                 # that node's own log replay.
                 routines_factory=(lambda n=name: factory(n)),
                 node_class_overrides=node_class_overrides,
+                obs=self.obs,
             )
         if self.config.f_geo > 0:
             sets = replication_sets or self._default_replication_sets(names)

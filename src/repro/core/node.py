@@ -90,6 +90,7 @@ class BlockplaneNode(PBFTReplica):
         config: BlockplaneConfig,
         directory: Directory,
         routines: VerificationRoutines,
+        obs=None,
     ) -> None:
         super().__init__(
             sim,
@@ -99,6 +100,7 @@ class BlockplaneNode(PBFTReplica):
             peers=peers,
             config=config.pbft,
             verifier=None,
+            obs=obs,
         )
         self.verifier = self._blockplane_verifier
         self.participant = participant
@@ -106,7 +108,7 @@ class BlockplaneNode(PBFTReplica):
         self.directory = directory
         self.routines = routines
         directory.registry.register(node_id)
-        self.local_log = LocalLog(participant)
+        self.local_log = LocalLog(participant, obs=self.obs)
         self.mirror_logs: Dict[str, List[MirrorEntry]] = {}
         self.reception_buffers: Dict[str, deque] = {}
         self._reception_waiters: List[Tuple[Optional[str], Future]] = []
@@ -147,6 +149,7 @@ class BlockplaneNode(PBFTReplica):
         record_type: str,
         meta: Optional[Dict[str, Any]] = None,
         payload_bytes: int = 0,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> Future:
         """Commit a value to the unit's Local Log via PBFT.
 
@@ -154,7 +157,9 @@ class BlockplaneNode(PBFTReplica):
         instruction. Returns a future resolving with the
         :class:`~repro.pbft.messages.CommittedEntry`.
         """
-        return self.submit(value, record_type, meta, payload_bytes)
+        return self.submit(
+            value, record_type, meta, payload_bytes, trace_ctx=trace_ctx
+        )
 
     # ------------------------------------------------------------------
     # Verification dispatch (PBFT hook)
@@ -336,6 +341,8 @@ class BlockplaneNode(PBFTReplica):
             committed.meta,
             committed.payload_bytes,
         )
+        if self.obs.enabled:
+            self._record_apply_obs(committed, entry)
         self._seq_to_position[committed.seq] = entry.position
         for waiter in self._position_waiters.pop(committed.seq, []):
             if not waiter.resolved:
@@ -345,6 +352,30 @@ class BlockplaneNode(PBFTReplica):
         for callback in list(self.on_log_append):
             callback(entry)
         self._retry_deferred_sign_requests()
+
+    def _record_apply_obs(self, committed: CommittedEntry, entry: LogEntry) -> None:
+        """Local-Log apply metrics and spans for a freshly appended
+        entry (log_appends/log_length live in the LocalLog itself)."""
+        if committed.record_type == RECORD_RECEIVED:
+            sealed: SealedTransmission = committed.value
+            self.obs.counter(
+                "bp_receptions_total",
+                participant=self.participant,
+                source=sealed.record.source,
+            ).inc()
+        trace = self._slot_traces.pop(committed.seq, None)
+        if not self.obs.tracing or trace is None:
+            return
+        # Let the communication daemon and geo coordinator — which only
+        # see the LogEntry — attach their spans to this commit's trace.
+        self.obs.register_entry_trace(self.participant, entry.position, trace)
+        self.obs.complete_span(
+            "log.apply" if committed.record_type != RECORD_RECEIVED
+            else "receive.apply",
+            self.sim.now, self.sim.now, trace,
+            participant=self.participant, node=self.node_id,
+            position=entry.position, record_type=committed.record_type,
+        )
 
     def position_future(self, seq: int) -> Future:
         """Future resolving with the Local Log position of the entry
@@ -366,7 +397,9 @@ class BlockplaneNode(PBFTReplica):
         # submission won, cancel ours so its timer cannot fire forever.
         rid = self._submitted_receptions.pop(key, None)
         if rid is not None:
-            self._pending.pop(rid, None)
+            cancelled = self._pending.pop(rid, None)
+            if cancelled is not None and cancelled.span is not None:
+                self.obs.end_span(cancelled.span, superseded=True)
         # Commit (slot) order can differ from chain order when a later
         # message raced ahead; deliver to the application strictly along
         # the source's chain pointers.
@@ -461,6 +494,11 @@ class BlockplaneNode(PBFTReplica):
         key = (record.source, record.source_position)
         if record.destination != self.participant:
             return
+        if self.obs.enabled:
+            # First arrival at the destination closes the wide-area hop
+            # span (duplicate deliveries are no-ops in the hub).
+            self.obs.end_wan_span(record.source, record.destination,
+                                  record.source_position)
         if self.local_log.has_received(*key):
             return  # duplicate delivery (extra daemons are expected)
         if key in self._submitted_receptions:
@@ -470,6 +508,7 @@ class BlockplaneNode(PBFTReplica):
             RECORD_RECEIVED,
             meta={"source": record.source},
             payload_bytes=record.payload_bytes,
+            trace_ctx=msg.trace,
         )
         self._submitted_receptions[key] = (self.node_id, self._request_counter)
 

@@ -16,6 +16,7 @@ from repro.core.geo import GeoCoordinator
 from repro.core.node import BlockplaneNode
 from repro.core.verification import AcceptAll, VerificationRoutines
 from repro.errors import ConfigurationError
+from repro.obs.hub import DISABLED
 
 
 class BlockplaneUnit:
@@ -41,12 +42,14 @@ class BlockplaneUnit:
         directory: Directory,
         routines_factory=None,
         node_class_overrides: Optional[Dict[str, Type[BlockplaneNode]]] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.participant = participant
         self.config = config
         self.directory = directory
+        self.obs = obs if obs is not None else DISABLED
         if routines_factory is None:
             routines_factory = AcceptAll
         elif isinstance(routines_factory, VerificationRoutines):
@@ -74,6 +77,7 @@ class BlockplaneUnit:
                 config,
                 directory,
                 routines,
+                obs=self.obs,
             )
             bind = getattr(routines, "bind", None)
             if callable(bind):

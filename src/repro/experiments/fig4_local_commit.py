@@ -44,6 +44,7 @@ def run_one(
     warmup: int = 100,
     f_independent: int = 1,
     seed: int = 0,
+    obs=None,
 ) -> Dict[str, float]:
     """Measure local commitment for one batch size.
 
@@ -55,6 +56,7 @@ def run_one(
         sim,
         single_dc_topology("V"),
         BlockplaneConfig(f_independent=f_independent),
+        obs=obs,
     )
     api = deployment.api("V")
     workload = BatchWorkload(
@@ -76,17 +78,22 @@ def run(
     measured: int = 1000,
     warmup: int = 100,
     seed: int = 0,
+    obs=None,
 ) -> Dict[int, Dict[str, float]]:
     """Sweep batch sizes; returns size → metrics."""
     return {
-        size: run_one(size, measured=measured, warmup=warmup, seed=seed)
+        size: run_one(
+            size, measured=measured, warmup=warmup, seed=seed, obs=obs
+        )
         for size in batch_sizes
     }
 
 
-def main(measured: int = 200, warmup: int = 20) -> Dict[int, Dict[str, float]]:
+def main(
+    measured: int = 200, warmup: int = 20, obs=None
+) -> Dict[int, Dict[str, float]]:
     """Print Figure 4's two panels (smaller run by default)."""
-    results = run(measured=measured, warmup=warmup)
+    results = run(measured=measured, warmup=warmup, obs=obs)
     rows = []
     for size, metrics in results.items():
         paper = PAPER_LATENCY_MS.get(size)

@@ -39,6 +39,7 @@ def run_one(
     measured: int = 100,
     warmup: int = 10,
     seed: int = 0,
+    obs=None,
 ) -> float:
     """Mean commit latency (ms) at ``site`` with the given fg."""
     sim = Simulator(seed=seed)
@@ -46,6 +47,7 @@ def run_one(
         sim,
         aws_four_dc_topology(),
         BlockplaneConfig(f_independent=1, f_geo=f_geo),
+        obs=obs,
     )
     api = deployment.api(site)
     workload = BatchWorkload(
@@ -65,20 +67,26 @@ def run(
     measured: int = 100,
     warmup: int = 10,
     seed: int = 0,
+    obs=None,
 ) -> Dict[str, Dict[int, float]]:
     """Full sweep; returns site → fg → latency ms."""
     return {
         site: {
-            fg: run_one(site, fg, measured=measured, warmup=warmup, seed=seed)
+            fg: run_one(
+                site, fg, measured=measured, warmup=warmup, seed=seed,
+                obs=obs,
+            )
             for fg in fg_levels
         }
         for site in sites
     }
 
 
-def main(measured: int = 50, warmup: int = 5) -> Dict[str, Dict[int, float]]:
+def main(
+    measured: int = 50, warmup: int = 5, obs=None
+) -> Dict[str, Dict[int, float]]:
     """Print Figure 5 (smaller run by default)."""
-    results = run(measured=measured, warmup=warmup)
+    results = run(measured=measured, warmup=warmup, obs=obs)
     rows = []
     for site, by_fg in results.items():
         for fg, latency in by_fg.items():

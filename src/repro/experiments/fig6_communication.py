@@ -38,11 +38,13 @@ def run_pair(
     rounds: int = 20,
     warmup: int = 2,
     seed: int = 0,
+    obs=None,
 ) -> float:
     """Mean send→receive→ack latency (ms) for one ordered pair."""
     sim = Simulator(seed=seed)
     deployment = BlockplaneDeployment(
-        sim, aws_four_dc_topology(), BlockplaneConfig(f_independent=1)
+        sim, aws_four_dc_topology(), BlockplaneConfig(f_independent=1),
+        obs=obs,
     )
     api_src = deployment.api(source)
     api_dst = deployment.api(destination)
@@ -74,18 +76,19 @@ def run(
     rounds: int = 20,
     warmup: int = 2,
     seed: int = 0,
+    obs=None,
 ) -> Dict[Tuple[str, str], float]:
     """All six pairs; returns (a, b) → round-trip latency ms."""
     return {
-        pair: run_pair(*pair, rounds=rounds, warmup=warmup, seed=seed)
+        pair: run_pair(*pair, rounds=rounds, warmup=warmup, seed=seed, obs=obs)
         for pair in pairs
     }
 
 
-def main(rounds: int = 10) -> Dict[Tuple[str, str], float]:
+def main(rounds: int = 10, obs=None) -> Dict[Tuple[str, str], float]:
     """Print Figure 6."""
     topology = aws_four_dc_topology()
-    results = run(rounds=rounds)
+    results = run(rounds=rounds, obs=obs)
     rows = []
     for (a, b), latency in results.items():
         rtt = topology.rtt_ms(a, b)

@@ -32,6 +32,7 @@ def run_one(
     measured: int = 1000,
     warmup: int = 100,
     seed: int = 0,
+    obs=None,
 ) -> Dict[str, float]:
     """Measure local commitment for one fault-tolerance level."""
     sim = Simulator(seed=seed)
@@ -39,6 +40,7 @@ def run_one(
         sim,
         single_dc_topology("V"),
         BlockplaneConfig(f_independent=f_independent),
+        obs=obs,
     )
     api = deployment.api("V")
     workload = BatchWorkload(
@@ -61,20 +63,24 @@ def run(
     measured: int = 1000,
     warmup: int = 100,
     seed: int = 0,
+    obs=None,
 ) -> Dict[int, Dict[str, float]]:
     """Sweep fi; returns node count → metrics."""
     results = {}
     for f_independent in f_values:
         metrics = run_one(
-            f_independent, measured=measured, warmup=warmup, seed=seed
+            f_independent, measured=measured, warmup=warmup, seed=seed,
+            obs=obs,
         )
         results[int(metrics["nodes"])] = metrics
     return results
 
 
-def main(measured: int = 200, warmup: int = 20) -> Dict[int, Dict[str, float]]:
+def main(
+    measured: int = 200, warmup: int = 20, obs=None
+) -> Dict[int, Dict[str, float]]:
     """Print Table II (smaller run by default)."""
-    results = run(measured=measured, warmup=warmup)
+    results = run(measured=measured, warmup=warmup, obs=obs)
     rows = []
     for nodes, metrics in results.items():
         paper_throughput, paper_latency = PAPER_TABLE2.get(nodes, (None, None))

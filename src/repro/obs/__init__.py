@@ -1,0 +1,59 @@
+"""``repro.obs`` — the deployment-wide observability subsystem.
+
+The measurement backbone for every performance and robustness claim the
+reproduction makes:
+
+* :class:`~repro.obs.hub.Observability` — per-deployment hub bundling a
+  metrics registry and a span log, bound to the simulator's virtual
+  clock. Construct one with ``enabled=True`` and pass it to
+  :class:`~repro.core.middleware.BlockplaneDeployment`; every layer
+  (PBFT replicas, Local Logs, daemons, geo replication, the network)
+  records into it. The default is a shared disabled hub whose only cost
+  is one attribute check per instrumentation site.
+* :class:`~repro.obs.registry.MetricsRegistry` with
+  :class:`~repro.obs.registry.Counter`,
+  :class:`~repro.obs.registry.Gauge`, and virtual-time-windowed
+  :class:`~repro.obs.registry.Histogram`.
+* :class:`~repro.obs.spans.SpanLog` /
+  :class:`~repro.obs.spans.Span` — commit-lifecycle tracing with
+  parent/child links across nodes and datacenters.
+* Exporters (:mod:`repro.obs.exporters`): JSON snapshot, Prometheus
+  text format, Chrome trace-event JSON (``chrome://tracing`` /
+  Perfetto).
+
+Metric names and the span taxonomy are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.hub import DISABLED, Observability, TraceCtx
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import Span, SpanLog
+from repro.obs.exporters import (
+    export_all,
+    metrics_snapshot,
+    to_chrome_trace,
+    to_prometheus_text,
+)
+
+__all__ = [
+    "Observability",
+    "DISABLED",
+    "TraceCtx",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Span",
+    "SpanLog",
+    "metrics_snapshot",
+    "to_prometheus_text",
+    "to_chrome_trace",
+    "export_all",
+]

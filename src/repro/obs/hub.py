@@ -1,0 +1,218 @@
+"""The :class:`Observability` hub — one per deployment.
+
+The hub bundles a :class:`~repro.obs.registry.MetricsRegistry` and a
+:class:`~repro.obs.spans.SpanLog`, binds them to a simulator's virtual
+clock, and carries the cross-component correlation state that lets a
+trace follow one commit across nodes and datacenters:
+
+* ``register_entry_trace`` maps a committed Local Log entry
+  ``(participant, position)`` to its trace context, so the communication
+  daemon and geo coordinator — which only see the entry — can attach
+  their spans to the originating commit's trace;
+* ``begin_wan_span``/``end_wan_span`` hold the in-flight wide-area
+  transmission spans, opened at the shipping daemon and closed when the
+  destination first receives the record.
+
+Instrumented components hold an ``obs`` attribute that is *never* None:
+when observability is off they share the module-level :data:`DISABLED`
+hub, and every instrumentation site guards itself with a single
+``if self.obs.enabled`` attribute check — the near-zero-overhead path
+benchmarks run on.
+
+A trace context travels as a plain ``(trace_id, parent_span_id)`` tuple
+(``TraceCtx``) inside protocol messages; it is metadata only and is
+never covered by digests or signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import Span, SpanLog
+
+#: Trace context as carried inside messages: (trace_id, parent_span_id).
+TraceCtx = Tuple[int, int]
+
+
+class Observability:
+    """Deployment-wide metrics + tracing session.
+
+    Args:
+        enabled: Master switch. When False every instrumentation site
+            short-circuits on the first attribute check.
+        tracing: Record spans (metrics-only sessions set this False).
+        histogram_window_ms: Window size for virtual-time-windowed
+            histograms created through :meth:`histogram` (None disables
+            windowing).
+        max_spans: Span ring-buffer capacity.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracing: bool = True,
+        histogram_window_ms: Optional[float] = None,
+        max_spans: Optional[int] = 200_000,
+    ) -> None:
+        self.enabled = enabled
+        self.tracing = enabled and tracing
+        self.histogram_window_ms = histogram_window_ms
+        self.registry = MetricsRegistry()
+        self.spans = SpanLog(max_spans=max_spans)
+        self._sim = None
+        self._entry_traces: Dict[Tuple[str, int], TraceCtx] = {}
+        self._wan_spans: Dict[Tuple[str, str, int], Span] = {}
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def bind_clock(self, sim) -> None:
+        """Attach the simulator whose virtual clock stamps everything.
+
+        A deployment binds its simulator at construction; re-binding is
+        legal (one hub may aggregate several sequential runs, as the
+        ``--obs-out`` CLI flag does).
+        """
+        self._sim = sim
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (0.0 before a clock is bound)."""
+        sim = self._sim
+        return sim.now if sim is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Metrics pass-throughs
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        **labels: Any,
+    ) -> Histogram:
+        return self.registry.histogram(
+            name, buckets=buckets,
+            window_ms=self.histogram_window_ms, **labels,
+        )
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Shorthand: observe into a (default-bucket) histogram at the
+        current virtual time."""
+        self.histogram(name, **labels).observe(value, at=self.now)
+
+    # ------------------------------------------------------------------
+    # Span helpers (all no-ops unless ``tracing``)
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        name: str,
+        ctx: Optional[TraceCtx] = None,
+        participant: str = "",
+        node: str = "",
+        **args: Any,
+    ) -> Optional[Span]:
+        """Open a span under ``ctx`` (or as a new trace root when
+        ``ctx`` is None). Returns None when tracing is off."""
+        if not self.tracing:
+            return None
+        trace_id, parent_id = ctx if ctx is not None else (None, None)
+        return self.spans.begin(
+            name, self.now, trace_id=trace_id, parent_id=parent_id,
+            participant=participant, node=node, **args,
+        )
+
+    def end_span(self, span: Optional[Span], **args: Any) -> None:
+        if span is not None:
+            self.spans.end(span, self.now, **args)
+
+    def complete_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        ctx: Optional[TraceCtx] = None,
+        participant: str = "",
+        node: str = "",
+        **args: Any,
+    ) -> Optional[Span]:
+        """Record an already-bounded span under ``ctx``."""
+        if not self.tracing:
+            return None
+        trace_id, parent_id = ctx if ctx is not None else (None, None)
+        return self.spans.complete(
+            name, start, end, trace_id=trace_id, parent_id=parent_id,
+            participant=participant, node=node, **args,
+        )
+
+    @staticmethod
+    def ctx_of(span: Optional[Span]) -> Optional[TraceCtx]:
+        """The trace context children of ``span`` should carry."""
+        if span is None:
+            return None
+        return (span.trace_id, span.span_id)
+
+    # ------------------------------------------------------------------
+    # Cross-component correlation
+    # ------------------------------------------------------------------
+    def register_entry_trace(
+        self, participant: str, position: int, ctx: TraceCtx
+    ) -> None:
+        """Remember which trace committed Local Log entry
+        ``(participant, position)`` (first registration wins)."""
+        self._entry_traces.setdefault((participant, position), ctx)
+
+    def entry_trace(self, participant: str, position: int) -> Optional[TraceCtx]:
+        """Trace context of a committed entry, if it was traced."""
+        return self._entry_traces.get((participant, position))
+
+    def begin_wan_span(
+        self,
+        source: str,
+        destination: str,
+        position: int,
+        ctx: Optional[TraceCtx],
+        node: str = "",
+    ) -> Optional[Span]:
+        """Open the wide-area hop span for one transmission record; it
+        stays open until the destination first sees the record."""
+        if not self.tracing:
+            return None
+        key = (source, destination, position)
+        span = self._wan_spans.get(key)
+        if span is not None:
+            return span  # reserve re-ship of an in-flight record
+        span = self.begin_span(
+            "wan.transmit", ctx, participant=source, node=node,
+            destination=destination, position=position,
+        )
+        if span is not None:
+            self._wan_spans[key] = span
+        return span
+
+    def end_wan_span(
+        self, source: str, destination: str, position: int
+    ) -> Optional[Span]:
+        """Close the wide-area hop span at first reception (later
+        duplicate deliveries are no-ops)."""
+        span = self._wan_spans.pop((source, destination, position), None)
+        if span is not None:
+            self.end_span(span)
+        return span
+
+
+#: Shared no-op hub used as the default ``obs`` of every instrumented
+#: component. Never bind a clock or record into this instance.
+DISABLED = Observability(enabled=False)

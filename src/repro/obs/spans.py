@@ -1,0 +1,172 @@
+"""Span-based tracing over virtual time.
+
+A :class:`Span` is one named interval of a commit's lifecycle —
+``commit``, ``pbft.prepare``, ``daemon.ship``, ``wan.transmit``,
+``receive.apply`` — stamped with the participant and node it ran on.
+Spans link into traces: every span carries a ``trace_id`` shared by the
+whole logical commit and a ``parent_id`` pointing at the span that
+caused it, so one cross-datacenter commit reads as a single tree from
+the source's ``log-commit`` to the destination's receive-verification.
+
+The log is append-only and bounded (``max_spans`` is a ring buffer so a
+long traced run cannot grow without limit). Like the metrics registry,
+recording spans is passive — no events, no randomness — so tracing can
+never change what a simulation does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+@dataclasses.dataclass
+class Span:
+    """One interval in one trace.
+
+    Attributes:
+        span_id: Unique within the session.
+        trace_id: The logical commit this span belongs to.
+        parent_id: Causing span (None for roots).
+        name: Phase name from the span taxonomy (docs/OBSERVABILITY.md).
+        category: Coarse grouping for trace viewers ("api", "pbft",
+            "daemon", "geo", "net").
+        start_ms / end_ms: Virtual-time bounds; ``end_ms`` is None while
+            the span is open.
+        participant: Site the span ran at.
+        node: Node id the span ran at ("" for deployment-level spans).
+        args: Free-form annotations (record type, position, seq…).
+    """
+
+    span_id: int
+    trace_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_ms: float
+    end_ms: Optional[float] = None
+    participant: str = ""
+    node: str = ""
+    args: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        """Span length in virtual milliseconds (0.0 while open)."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+
+class SpanLog:
+    """Bounded, append-only store of spans plus id allocation.
+
+    Args:
+        max_spans: Ring-buffer capacity; the oldest spans are dropped
+            once exceeded (None = unbounded, for tests).
+    """
+
+    def __init__(self, max_spans: Optional[int] = 200_000) -> None:
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self._next_span_id = 1
+        self._next_trace_id = 1
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def new_trace(self) -> int:
+        """Allocate a fresh trace id (one per logical commit)."""
+        trace_id = self._next_trace_id
+        self._next_trace_id += 1
+        return trace_id
+
+    def begin(
+        self,
+        name: str,
+        at: float,
+        trace_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        category: str = "",
+        participant: str = "",
+        node: str = "",
+        **args: Any,
+    ) -> Span:
+        """Open a span at virtual time ``at``. Allocates a new trace
+        when ``trace_id`` is None (the span becomes a root)."""
+        if trace_id is None:
+            trace_id = self.new_trace()
+        span = Span(
+            span_id=self._next_span_id,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            name=name,
+            category=category or name.split(".", 1)[0],
+            start_ms=at,
+            participant=participant,
+            node=node,
+            args=dict(args) if args else {},
+        )
+        self._next_span_id += 1
+        self._spans.append(span)
+        return span
+
+    def end(self, span: Span, at: float, **args: Any) -> Span:
+        """Close an open span at virtual time ``at``."""
+        if span.end_ms is None:
+            span.end_ms = at
+        if args:
+            span.args.update(args)
+        return span
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        trace_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        category: str = "",
+        participant: str = "",
+        node: str = "",
+        **args: Any,
+    ) -> Span:
+        """Record a span whose bounds are already known (used for PBFT
+        phases, which are reconstructed from slot timestamps when the
+        slot executes)."""
+        span = self.begin(
+            name,
+            start,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            category=category,
+            participant=participant,
+            node=node,
+            **args,
+        )
+        span.end_ms = end
+        return span
+
+    # ------------------------------------------------------------------
+    # Queries (tests and exporters)
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All retained spans in record order."""
+        return list(self._spans)
+
+    def by_trace(self, trace_id: int) -> List[Span]:
+        """Spans of one trace, ordered by start time then id."""
+        return sorted(
+            (s for s in self._spans if s.trace_id == trace_id),
+            key=lambda s: (s.start_ms, s.span_id),
+        )
+
+    def named(self, name: str) -> List[Span]:
+        """All retained spans with the given name."""
+        return [s for s in self._spans if s.name == name]
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but never ended (diagnostic aid)."""
+        return [s for s in self._spans if s.end_ms is None]

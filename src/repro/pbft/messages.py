@@ -49,12 +49,19 @@ class CommittedEntry:
 
 @dataclasses.dataclass
 class ClientRequest(Message):
-    """Submit a value for commitment (client/submitter → leader)."""
+    """Submit a value for commitment (client/submitter → leader).
+
+    ``trace`` is an optional observability context
+    (``(trace_id, parent_span_id)``) propagated into the pre-prepare so
+    every replica can attribute the slot's phases to the originating
+    commit's trace. It is metadata only — never signed or digested.
+    """
 
     request_id: Tuple[str, int] = ("", 0)
     value: Any = None
     record_type: str = RECORD_TYPE_COMMIT
     meta: Optional[Dict[str, Any]] = None
+    trace: Optional[Tuple[int, int]] = None
 
 
 @dataclasses.dataclass
@@ -68,6 +75,7 @@ class PrePrepare(Message):
     value: Any = None
     record_type: str = RECORD_TYPE_COMMIT
     meta: Optional[Dict[str, Any]] = None
+    trace: Optional[Tuple[int, int]] = None
 
 
 @dataclasses.dataclass

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.crypto.digest import stable_digest
 from repro.errors import ProtocolError, VerificationFailed
+from repro.obs.hub import DISABLED
 from repro.pbft.config import PBFTConfig
 from repro.pbft.messages import (
     CatchUpRequest,
@@ -76,6 +77,11 @@ class _Slot:
     commit_sent: bool = False
     committed: bool = False
     executed: bool = False
+    # Observability: virtual-time phase stamps (-1 = not reached) and
+    # the originating commit's trace context, if any.
+    t_pre_prepare: float = -1.0
+    t_prepared: float = -1.0
+    trace: Optional[Tuple[int, int]] = None
 
 
 @dataclasses.dataclass
@@ -91,6 +97,8 @@ class _PendingRequest:
         default_factory=dict
     )
     retries: int = 0
+    trace_ctx: Optional[Tuple[int, int]] = None
+    span: Any = None  # open "pbft.consensus" span at the origin
 
 
 class PBFTReplica(Node):
@@ -122,8 +130,11 @@ class PBFTReplica(Node):
         peers: List[str],
         config: Optional[PBFTConfig] = None,
         verifier: Optional[Verifier] = None,
+        obs=None,
     ) -> None:
         super().__init__(sim, network, node_id, site)
+        #: Observability hub (shared no-op instance when disabled).
+        self.obs = obs if obs is not None else DISABLED
         if node_id not in peers:
             raise ProtocolError(f"{node_id} missing from its own peer list")
         if len(peers) < 4:
@@ -153,6 +164,10 @@ class PBFTReplica(Node):
         self._last_view_change_vote: Optional[ViewChange] = None
         self._escalations = 0
         self._checkpoints: Dict[int, Dict[str, str]] = {}
+        #: seq → trace context of a just-executed traced slot; consumed
+        #: by subclasses that attach further spans (Blockplane's Local
+        #: Log apply pops entries as it handles them).
+        self._slot_traces: Dict[int, Tuple[int, int]] = {}
         self._deferred_verification: set = set()
         self._catch_up_tally: Dict[int, Dict[str, set]] = {}
         self._catch_up_values: Dict[Tuple[int, str], CommittedEntry] = {}
@@ -190,8 +205,15 @@ class PBFTReplica(Node):
         record_type: str = "log-commit",
         meta: Optional[Dict[str, Any]] = None,
         payload_bytes: int = 0,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> Future:
         """Submit a value for total-order commitment.
+
+        Args:
+            trace_ctx: Optional observability trace context
+                ``(trace_id, parent_span_id)``; when tracing is on the
+                consensus round and its phases are recorded as child
+                spans of it.
 
         Returns:
             A future resolving with the :class:`CommittedEntry` once
@@ -207,7 +229,14 @@ class PBFTReplica(Node):
             record_type=record_type,
             meta=meta,
             payload_bytes=payload_bytes,
+            trace_ctx=trace_ctx,
         )
+        if trace_ctx is not None and self.obs.tracing:
+            pending.span = self.obs.begin_span(
+                "pbft.consensus", trace_ctx,
+                participant=self.site, node=self.node_id,
+                record_type=record_type,
+            )
         self._pending[request_id] = pending
         self._dispatch_request(request_id)
         self.set_timer(
@@ -225,6 +254,7 @@ class PBFTReplica(Node):
             value=pending.value,
             record_type=pending.record_type,
             meta=pending.meta,
+            trace=pending.trace_ctx,
         )
         leader = self.leader_of(self.view)
         if leader == self.node_id:
@@ -377,6 +407,7 @@ class PBFTReplica(Node):
             value=msg.value,
             record_type=msg.record_type,
             meta=msg.meta,
+            trace=msg.trace,
         )
         self.broadcast(self.peers, pre_prepare)
         self.handle_pre_prepare(pre_prepare, self.node_id)
@@ -413,6 +444,8 @@ class PBFTReplica(Node):
         pending = self._pending.pop(msg.request_id, None)
         if pending is None:
             return
+        if pending.span is not None:
+            self.obs.end_span(pending.span, rejected=msg.reason)
         if not pending.future.resolved:
             pending.future.reject(
                 VerificationFailed(
@@ -462,6 +495,9 @@ class PBFTReplica(Node):
         slot.request_id = msg.request_id
         slot.payload_bytes = msg.payload_bytes
         slot.has_pre_prepare = True
+        if self.obs.enabled and slot.t_pre_prepare < 0:
+            slot.t_pre_prepare = self.sim.now
+            slot.trace = msg.trace
         if not slot.prepare_sent:
             slot.prepare_sent = True
             slot.prepares.add(self.node_id)
@@ -500,6 +536,8 @@ class PBFTReplica(Node):
             return
         if len(slot.prepares) < 2 * self.f + 1:
             return
+        if self.obs.enabled and slot.t_prepared < 0:
+            slot.t_prepared = self.sim.now
         # --- Blockplane modification #2: the verification routine runs
         # between the prepared state and the commit broadcast. A routine
         # may return None to *defer* (e.g. a received record whose chain
@@ -514,6 +552,10 @@ class PBFTReplica(Node):
                 "pbft.verify_reject", self.sim.now,
                 node=self.node_id, seq=seq, record_type=slot.record_type,
             )
+            if self.obs.enabled:
+                self.obs.counter(
+                    "pbft_verify_rejects_total", participant=self.site
+                ).inc()
             return
         slot.commit_sent = True
         slot.commits.add(self.node_id)
@@ -615,6 +657,8 @@ class PBFTReplica(Node):
             "pbft.execute", self.sim.now,
             node=self.node_id, seq=entry.seq, record_type=entry.record_type,
         )
+        if self.obs.enabled and entry.record_type != NOOP_RECORD_TYPE:
+            self._record_slot_obs(entry, slot)
         for callback in self.on_executed:
             callback(entry)
         origin = slot.request_id[0]
@@ -632,6 +676,52 @@ class PBFTReplica(Node):
             and entry.seq % self.config.checkpoint_interval == 0
         ):
             self._broadcast_checkpoint(entry.seq)
+
+    def _record_slot_obs(self, entry: CommittedEntry, slot: _Slot) -> None:
+        """Phase metrics and spans for a just-executed slot.
+
+        Recorded only at the request's *origin* replica so each commit
+        contributes exactly one sample per phase (every replica sees
+        the same virtual-time quorum points; sampling all of them would
+        just quadruple identical data).
+        """
+        if slot.request_id[0] != self.node_id or slot.t_pre_prepare < 0:
+            return
+        now = self.sim.now
+        site = self.site
+        obs = self.obs
+        prepared = slot.t_prepared if slot.t_prepared >= 0 else now
+        obs.histogram(
+            "pbft_preprepare_to_prepared_ms", participant=site
+        ).observe(prepared - slot.t_pre_prepare, at=now)
+        obs.histogram(
+            "pbft_prepared_to_committed_ms", participant=site
+        ).observe(now - prepared, at=now)
+        obs.counter(
+            "pbft_commits_total", participant=site,
+            record_type=entry.record_type,
+        ).inc()
+        if not obs.tracing or slot.trace is None:
+            return
+        self._slot_traces[entry.seq] = slot.trace
+        pending = self._pending.get(slot.request_id)
+        parent = pending.span if pending is not None else None
+        ctx = (
+            obs.ctx_of(parent) if parent is not None else slot.trace
+        )
+        common = dict(participant=site, node=self.node_id, seq=entry.seq)
+        obs.complete_span(
+            "pbft.pre_prepare", slot.t_pre_prepare, slot.t_pre_prepare,
+            ctx, **common,
+        )
+        obs.complete_span(
+            "pbft.prepare", slot.t_pre_prepare, prepared, ctx, **common
+        )
+        obs.complete_span(
+            "pbft.verify", prepared, prepared, ctx,
+            record_type=entry.record_type, **common,
+        )
+        obs.complete_span("pbft.commit", prepared, now, ctx, **common)
 
     def handle_reply(self, msg: Reply, src: str) -> None:
         """Origin side: resolve the submit future on f+1 matching
@@ -656,6 +746,8 @@ class PBFTReplica(Node):
             meta=pending.meta,
             payload_bytes=pending.payload_bytes,
         )
+        if pending.span is not None:
+            self.obs.end_span(pending.span, seq=msg.seq)
         if not pending.future.resolved:
             pending.future.resolve(entry)
 
@@ -724,6 +816,10 @@ class PBFTReplica(Node):
             "pbft.view_change_vote", self.sim.now,
             node=self.node_id, new_view=new_view,
         )
+        if self.obs.enabled:
+            self.obs.counter(
+                "pbft_view_changes_total", participant=self.site
+            ).inc()
         self.broadcast(self.peers, vote)
         self.handle_view_change(vote, self.node_id)
         # Exponential backoff (standard PBFT): if view changes keep

@@ -38,6 +38,17 @@ class LatencySeries:
         return sum(self.samples) / len(self.samples)
 
     @property
+    def stddev(self) -> float:
+        """Sample standard deviation (n-1 denominator; 0.0 with fewer
+        than two samples)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self.samples) / (n - 1)
+        return math.sqrt(variance)
+
+    @property
     def minimum(self) -> float:
         return min(self.samples) if self.samples else 0.0
 
@@ -64,11 +75,34 @@ class LatencySeries:
         # neighbours are equal, keeping percentiles monotone in q.
         return ordered[low] + (ordered[high] - ordered[low]) * frac
 
+    def histogram(self, bucket_bounds: Sequence[float]) -> List[int]:
+        """Counts per bucket for ascending upper bounds.
+
+        Returns ``len(bucket_bounds) + 1`` counts: one per bound
+        (samples ``<=`` that bound and above the previous one) plus a
+        final overflow bucket for samples above the last bound.
+        """
+        bounds = list(bucket_bounds)
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"bucket bounds must be strictly ascending, got {bounds}"
+            )
+        counts = [0] * (len(bounds) + 1)
+        for sample in self.samples:
+            for index, bound in enumerate(bounds):
+                if sample <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return counts
+
     def summary(self) -> Dict[str, float]:
-        """Dict with count/mean/p50/p95/p99/min/max."""
+        """Dict with count/mean/stddev/p50/p95/p99/min/max."""
         return {
             "count": float(len(self.samples)),
             "mean": self.mean,
+            "stddev": self.stddev,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),

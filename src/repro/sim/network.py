@@ -78,6 +78,8 @@ class Network:
         topology: Site layout and latency matrix.
         options: Bandwidth/overhead parameters (defaults match the
             paper's testbed).
+        obs: Observability hub; when enabled, per-link
+            (``site->site``) message and byte counters are recorded.
     """
 
     def __init__(
@@ -85,10 +87,16 @@ class Network:
         sim: "Simulator",
         topology: Topology,
         options: Optional[NetworkOptions] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.options = options or NetworkOptions()
+        if obs is None:
+            from repro.obs.hub import DISABLED
+
+            obs = DISABLED
+        self.obs = obs
         self.nodes: Dict[str, "Node"] = {}
         self.drop_filters: List[DropFilter] = []
         self.tamper_hooks: List[TamperHook] = []
@@ -97,6 +105,7 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
+        self._link_counters: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -147,6 +156,8 @@ class Network:
         wide_area = src.site != dst.site
         size = message.size_bytes() + self.options.per_message_overhead_bytes
         self.bytes_sent += size
+        if self.obs.enabled:
+            self._count_link(src.site, dst.site, size)
         if src_id == dst_id:
             # Loopback: no NIC involved, only local processing cost.
             self.sim.schedule(
@@ -156,6 +167,21 @@ class Network:
             return
         arrival = self._compute_arrival_time(src, dst, size, wide_area)
         self.sim.schedule_at(arrival, self._arrive, dst_id, src_id, message, size)
+
+    def _count_link(self, src_site: str, dst_site: str, size: int) -> None:
+        """Per-link byte/message counters (counter objects cached so
+        the hot send path does one dict lookup, not a registry walk)."""
+        key = (src_site, dst_site)
+        counters = self._link_counters.get(key)
+        if counters is None:
+            link = f"{src_site}->{dst_site}"
+            counters = (
+                self.obs.counter("net_messages_total", link=link),
+                self.obs.counter("net_bytes_total", link=link),
+            )
+            self._link_counters[key] = counters
+        counters[0].inc()
+        counters[1].inc(size)
 
     def _compute_arrival_time(
         self, src: "Node", dst: "Node", size: int, wide_area: bool

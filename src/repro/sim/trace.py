@@ -8,21 +8,31 @@ longest benchmark runs.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from typing import Any, Dict, Iterator, List, Optional
 
 
 class Tracer:
     """Collects timestamped trace records.
 
-    Attributes:
+    Args:
         enabled: When False, :meth:`record` is a no-op (counters still
             update so message tallies remain available).
+        max_records: Optional ring-buffer cap — when set, only the most
+            recent ``max_records`` records are retained (counters still
+            see everything). The default keeps every record in a plain
+            list, exactly as before.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self, enabled: bool = True, max_records: Optional[int] = None
+    ) -> None:
         self.enabled = enabled
-        self.records: List[Dict[str, Any]] = []
+        self.max_records = max_records
+        if max_records is None:
+            self.records: List[Dict[str, Any]] = []
+        else:
+            self.records = deque(maxlen=max_records)  # type: ignore[assignment]
         self.counters: Counter = Counter()
 
     def record(self, kind: str, time: float, **fields: Any) -> None:

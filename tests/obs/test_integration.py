@@ -1,0 +1,123 @@
+"""Integration: obs on/off equivalence and the end-to-end commit trace.
+
+Instrumentation is passive — it must not change what the simulation
+does, only record it. These tests run the same workloads with and
+without an :class:`Observability` hub and require bit-identical
+results, then check that a traced cross-DC commit produces the full
+span tree the tentpole promises.
+"""
+
+import json
+
+from repro.experiments import fig4_local_commit
+from repro.obs import Observability, to_chrome_trace
+from repro.obs.demo import trace_commit_lifecycle
+
+
+# ----------------------------------------------------------------------
+# Passive-instrumentation equivalence
+# ----------------------------------------------------------------------
+def test_fig4_results_identical_with_obs_on_and_off():
+    baseline = fig4_local_commit.run_one(
+        100_000, measured=20, warmup=2, seed=3
+    )
+    observed = fig4_local_commit.run_one(
+        100_000, measured=20, warmup=2, seed=3,
+        obs=Observability(enabled=True, histogram_window_ms=1000.0),
+    )
+    assert observed == baseline  # bit-identical latency and throughput
+
+
+def test_metrics_agree_with_workload_counts():
+    obs = Observability(enabled=True)
+    fig4_local_commit.run_one(1_000, measured=15, warmup=5, seed=0, obs=obs)
+    commits = obs.counter("bp_commits_total", participant="V",
+                          record_type="log-commit")
+    assert commits.value == 20.0  # warmup + measured, all at V
+    latency = obs.histogram("commit_latency_ms", participant="V")
+    assert latency.count == 20
+    assert latency.min > 0.0
+    # Log appends count per replica: 20 commits x 4 nodes (fi=1).
+    appends = obs.counter("log_appends_total", participant="V",
+                          record_type="log-commit")
+    assert appends.value == 80.0
+    assert obs.gauge("log_length", participant="V").value >= 20.0
+    # Intra-DC traffic shows up on the V->V link.
+    assert obs.counter("net_bytes_total", link="V->V").value > 0.0
+
+
+def test_disabled_obs_records_nothing_during_run():
+    obs = Observability(enabled=False)
+    fig4_local_commit.run_one(1_000, measured=5, warmup=1, seed=0, obs=obs)
+    assert len(obs.registry) == 0
+    assert len(obs.spans) == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end cross-DC commit trace
+# ----------------------------------------------------------------------
+def test_lifecycle_trace_covers_full_commit_path():
+    obs = Observability(enabled=True)
+    trace_commit_lifecycle(obs)
+
+    assert obs.spans.open_spans() == []  # every span closed
+
+    # The send commit's trace reaches from the API call at C through the
+    # WAN hop to the reception apply at V.
+    (wan,) = obs.spans.named("wan.transmit")
+    assert wan.participant == "C"
+    assert wan.args["destination"] == "V"
+    tree = obs.spans.by_trace(wan.trace_id)
+    names = {span.name for span in tree}
+    assert names >= {
+        "commit", "pbft.consensus", "pbft.pre_prepare", "pbft.prepare",
+        "pbft.verify", "pbft.commit", "log.apply", "daemon.ship",
+        "sign.collect", "wan.transmit", "receive.apply",
+    }
+
+    # Every non-root span links to a recorded parent in the same trace.
+    by_id = {span.span_id: span for span in tree}
+    roots = [span for span in tree if span.parent_id is None]
+    assert [span.name for span in roots] == ["commit"]
+    for span in tree:
+        if span.parent_id is not None:
+            assert by_id[span.parent_id].trace_id == span.trace_id
+
+    # Causality: ship starts no earlier than the local apply, the WAN
+    # hop spans a real wide-area latency, and the destination's apply
+    # happens after the hop completes.
+    (ship,) = [s for s in tree if s.name == "daemon.ship"]
+    (apply_c,) = [s for s in tree if s.name == "log.apply"]
+    (apply_v,) = [s for s in tree if s.name == "receive.apply"]
+    assert apply_c.participant == "C"
+    assert apply_v.participant == "V"
+    assert ship.start_ms >= apply_c.end_ms
+    assert wan.duration_ms > 10.0  # C<->V is a ~30 ms WAN link
+    assert apply_v.start_ms >= wan.end_ms
+
+    # Both sides recorded PBFT phase latencies and the WAN byte flow.
+    for participant in ("C", "V"):
+        hist = obs.histogram(
+            "pbft_prepared_to_committed_ms", participant=participant
+        )
+        assert hist.count > 0
+    assert obs.counter("bp_transmissions_total", source="C",
+                       destination="V").value >= 1.0
+    # Each of V's 4 replicas applies the reception once.
+    assert obs.counter("bp_receptions_total", participant="V",
+                       source="C").value == 4.0
+    assert obs.counter("net_bytes_total", link="C->V").value > 0.0
+
+
+def test_lifecycle_chrome_trace_exports_cleanly():
+    obs = Observability(enabled=True)
+    trace_commit_lifecycle(obs)
+    trace = json.loads(json.dumps(to_chrome_trace(obs)))
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in spans} >= {"commit", "wan.transmit"}
+    participants = {
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert participants >= {"C", "V"}

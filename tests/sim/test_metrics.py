@@ -47,7 +47,43 @@ def test_drop_warmup():
 
 def test_summary_keys():
     summary = summarize([1.0, 2.0, 3.0])
-    assert set(summary) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+    assert set(summary) == {
+        "count", "mean", "stddev", "p50", "p95", "p99", "min", "max",
+    }
+
+
+def test_stddev_sample_formula():
+    series = LatencySeries()
+    series.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    # Known fixture: population stddev 2.0, sample (n-1) ~2.138.
+    assert series.stddev == pytest.approx(2.138, abs=0.001)
+    assert series.summary()["stddev"] == series.stddev
+
+
+def test_stddev_degenerate_cases():
+    series = LatencySeries()
+    assert series.stddev == 0.0
+    series.add(42.0)
+    assert series.stddev == 0.0  # fewer than two samples
+    series.add(42.0)
+    assert series.stddev == 0.0  # identical samples
+
+
+def test_histogram_buckets():
+    series = LatencySeries()
+    series.extend([0.5, 1.0, 1.5, 2.0, 10.0])
+    # Bounds are inclusive upper edges; the extra bucket is overflow.
+    assert series.histogram([1.0, 2.0, 5.0]) == [2, 2, 0, 1]
+    assert series.histogram([0.1]) == [0, 5]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    series = LatencySeries()
+    series.add(1.0)
+    with pytest.raises(ValueError):
+        series.histogram([2.0, 1.0])
+    with pytest.raises(ValueError):
+        series.histogram([1.0, 1.0])
 
 
 def test_throughput_identity():
@@ -83,3 +119,23 @@ def test_tracer_clear():
     tracer.clear()
     assert tracer.count("x") == 0
     assert tracer.records == []
+
+
+def test_tracer_uncapped_by_default():
+    tracer = Tracer()
+    for index in range(1000):
+        tracer.record("x", float(index), seq=index)
+    assert len(tracer.records) == 1000
+    assert isinstance(tracer.records, list)
+
+
+def test_tracer_ring_buffer_cap():
+    tracer = Tracer(max_records=3)
+    for index in range(10):
+        tracer.record("x", float(index), seq=index)
+    assert len(tracer.records) == 3
+    assert [r["seq"] for r in tracer.records] == [7, 8, 9]  # newest kept
+    assert tracer.count("x") == 10  # counters see everything
+    assert tracer.last("x")["seq"] == 9
+    tracer.clear()
+    assert len(tracer.records) == 0
