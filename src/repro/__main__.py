@@ -95,6 +95,12 @@ def _parse_obs_out(argv: list) -> tuple:
 
 def main(argv: list) -> int:
     """Run the selected (or all) experiment drivers."""
+    if argv and argv[0] == "chaos":
+        # Forward to the chaos engine: `python -m repro chaos --seed 7`
+        # is equivalent to `python -m repro.chaos --seed 7`.
+        from repro.chaos.__main__ import main as chaos_main
+
+        return chaos_main(argv[1:])
     argv, obs_out, error = _parse_obs_out(argv)
     if error:
         print(error)

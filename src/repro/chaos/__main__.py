@@ -1,0 +1,147 @@
+"""Chaos CLI.
+
+Usage::
+
+    python -m repro.chaos --seed 7 --runs 10 --profile mixed
+    python -m repro.chaos --seed 3 --runs 5 --profile geo --obs-out DIR
+    python -m repro.chaos --plan failing-plan.json --shrink
+    python -m repro.chaos --seed 1 --runs 1 --show-plan
+
+Each run draws one budget-bounded fault plan from the seed, executes it
+against a fresh four-datacenter deployment, and checks the global
+invariant suite. Exit status 1 iff any run produced violations.
+
+``--shrink`` delta-debugs the first failing plan down to a minimal
+reproducing schedule and prints a standalone reproduction script.
+``--obs-out DIR`` writes per-failing-run artifacts (plan JSON,
+violation report, metrics/trace exports) under ``DIR/run-N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.chaos.generator import PROFILES, ScheduleGenerator
+from repro.chaos.plan import FaultPlan
+from repro.chaos.runner import ChaosResult, ChaosRunner, write_artifacts
+from repro.chaos.shrink import repro_script, shrink_plan
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded chaos runs with global invariant checking.",
+    )
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default 7)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="independent runs to draw (default 5)")
+    parser.add_argument("--profile", choices=PROFILES, default="mixed",
+                        help="fault mix to draw from (default mixed)")
+    parser.add_argument("--batches", type=int, default=8,
+                        help="messages each site sends per run (default 8)")
+    parser.add_argument("--horizon-ms", type=float, default=20_000.0,
+                        help="virtual time by which generated faults end "
+                             "(default 20000)")
+    parser.add_argument("--settle-ms", type=float, default=15_000.0,
+                        help="fault-free convergence window after the "
+                             "horizon (default 15000)")
+    parser.add_argument("--plan", metavar="FILE",
+                        help="replay one plan from JSON instead of "
+                             "generating (ignores --seed/--runs/--profile)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="delta-debug the first failing plan to a "
+                             "minimal reproduction")
+    parser.add_argument("--obs-out", metavar="DIR",
+                        help="write artifacts for failing runs under DIR")
+    parser.add_argument("--show-plan", action="store_true",
+                        help="print each plan's schedule before running")
+    return parser
+
+
+def _run_one(
+    plan: FaultPlan,
+    label: str,
+    obs_out: Optional[str],
+    show_plan: bool,
+) -> ChaosResult:
+    if show_plan:
+        print(f"{label} schedule:")
+        for line in plan.describe():
+            print(f"  {line}")
+    obs = None
+    if obs_out is not None:
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True, histogram_window_ms=1_000.0)
+    result = ChaosRunner(plan, obs=obs).run()
+    print(f"{label} {result.summary()}")
+    for violation in result.violations:
+        print(f"    {violation}")
+    if obs_out is not None and not result.ok:
+        directory = os.path.join(obs_out, label.replace(" ", ""))
+        paths = write_artifacts(result, directory, obs=obs)
+        print(f"    artifacts: {', '.join(sorted(paths.values()))}")
+    return result
+
+
+def main(argv: List[str]) -> int:
+    args = _build_parser().parse_args(argv)
+    results: List[ChaosResult] = []
+
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+        results.append(
+            _run_one(plan, "replay", args.obs_out, args.show_plan)
+        )
+    else:
+        generator = ScheduleGenerator(
+            args.seed,
+            profile=args.profile,
+            batches=args.batches,
+            horizon_ms=args.horizon_ms,
+            settle_ms=args.settle_ms,
+        )
+        for run_index in range(args.runs):
+            plan = generator.generate(run_index)
+            results.append(
+                _run_one(
+                    plan, f"run-{run_index}", args.obs_out, args.show_plan
+                )
+            )
+
+    failing = [result for result in results if not result.ok]
+    print(
+        f"\n{len(results) - len(failing)}/{len(results)} runs clean "
+        f"(profile={'replay' if args.plan else args.profile})"
+    )
+    if failing and args.shrink:
+        first = failing[0]
+        print(
+            f"\nshrinking failing plan "
+            f"({len(first.plan.actions)} actions)..."
+        )
+        report = shrink_plan(first.plan)
+        print(
+            f"minimal plan: {len(report.minimal.actions)} actions "
+            f"({report.removed} removed, {report.oracle_runs} oracle runs)"
+        )
+        for line in report.minimal.describe():
+            print(f"  {line}")
+        print("\nstandalone reproduction script:\n")
+        print(repro_script(report.minimal))
+        if args.obs_out:
+            os.makedirs(args.obs_out, exist_ok=True)
+            script_path = os.path.join(args.obs_out, "repro_minimal.py")
+            with open(script_path, "w", encoding="utf-8") as handle:
+                handle.write(repro_script(report.minimal))
+            print(f"saved: {script_path}")
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,271 @@
+"""Budget-bounded randomized schedule generation.
+
+:class:`ScheduleGenerator` draws :class:`~repro.chaos.plan.FaultPlan`
+instances from a single seed. Plans are within budget **by
+construction**, not by rejection sampling:
+
+* member faults (crashes, withholding gateways) at one site are drawn
+  into non-overlapping *slots*, so a unit never has more than one
+  faulty member at a time (``fi = 1``);
+* a byzantine plant occupies its site's entire budget — such sites get
+  no other member faults;
+* site outages are drawn sequentially with gaps (``fg = 1`` at most one
+  concurrent) and outage sites get no member faults at all;
+* every window closes comfortably before the horizon, leaving the
+  settle phase fault-free.
+
+The same (seed, run index, profile) always yields the same plan — the
+generator never consults global randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.chaos.invariants import DEFAULT_SITES
+from repro.chaos.plan import (
+    BYZANTINE_BEHAVIORS,
+    FaultAction,
+    FaultBudget,
+    FaultPlan,
+)
+
+PROFILES = ("crash", "geo", "byzantine", "mixed")
+
+#: fg per profile (fi is always 1 in generated plans).
+_PROFILE_F_GEO = {"crash": 0, "geo": 1, "byzantine": 0, "mixed": 1}
+
+
+class ScheduleGenerator:
+    """Draws reproducible fault plans.
+
+    Args:
+        seed: Master seed; run ``k`` uses ``Random(seed * P + k)``.
+        profile: One of :data:`PROFILES`.
+        sites: Participants of the target deployment.
+        batches: Workload messages per site per run.
+        horizon_ms: Virtual time by which faults end and senders finish.
+        settle_ms: Fault-free convergence window after the horizon.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        profile: str = "mixed",
+        sites: Sequence[str] = DEFAULT_SITES,
+        batches: int = 8,
+        horizon_ms: float = 20_000.0,
+        settle_ms: float = 15_000.0,
+    ) -> None:
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r}; choose from {PROFILES}"
+            )
+        self.seed = seed
+        self.profile = profile
+        self.sites = tuple(sites)
+        self.batches = batches
+        self.budget = FaultBudget(
+            f_independent=1,
+            f_geo=_PROFILE_F_GEO[profile],
+            horizon_ms=horizon_ms,
+            settle_ms=settle_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def generate(self, run_index: int = 0) -> FaultPlan:
+        """The plan for one run of this generator's sequence."""
+        rng = random.Random(self.seed * 1_000_003 + run_index)
+        actions: List[FaultAction] = []
+        # Faults live in [500, horizon - 2500): a clean start-up and a
+        # guaranteed in-horizon tail for every window.
+        lo, hi = 500.0, self.budget.horizon_ms - 2_500.0
+
+        outage_sites: List[str] = []
+        if self.profile in ("geo", "mixed"):
+            actions += self._site_outages(rng, lo, hi, outage_sites)
+
+        byzantine_sites: List[str] = []
+        if self.profile in ("byzantine", "mixed"):
+            actions += self._byzantine_plants(
+                rng, outage_sites, byzantine_sites
+            )
+            actions += self._tamper_windows(rng, lo, hi)
+
+        # Member-fault slots for every site with remaining budget.
+        for site in self.sites:
+            if site in outage_sites or site in byzantine_sites:
+                continue
+            actions += self._member_faults(rng, site, lo, hi)
+
+        # Cross-site benign noise (not budget-relevant beyond windows).
+        actions += self._network_noise(rng, lo, hi)
+
+        return FaultPlan(
+            seed=self.seed * 1_000_003 + run_index,
+            profile=self.profile,
+            budget=self.budget,
+            actions=tuple(actions),
+            batches=self.batches,
+        )
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def _slots(
+        self,
+        rng: random.Random,
+        count: int,
+        lo: float,
+        hi: float,
+        min_len: float,
+        max_len: float,
+        gap: float,
+    ) -> List[Tuple[float, float]]:
+        """Up to ``count`` non-overlapping windows inside [lo, hi]."""
+        windows: List[Tuple[float, float]] = []
+        cursor = lo
+        for _ in range(count):
+            start = cursor + rng.uniform(0.0, 800.0)
+            end = start + rng.uniform(min_len, max_len)
+            if end > hi:
+                break
+            windows.append((start, end))
+            cursor = end + gap + rng.uniform(0.0, 500.0)
+        return windows
+
+    def _site_outages(
+        self,
+        rng: random.Random,
+        lo: float,
+        hi: float,
+        outage_sites: List[str],
+    ) -> List[FaultAction]:
+        """Sequential whole-site outages, at most fg concurrent (the
+        slots are disjoint, so at most one — fg=1 — at any instant)."""
+        if self.profile == "mixed" and rng.random() < 0.3:
+            return []
+        count = rng.randint(1, 2) if self.profile == "geo" else 1
+        actions = []
+        for start, end in self._slots(
+            rng, count, lo, hi, 600.0, 2_200.0, 800.0
+        ):
+            site = rng.choice(
+                [site for site in self.sites if site not in outage_sites]
+            )
+            outage_sites.append(site)
+            actions.append(
+                FaultAction(
+                    kind="site_outage", site=site, start=start, end=end
+                )
+            )
+        return actions
+
+    def _byzantine_plants(
+        self,
+        rng: random.Random,
+        outage_sites: List[str],
+        byzantine_sites: List[str],
+    ) -> List[FaultAction]:
+        candidates = [
+            site for site in self.sites if site not in outage_sites
+        ]
+        if not candidates:
+            return []
+        if self.profile == "byzantine":
+            chosen = rng.sample(
+                candidates, k=min(len(candidates), rng.randint(1, 2))
+            )
+        else:  # mixed: at most one plant, sometimes none
+            chosen = [rng.choice(candidates)] if rng.random() < 0.6 else []
+        actions = []
+        for site in chosen:
+            byzantine_sites.append(site)
+            actions.append(
+                FaultAction(
+                    kind="byzantine",
+                    site=site,
+                    node_index=rng.randint(1, 3),
+                    behavior=rng.choice(BYZANTINE_BEHAVIORS),
+                )
+            )
+        return actions
+
+    def _member_faults(
+        self, rng: random.Random, site: str, lo: float, hi: float
+    ) -> List[FaultAction]:
+        """Non-overlapping crash / withhold windows for one site."""
+        if rng.random() < 0.15:
+            return []  # an occasional quiet site
+        actions = []
+        for start, end in self._slots(
+            rng, rng.randint(1, 2), lo, hi, 300.0, 2_000.0, 400.0
+        ):
+            withholding = (
+                self.profile in ("byzantine", "mixed")
+                and rng.random() < 0.35
+            )
+            if withholding:
+                peer = rng.choice(
+                    [other for other in self.sites if other != site]
+                )
+                actions.append(
+                    FaultAction(
+                        kind="withhold", site=site, peer=peer,
+                        start=start, end=end,
+                    )
+                )
+            else:
+                # Mostly followers; sometimes the gateway itself, which
+                # exercises PBFT view changes and gateway failover.
+                node_index = rng.choice((0, 1, 1, 2, 2, 3, 3, 3))
+                actions.append(
+                    FaultAction(
+                        kind="crash", site=site, node_index=node_index,
+                        start=start, end=end,
+                    )
+                )
+        return actions
+
+    def _tamper_windows(
+        self, rng: random.Random, lo: float, hi: float
+    ) -> List[FaultAction]:
+        actions = []
+        for start, end in self._slots(
+            rng, rng.randint(0, 2), lo, hi, 400.0, 1_500.0, 600.0
+        ):
+            actions.append(
+                FaultAction(
+                    kind="tamper", site=rng.choice(self.sites),
+                    start=start, end=end,
+                )
+            )
+        return actions
+
+    def _network_noise(
+        self, rng: random.Random, lo: float, hi: float
+    ) -> List[FaultAction]:
+        actions = []
+        if rng.random() < 0.6:
+            for start, end in self._slots(
+                rng, 1, lo, hi, 400.0, 1_800.0, 0.0
+            ):
+                actions.append(
+                    FaultAction(
+                        kind="loss", probability=rng.uniform(0.05, 0.2),
+                        start=start, end=end,
+                    )
+                )
+        if rng.random() < 0.5:
+            site, peer = rng.sample(list(self.sites), 2)
+            for start, end in self._slots(
+                rng, 1, lo, hi, 400.0, 1_800.0, 0.0
+            ):
+                actions.append(
+                    FaultAction(
+                        kind="partition", site=site, peer=peer,
+                        start=start, end=end,
+                    )
+                )
+        return actions

@@ -1,0 +1,208 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is the unit of chaos: a seed, a fault budget, a
+workload size, and a list of :class:`FaultAction` entries with absolute
+virtual-time windows. Plans are *data*, not code — they serialize to
+JSON so a failing schedule can be archived next to the run's
+observability artifacts, replayed bit-for-bit, and handed to the
+shrinker (:mod:`repro.chaos.shrink`).
+
+The action vocabulary covers the paper's fault model:
+
+========== ==========================================================
+kind       meaning
+========== ==========================================================
+crash      one unit member down over ``[start, end)`` (benign,
+           counted against ``fi``)
+site_outage whole datacenter down over ``[start, end)`` (geo-
+           correlated, counted against ``fg``)
+partition  WAN partition between two sites' nodes over the window
+loss       probabilistic message loss over the window
+tamper     in-flight corruption of transmission records shipped by
+           one source site over the window
+withhold   the source gateway's communication daemon to one
+           destination goes silent (byzantine withholding; counted
+           against ``fi`` for the gateway)
+byzantine  a unit member runs a byzantine node class for the whole
+           run (counted against ``fi``)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+ACTION_KINDS = (
+    "crash",
+    "site_outage",
+    "partition",
+    "loss",
+    "tamper",
+    "withhold",
+    "byzantine",
+)
+
+#: Byzantine behaviours the runner can plant (``core.byzantine``).
+BYZANTINE_BEHAVIORS = ("silent", "promiscuous", "forging")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault.
+
+    Field usage by kind: ``site`` is the victim site (crash,
+    site_outage, withhold, byzantine), the tampered *source* (tamper),
+    or one partition side; ``peer`` is the other partition side or the
+    withheld destination; ``node_index`` selects the unit member for
+    crash/byzantine; ``probability`` is the loss rate; ``behavior`` is
+    a :data:`BYZANTINE_BEHAVIORS` key. ``end`` is ``None`` only for
+    whole-run byzantine plants.
+    """
+
+    kind: str
+    site: str = ""
+    peer: str = ""
+    node_index: int = 0
+    start: float = 0.0
+    end: Optional[float] = None
+    probability: float = 0.0
+    behavior: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (only non-default fields, for readable JSON)."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            if field.name == "kind":
+                continue
+            value = getattr(self, field.name)
+            if value != field.default:
+                out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultAction":
+        """Inverse of :meth:`to_dict` (tolerates full dicts too)."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def describe(self) -> str:
+        """One human-readable line for reports."""
+        window = (
+            f"[{self.start:.0f}, {self.end:.0f})"
+            if self.end is not None
+            else f"[{self.start:.0f}, ∞)"
+        )
+        if self.kind == "crash":
+            return f"crash {self.site}[{self.node_index}] {window}"
+        if self.kind == "site_outage":
+            return f"site outage {self.site} {window}"
+        if self.kind == "partition":
+            return f"partition {self.site} ⇹ {self.peer} {window}"
+        if self.kind == "loss":
+            return f"loss p={self.probability:.2f} {window}"
+        if self.kind == "tamper":
+            return f"tamper transmissions from {self.site} {window}"
+        if self.kind == "withhold":
+            return f"withhold {self.site}→{self.peer} {window}"
+        if self.kind == "byzantine":
+            return f"byzantine {self.site}[{self.node_index}] ({self.behavior})"
+        return f"{self.kind} {window}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultBudget:
+    """The paper's fault model as enforceable limits.
+
+    Attributes:
+        f_independent: ``fi`` — max *concurrent* faulty members per
+            unit (crashed, byzantine, or withholding-gateway).
+        f_geo: ``fg`` — max concurrent whole-site outages.
+        horizon_ms: Every benign fault window must close before this
+            virtual time; the workload also finishes within it.
+        settle_ms: Extra fault-free virtual time after the horizon for
+            recovery machinery (catch-up, reserves, geo failback) to
+            converge before invariants are checked.
+    """
+
+    f_independent: int = 1
+    f_geo: int = 0
+    horizon_ms: float = 20_000.0
+    settle_ms: float = 15_000.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultBudget":
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable chaos schedule.
+
+    Attributes:
+        seed: Simulator seed — together with ``actions`` this pins the
+            entire run (the workload's jitter comes from the same
+            seeded RNG).
+        profile: Generator profile that produced the plan (informational).
+        budget: The :class:`FaultBudget` the plan claims to respect.
+        actions: The schedule itself.
+        batches: Messages each site sends during the run.
+        payload_bytes: Payload size charged per workload message.
+    """
+
+    seed: int
+    profile: str = "mixed"
+    budget: FaultBudget = dataclasses.field(default_factory=FaultBudget)
+    actions: Tuple[FaultAction, ...] = ()
+    batches: int = 8
+    payload_bytes: int = 200
+
+    def with_actions(self, actions: Sequence[FaultAction]) -> "FaultPlan":
+        """A copy of the plan with a different action list (shrinking)."""
+        return dataclasses.replace(self, actions=tuple(actions))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "budget": self.budget.to_dict(),
+            "actions": [action.to_dict() for action in self.actions],
+            "batches": self.batches,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=data["seed"],
+            profile=data.get("profile", "mixed"),
+            budget=FaultBudget.from_dict(data.get("budget", {})),
+            actions=tuple(
+                FaultAction.from_dict(action)
+                for action in data.get("actions", [])
+            ),
+            batches=data.get("batches", 8),
+            payload_bytes=data.get("payload_bytes", 200),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> List[str]:
+        """Human-readable schedule lines, sorted by start time."""
+        return [
+            action.describe()
+            for action in sorted(self.actions, key=lambda a: (a.start, a.kind))
+        ]

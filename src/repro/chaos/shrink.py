@@ -1,0 +1,196 @@
+"""Failing-schedule shrinking (delta debugging).
+
+Given a failing :class:`~repro.chaos.plan.FaultPlan` and an *oracle*
+(``plan → still failing?``), :func:`shrink_plan` produces a 1-minimal
+reproducing plan:
+
+1. **ddmin** over the action list — remove whole chunks of actions
+   while the failure persists (Zeller's classic algorithm);
+2. **window narrowing** — halve each surviving action's fault window
+   repeatedly while the failure persists.
+
+Because runs are fully deterministic, the oracle is just "run the plan,
+did an invariant trip?" — no flake management needed. The result can be
+rendered as a standalone reproduction script with
+:func:`repro_script`, ready to attach to a bug report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.chaos.plan import FaultAction, FaultPlan
+
+Oracle = Callable[[FaultPlan], bool]
+
+
+def default_oracle(plan: FaultPlan) -> bool:
+    """True iff running ``plan`` produces at least one violation (an
+    over-budget plan "fails" statically without a run — which is what
+    makes shrinking over-budget plans near-instant)."""
+    from repro.chaos.runner import ChaosRunner
+
+    return bool(ChaosRunner(plan).run().violations)
+
+
+@dataclasses.dataclass
+class ShrinkReport:
+    """Outcome of a shrink session."""
+
+    original: FaultPlan
+    minimal: FaultPlan
+    oracle_runs: int
+
+    @property
+    def removed(self) -> int:
+        return len(self.original.actions) - len(self.minimal.actions)
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    oracle: Optional[Oracle] = None,
+    max_oracle_runs: int = 250,
+) -> ShrinkReport:
+    """Reduce ``plan`` to a minimal still-failing schedule.
+
+    Args:
+        plan: A plan for which ``oracle(plan)`` is True.
+        oracle: Failure predicate; defaults to :func:`default_oracle`.
+        max_oracle_runs: Hard cap on oracle invocations; shrinking
+            returns the best plan found when the budget runs out.
+
+    Raises:
+        ValueError: If the input plan does not fail its oracle (there
+            is nothing to shrink toward).
+    """
+    test = oracle or default_oracle
+    runs = [0]
+
+    def _check(candidate: FaultPlan) -> bool:
+        if runs[0] >= max_oracle_runs:
+            return False  # out of budget: treat as passing (no shrink)
+        runs[0] += 1
+        return test(candidate)
+
+    if not _check(plan):
+        raise ValueError("plan does not fail its oracle; nothing to shrink")
+
+    actions = _ddmin(
+        list(plan.actions),
+        lambda subset: _check(plan.with_actions(subset)),
+    )
+    narrowed = _narrow_windows(
+        plan, actions, lambda subset: _check(plan.with_actions(subset))
+    )
+    return ShrinkReport(
+        original=plan,
+        minimal=plan.with_actions(narrowed),
+        oracle_runs=runs[0],
+    )
+
+
+# ----------------------------------------------------------------------
+# ddmin (Zeller & Hildebrandt, simplified: complements only)
+# ----------------------------------------------------------------------
+def _ddmin(
+    items: List[FaultAction],
+    failing: Callable[[Sequence[FaultAction]], bool],
+) -> List[FaultAction]:
+    # The empty schedule failing means the failure is not fault-driven
+    # at all (a workload/seed bug) — that IS the minimal repro.
+    if failing([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunk_size = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk_size):
+            complement = items[:start] + items[start + chunk_size:]
+            if complement and failing(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk_size == 1:
+                break  # 1-minimal: no single action can be removed
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+# ----------------------------------------------------------------------
+# Window narrowing
+# ----------------------------------------------------------------------
+def _narrow_windows(
+    plan: FaultPlan,
+    actions: List[FaultAction],
+    failing: Callable[[Sequence[FaultAction]], bool],
+    rounds: int = 4,
+) -> List[FaultAction]:
+    """Halve each action's fault window while the failure persists."""
+    actions = list(actions)
+    for _round in range(rounds):
+        narrowed_any = False
+        for index, action in enumerate(actions):
+            if action.end is None or action.kind == "byzantine":
+                continue
+            length = action.end - action.start
+            if length <= 100.0:
+                continue
+            candidate = dataclasses.replace(
+                action, end=action.start + length / 2.0
+            )
+            trial = actions[:index] + [candidate] + actions[index + 1:]
+            if failing(trial):
+                actions = trial
+                narrowed_any = True
+        if not narrowed_any:
+            break
+    return actions
+
+
+# ----------------------------------------------------------------------
+# Standalone reproduction script
+# ----------------------------------------------------------------------
+_SCRIPT_TEMPLATE = '''#!/usr/bin/env python
+"""Standalone chaos reproduction (generated by repro.chaos.shrink).
+
+Run with the repro package importable (e.g. ``PYTHONPATH=src``):
+
+    python this_script.py
+
+Exits 1 while the schedule still violates an invariant.
+"""
+
+import sys
+
+from repro.chaos.plan import FaultPlan
+from repro.chaos.runner import ChaosRunner
+
+PLAN_JSON = r"""
+{plan_json}
+"""
+
+
+def main() -> int:
+    plan = FaultPlan.from_json(PLAN_JSON)
+    print("schedule:")
+    for line in plan.describe():
+        print(f"  {{line}}")
+    result = ChaosRunner(plan).run()
+    print(f"ran={{result.ran}} stats={{result.stats}}")
+    for violation in result.violations:
+        print(violation)
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def repro_script(plan: FaultPlan) -> str:
+    """A self-contained script replaying ``plan`` (print or save it
+    next to a bug report; determinism makes it replay bit-for-bit)."""
+    return _SCRIPT_TEMPLATE.format(plan_json=plan.to_json())

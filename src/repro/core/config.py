@@ -29,6 +29,18 @@ class BlockplaneConfig:
             participants for gaps (Section IV-C).
         reserve_gap_threshold: Source-log-position gap above which a
             reserve promotes itself to an active communication daemon.
+        transmission_retry_timeout_ms: How long a communication daemon
+            waits for a destination-node acknowledgement of a shipped
+            transmission before re-shipping it. Acknowledgements are
+            transport-level: any destination node that accepts the
+            record at ingress acks, so a single lost WAN message is
+            recovered without waiting for a reserve gap probe.
+        transmission_retry_backoff: Multiplier applied to the retry
+            timeout after every unacknowledged attempt (exponential
+            backoff).
+        transmission_retry_limit: Maximum re-ships per transmission
+            record; once exhausted the reserve-daemon path is the only
+            remaining recovery mechanism. 0 disables retransmission.
         geo_request_timeout_ms: Extra slack (beyond the RTT estimate) a
             primary waits for a mirror proof before failing over to the
             next-closest secondary.
@@ -50,6 +62,9 @@ class BlockplaneConfig:
     transmission_fanout: int = 2
     reserve_poll_interval_ms: float = 500.0
     reserve_gap_threshold: int = 8
+    transmission_retry_timeout_ms: float = 250.0
+    transmission_retry_backoff: float = 2.0
+    transmission_retry_limit: int = 3
     geo_request_timeout_ms: float = 60.0
     geo_suspicion_ttl_ms: float = 5_000.0
     heartbeat_interval_ms: float = 50.0
@@ -63,6 +78,18 @@ class BlockplaneConfig:
             raise ConfigurationError("f_geo cannot be negative")
         if self.transmission_fanout < 1:
             raise ConfigurationError("transmission_fanout must be at least 1")
+        if self.transmission_retry_timeout_ms <= 0:
+            raise ConfigurationError(
+                "transmission_retry_timeout_ms must be positive"
+            )
+        if self.transmission_retry_backoff < 1.0:
+            raise ConfigurationError(
+                "transmission_retry_backoff must be at least 1.0"
+            )
+        if self.transmission_retry_limit < 0:
+            raise ConfigurationError(
+                "transmission_retry_limit cannot be negative"
+            )
 
     @property
     def unit_size(self) -> int:

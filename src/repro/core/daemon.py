@@ -20,6 +20,7 @@ the receive verification routine drops duplicates.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional
 
 from repro.core.messages import GapQuery, GapResponse, TransmissionMessage
@@ -50,7 +51,11 @@ class CommunicationDaemon:
         self.geo = geo
         self.active = active
         self.shipped: set = set()
+        #: source position -> re-ship attempts already used (present
+        #: while a transport ack from the destination is outstanding).
+        self._awaiting_ack: Dict[int, int] = {}
         node.on_log_append.append(self._on_append)
+        node.comm_daemons.append(self)
 
     def _on_append(self, entry: LogEntry) -> None:
         if not self.active or self.node.crashed:
@@ -126,6 +131,14 @@ class CommunicationDaemon:
         message = TransmissionMessage(sealed=sealed, trace=trace_field)
         for target in targets[:fanout]:
             node.send(target, message)
+        if node.bp_config.transmission_retry_limit > 0:
+            attempts = self._awaiting_ack.setdefault(entry.position, 0)
+            delay = node.bp_config.transmission_retry_timeout_ms * (
+                node.bp_config.transmission_retry_backoff ** attempts
+            )
+            node.set_timer(
+                delay, self._retransmit_if_unacked, entry.position, attempts
+            )
         if obs.enabled:
             obs.counter(
                 "bp_transmissions_total",
@@ -136,6 +149,48 @@ class CommunicationDaemon:
             src=node.participant, dst=self.destination,
             position=entry.position,
         )
+
+    # ------------------------------------------------------------------
+    # Ack-driven retransmission
+    # ------------------------------------------------------------------
+    def on_ack(self, msg, src: str) -> None:
+        """Cancel retransmission for an acknowledged record (wired via
+        the node's :meth:`handle_transmission_ack`)."""
+        if msg.source_participant != self.node.participant:
+            return
+        if msg.receiver_participant != self.destination:
+            return
+        self._awaiting_ack.pop(msg.source_position, None)
+
+    def _retransmit_if_unacked(self, position: int, attempts_at_send: int) -> None:
+        """Re-ship a transmission whose transport ack never arrived."""
+        node = self.node
+        attempts = self._awaiting_ack.get(position)
+        if attempts is None or attempts != attempts_at_send:
+            return  # acked, or a newer attempt owns the timer
+        if not self.active or node.crashed:
+            return
+        if attempts >= node.bp_config.transmission_retry_limit:
+            # Out of budget: leave recovery to the reserve-daemon path.
+            self._awaiting_ack.pop(position, None)
+            node.sim.trace.record(
+                "bp.retransmit_exhausted", node.sim.now,
+                node=node.node_id, dst=self.destination, position=position,
+            )
+            return
+        self._awaiting_ack[position] = attempts + 1
+        if node.obs.enabled:
+            node.obs.counter(
+                "bp_transmission_retries_total",
+                source=node.participant, destination=self.destination,
+            ).inc()
+        node.sim.trace.record(
+            "bp.retransmit", node.sim.now,
+            node=node.node_id, dst=self.destination,
+            position=position, attempt=attempts + 1,
+        )
+        self.shipped.discard(position)
+        self.ship(node.local_log.read(position))
 
     def catch_up(self, acked_source_position: int) -> None:
         """(Re-)ship every communication record above a known-received
@@ -166,8 +221,14 @@ class ReserveDaemon:
         self._responses: Dict[str, int] = {}
         self._probe_round = 0
         interval = node.bp_config.reserve_poll_interval_ms
-        # Stagger the first probe so reserves do not fire in lockstep.
-        node.set_timer(interval * (1.0 + 0.1), self._probe)
+        # Stagger the first probe so reserves do not fire in lockstep:
+        # a deterministic per-daemon fraction of one interval, derived
+        # from the (node, destination) identity so every reserve of a
+        # unit lands at a different offset yet runs stay reproducible.
+        stagger = (
+            zlib.crc32(f"{node.node_id}:{destination}".encode()) % 997
+        ) / 997.0
+        node.set_timer(interval * (1.0 + stagger), self._probe)
 
     def _probe(self) -> None:
         if self.node.crashed:
@@ -187,8 +248,16 @@ class ReserveDaemon:
 
     def handle_gap_response(self, msg: GapResponse, src: str) -> None:
         """Record one remote node's claim (wired via the node)."""
-        if msg.source_participant == self.node.participant:
-            self._responses[src] = msg.last_source_position
+        if msg.source_participant != self.node.participant:
+            return
+        # The node fans every GapResponse to all of its reserves, so a
+        # response from another unit's probe would land here too. Only
+        # members of the audited destination may contribute: a claim
+        # from a third participant reflects *its* reception state and
+        # would inflate the trusted floor, hiding the destination's gap.
+        if src not in self.node.directory.unit_members(self.destination):
+            return
+        self._responses[src] = msg.last_source_position
 
     def _evaluate(self) -> None:
         if self.node.crashed:

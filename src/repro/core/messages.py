@@ -61,6 +61,23 @@ class TransmissionMessage(Message):
 
 
 @dataclasses.dataclass
+class TransmissionAck(Message):
+    """Transport-level acknowledgement of one transmission record.
+
+    Sent by a destination node back to the shipping daemon's node the
+    moment a :class:`TransmissionMessage` passes ingress validation
+    (including for duplicates — a retransmitted record must still stop
+    the sender's retry timer). Carries no payload and no proof: it only
+    cancels retransmission, it never substitutes for the committed
+    reception that reserves audit.
+    """
+
+    source_participant: str = ""
+    receiver_participant: str = ""
+    source_position: int = 0
+
+
+@dataclasses.dataclass
 class GapQuery(Message):
     """Reserve probe: "what is the last position you received from my
     participant?" (Section IV-C)."""

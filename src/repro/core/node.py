@@ -131,6 +131,9 @@ class BlockplaneNode(PBFTReplica):
         self.geo = None
         #: Reserve daemons running on this node (route gap responses).
         self.reserves: List[Any] = []
+        #: Communication daemons running on this node (route
+        #: transmission acks so retransmission timers can be cancelled).
+        self.comm_daemons: List[Any] = []
         self._mirror_by_digest: Dict[str, MirrorEntry] = {}
         self._mirror_applied_waiters: Dict[Tuple[str, int], List[Future]] = {}
         self._mirror_response_waiters: Dict[Tuple[str, int], Future] = {}
@@ -377,6 +380,33 @@ class BlockplaneNode(PBFTReplica):
             position=entry.position, record_type=committed.record_type,
         )
 
+    # ------------------------------------------------------------------
+    # View-change hygiene
+    # ------------------------------------------------------------------
+    def _forget_in_flight_proposals(self) -> None:
+        """Drop the advisory duplicate-suppression sets on a view change.
+
+        ``_proposed_receptions``/``_proposed_mirrors`` only exist so a
+        leader does not burn sequence numbers on *racing* duplicate
+        submissions. A proposal lost to a view change (its slot noop-ed
+        by the new leader) would otherwise wedge its key here forever:
+        every future tenure of this replica as leader rejects the
+        resubmission as "already proposed", even though it never
+        committed. Clearing is safe — committed duplicates are accepted
+        idempotently at vote time and deduplicated at apply time.
+        """
+        self._proposed_receptions.clear()
+        self._proposed_mirrors.clear()
+
+    def _install_view_as_leader(self, new_view, votes) -> None:
+        self._forget_in_flight_proposals()
+        super()._install_view_as_leader(new_view, votes)
+
+    def handle_new_view(self, msg, src: str) -> None:
+        if msg.new_view > self.view:
+            self._forget_in_flight_proposals()
+        super().handle_new_view(msg, src)
+
     def position_future(self, seq: int) -> Future:
         """Future resolving with the Local Log position of the entry
         committed at PBFT sequence ``seq`` (resolves immediately if this
@@ -494,6 +524,37 @@ class BlockplaneNode(PBFTReplica):
         key = (record.source, record.source_position)
         if record.destination != self.participant:
             return
+        # Ingress validation: the same source-unit proof the voting path
+        # checks (Check 1), applied before the record can reach
+        # consensus or earn an ack. A byzantine link that tampers with a
+        # transmission in flight produces a digest/proof mismatch here,
+        # so corrupted records are dropped at the door instead of
+        # churning PBFT with doomed proposals — and they are never
+        # acked, so the shipping daemon retransmits the original.
+        if not self._ingress_valid(sealed):
+            if self.obs.enabled:
+                self.obs.counter(
+                    "bp_ingress_rejects_total",
+                    participant=self.participant, source=record.source,
+                ).inc()
+            self.sim.trace.record(
+                "bp.ingress_reject", self.sim.now,
+                node=self.node_id, src=record.source,
+                position=record.source_position,
+            )
+            return
+        from repro.core.messages import TransmissionAck
+
+        # Transport-level ack (also for duplicates: a retransmitted
+        # record must still stop the sender's retry timer).
+        self.send(
+            src,
+            TransmissionAck(
+                source_participant=record.source,
+                receiver_participant=self.participant,
+                source_position=record.source_position,
+            ),
+        )
         if self.obs.enabled:
             # First arrival at the destination closes the wide-area hop
             # span (duplicate deliveries are no-ops in the hub).
@@ -520,6 +581,29 @@ class BlockplaneNode(PBFTReplica):
                 self._submitted_receptions.pop(key, None)
 
         future.add_done_callback(_done)
+
+    def _ingress_valid(self, sealed: SealedTransmission) -> bool:
+        """Cheap local validity check for an arriving transmission: the
+        record's digest must be covered by ``fi + 1`` valid signatures
+        from the source unit."""
+        record = sealed.record
+        if sealed.proof.digest != record.digest():
+            return False
+        try:
+            source_members = self.directory.unit_members(record.source)
+        except Exception:
+            return False
+        return sealed.proof.is_valid(
+            self.directory.registry,
+            self.bp_config.proof_size,
+            allowed_signers=source_members,
+        )
+
+    def handle_transmission_ack(self, msg, src: str) -> None:
+        """Route a destination node's transport ack to the daemons on
+        this node (no-op on nodes without daemons)."""
+        for daemon in self.comm_daemons:
+            daemon.on_ack(msg, src)
 
     # ------------------------------------------------------------------
     # Signature service (Section IV-C: attesting transmission records)

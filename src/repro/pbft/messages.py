@@ -37,6 +37,9 @@ class CommittedEntry:
         meta: Free-form metadata the submitter attached (e.g. the
             destination participant of a communication record).
         payload_bytes: Size charged to the bandwidth model.
+        request_id: The originating client request, so replicas that
+            adopt the entry through catch-up can still recognise a
+            later re-commit of the same request as a duplicate.
     """
 
     seq: int
@@ -45,6 +48,7 @@ class CommittedEntry:
     record_type: str
     meta: Optional[Dict[str, Any]] = None
     payload_bytes: int = 0
+    request_id: Tuple[str, int] = ("", 0)
 
 
 @dataclasses.dataclass

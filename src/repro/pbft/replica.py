@@ -71,8 +71,13 @@ class _Slot:
     request_id: Tuple[str, int] = ("", 0)
     payload_bytes: int = 0
     has_pre_prepare: bool = False
-    prepares: set = dataclasses.field(default_factory=set)
-    commits: set = dataclasses.field(default_factory=set)
+    # Vote tallies map replica → the digest it voted for. Votes can
+    # arrive before the pre-prepare fixes this slot's digest, so the
+    # digest must travel with the vote — counting bare replica ids
+    # would let votes for a *different* proposal at this sequence
+    # number (crossed over from a concurrent view) fill the quorum.
+    prepares: Dict[str, str] = dataclasses.field(default_factory=dict)
+    commits: Dict[str, str] = dataclasses.field(default_factory=dict)
     prepare_sent: bool = False
     commit_sent: bool = False
     committed: bool = False
@@ -461,10 +466,13 @@ class PBFTReplica(Node):
             return  # only the view's leader may pre-prepare
         slot = self.slots.get(msg.seq)
         if slot is not None and slot.has_pre_prepare:
-            if slot.view == msg.view and slot.digest == msg.digest:
+            if slot.digest == msg.digest and (
+                slot.view == msg.view or slot.executed
+            ):
                 # Retransmitted pre-prepare (the leader healing a lost
-                # round, or a recovered replica's gap): re-send our own
-                # votes so the quorum can re-form.
+                # round, a recovered replica's gap, or a new view
+                # re-proposing a slot we already executed): re-send our
+                # own votes so the quorum can re-form for laggards.
                 if slot.prepare_sent:
                     self.broadcast(
                         self.peers,
@@ -482,8 +490,18 @@ class PBFTReplica(Node):
                         ),
                     )
                 return
+            if slot.executed:
+                # The executed value is final; a conflicting re-proposal
+                # (even from a higher view) must never replace it or
+                # attract our votes.
+                return
             if slot.view >= msg.view:
                 return  # already accepted a proposal for this slot
+        if slot is None and msg.seq <= self.last_executed:
+            # Checkpoint-truncated sequence number: it is stably
+            # committed by 2f+1 replicas — laggards recover it through
+            # catch-up, not through fresh votes.
+            return
         if slot is None or msg.view > slot.view:
             slot = _Slot()
             self.slots[msg.seq] = slot
@@ -500,7 +518,7 @@ class PBFTReplica(Node):
             slot.trace = msg.trace
         if not slot.prepare_sent:
             slot.prepare_sent = True
-            slot.prepares.add(self.node_id)
+            slot.prepares[self.node_id] = msg.digest
             prepare = Prepare(
                 view=msg.view, seq=msg.seq, digest=msg.digest,
                 replica=self.node_id,
@@ -517,16 +535,22 @@ class PBFTReplica(Node):
         )
         self._check_prepared(msg.seq)
 
+    @staticmethod
+    def _matching_votes(votes: Dict[str, str], digest: str) -> int:
+        """Count votes cast for exactly this digest."""
+        return sum(1 for voted in votes.values() if voted == digest)
+
     def handle_prepare(self, msg: Prepare, src: str) -> None:
-        """Tally a prepare vote."""
+        """Tally a prepare vote.
+
+        The digest travels with the vote: votes may arrive before the
+        pre-prepare, and only votes matching the eventually-fixed
+        digest count toward the quorum.
+        """
         if msg.replica != src:
             return  # a replica may only vote as itself
         slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
-        if slot.has_pre_prepare and msg.digest != slot.digest:
-            return  # vote for a different proposal; ignore
-        if msg.view < slot.view:
-            return
-        slot.prepares.add(src)
+        slot.prepares[src] = msg.digest
         self._check_prepared(msg.seq)
 
     def _check_prepared(self, seq: int) -> None:
@@ -534,7 +558,7 @@ class PBFTReplica(Node):
         slot = self.slots.get(seq)
         if slot is None or not slot.has_pre_prepare or slot.commit_sent:
             return
-        if len(slot.prepares) < 2 * self.f + 1:
+        if self._matching_votes(slot.prepares, slot.digest) < 2 * self.f + 1:
             return
         if self.obs.enabled and slot.t_prepared < 0:
             slot.t_prepared = self.sim.now
@@ -558,7 +582,7 @@ class PBFTReplica(Node):
                 ).inc()
             return
         slot.commit_sent = True
-        slot.commits.add(self.node_id)
+        slot.commits[self.node_id] = slot.digest
         commit = Commit(
             view=slot.view, seq=seq, digest=slot.digest, replica=self.node_id
         )
@@ -595,16 +619,14 @@ class PBFTReplica(Node):
         if msg.replica != src:
             return
         slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
-        if slot.has_pre_prepare and msg.digest != slot.digest:
-            return
-        slot.commits.add(src)
+        slot.commits[src] = msg.digest
         self._check_committed(msg.seq)
 
     def _check_committed(self, seq: int) -> None:
         slot = self.slots.get(seq)
         if slot is None or slot.committed or not slot.has_pre_prepare:
             return
-        if len(slot.commits) < 2 * self.f + 1:
+        if self._matching_votes(slot.commits, slot.digest) < 2 * self.f + 1:
             return
         if not slot.commit_sent:
             return  # our own verification routine has not accepted it
@@ -644,6 +666,7 @@ class PBFTReplica(Node):
                     record_type=slot.record_type,
                     meta=slot.meta,
                     payload_bytes=slot.payload_bytes,
+                    request_id=rid,
                 )
                 self._apply(entry, slot)
             self._retry_deferred_verification()
@@ -780,6 +803,10 @@ class PBFTReplica(Node):
                     "pbft.stable_checkpoint", self.sim.now,
                     node=self.node_id, seq=msg.seq,
                 )
+                if msg.seq > self.last_executed:
+                    # 2f+1 replicas checkpointed state we have not even
+                    # executed: proof we are behind — state-transfer.
+                    self._request_catch_up()
                 return
 
     # ------------------------------------------------------------------
@@ -790,6 +817,12 @@ class PBFTReplica(Node):
             return
         self._voted_view = new_view
         self.in_view_change = True
+        # Certificates cover every prepared slot above the stable
+        # checkpoint — *including executed ones* (Castro & Liskov §4.4:
+        # executed slots are only safe to omit once a checkpoint proves
+        # them). Dropping them would let a lagging new leader plug a
+        # committed sequence number with a no-op or a stale value, and
+        # commit it on other laggards: a fork.
         prepared = [
             PreparedCertificate(
                 view=slot.view,
@@ -802,8 +835,11 @@ class PBFTReplica(Node):
             )
             for seq, slot in sorted(self.slots.items())
             if slot.has_pre_prepare
-            and len(slot.prepares) >= 2 * self.f + 1
-            and not slot.executed
+            and (
+                self._matching_votes(slot.prepares, slot.digest)
+                >= 2 * self.f + 1
+                or slot.executed
+            )
         ]
         vote = ViewChange(
             new_view=new_view,
@@ -834,7 +870,21 @@ class PBFTReplica(Node):
     def _view_change_timeout(self, voted_view: int) -> None:
         if self.view >= voted_view or self._voted_view != voted_view:
             return
-        if self._has_progress_pressure():
+        # A stuck view change often means we — not the leader — are the
+        # problem: a recovered or isolated replica suspecting a group
+        # that is live without it. Probe for committed state we missed;
+        # if f+1 peers vouch for entries beyond our watermark, the
+        # catch-up path rejoins the current view.
+        self._request_catch_up()
+        # Escalate when work is stuck behind the suspect leader, and
+        # also when the stalled view gathered a full quorum of votes:
+        # its prospective leader had everything needed to install the
+        # view and never did (e.g. it is silently byzantine), so waiting
+        # for it is hopeless. Without the quorum clause, replicas with
+        # no local pending work would re-announce the same vote forever
+        # and the f+1 join rule could never advance past the dead view.
+        votes_for_view = len(self._view_change_votes.get(voted_view, {}))
+        if self._has_progress_pressure() or votes_for_view >= 2 * self.f + 1:
             # The view change itself is stuck (its leader may be down):
             # escalate.
             self._start_view_change(voted_view + 1)
@@ -955,6 +1005,15 @@ class PBFTReplica(Node):
         self._voted_view = max(self._voted_view, msg.new_view)
         for pre_prepare in msg.pre_prepares:
             self.handle_pre_prepare(pre_prepare, src)
+        # The new leader only re-proposes above its own execution
+        # watermark; if ours is further behind, the gap is stably
+        # committed elsewhere — fetch it.
+        first = min(
+            (pre_prepare.seq for pre_prepare in msg.pre_prepares),
+            default=None,
+        )
+        if first is not None and first > self.last_executed + 1:
+            self._request_catch_up()
         self._resubmit_pending()
 
     def _resubmit_pending(self) -> None:
@@ -967,6 +1026,18 @@ class PBFTReplica(Node):
     def on_recover(self) -> None:
         """After a benign crash, re-fetch the suffix of the log."""
         self._request_catch_up()
+        if self.in_view_change:
+            # Timers armed before the crash were suppressed while the
+            # node was down. A replica that crashed mid-view-change may
+            # have missed the NewView entirely (installed while it was
+            # dark); without a fresh timeout it would wait forever. The
+            # timeout path retries catch-up and re-announces the vote
+            # until the replica converges on the group's current view.
+            self.set_timer(
+                self.config.view_change_timeout_ms,
+                self._view_change_timeout,
+                self._voted_view,
+            )
 
     def _request_catch_up(self) -> None:
         request = CatchUpRequest(
@@ -1004,18 +1075,20 @@ class PBFTReplica(Node):
         self._apply_caught_up()
 
     def _apply_caught_up(self) -> None:
+        advanced = False
         while True:
             seq = self.last_executed + 1
             tally = self._catch_up_tally.get(seq)
             if tally is None:
-                return
+                break
             adopted = None
             for digest, voters in tally.items():
                 if len(voters) >= self.f + 1:
                     adopted = self._catch_up_values[(seq, digest)]
                     break
             if adopted is None:
-                return
+                break
+            advanced = True
             slot = self.slots.setdefault(seq, _Slot(view=adopted.view))
             slot.view = adopted.view
             slot.digest = stable_digest(
@@ -1024,6 +1097,7 @@ class PBFTReplica(Node):
             slot.value = adopted.value
             slot.record_type = adopted.record_type
             slot.meta = adopted.meta
+            slot.request_id = adopted.request_id
             slot.payload_bytes = adopted.payload_bytes
             slot.has_pre_prepare = True
             slot.committed = True
@@ -1031,6 +1105,12 @@ class PBFTReplica(Node):
             slot.executed = True
             self.last_executed = seq
             del self._catch_up_tally[seq]
+            if adopted.request_id != ("", 0):
+                # Without this, a later re-commit of the same request
+                # (retried across a view change) would be applied as a
+                # real value here while every normally-executing peer
+                # applies it as a duplicate no-op — a log fork.
+                self._executed_requests.add(adopted.request_id)
             entry = CommittedEntry(
                 seq=seq,
                 view=adopted.view,
@@ -1038,6 +1118,7 @@ class PBFTReplica(Node):
                 record_type=adopted.record_type,
                 meta=adopted.meta,
                 payload_bytes=adopted.payload_bytes,
+                request_id=adopted.request_id,
             )
             self.executed_entries.append(entry)
             self._exec_chain = hashlib.sha256(
@@ -1049,3 +1130,17 @@ class PBFTReplica(Node):
             )
             for callback in self.on_executed:
                 callback(entry)
+        if advanced and self.in_view_change:
+            # f+1 peers vouched for commits beyond our old watermark:
+            # the group is live without us, so our leader suspicion was
+            # founded on stale state. Rejoin the current view rather
+            # than waiting for view-change support that will never come
+            # (an honest majority making progress never joins it).
+            self.in_view_change = False
+            self._escalations = 0
+        if advanced:
+            # Entries below the new watermark can now be truncated if a
+            # quorum checkpointed past them; more importantly, anything
+            # deferred on execution order may now be ready.
+            self._execute_ready()
+            self._retry_deferred_verification()

@@ -5,6 +5,12 @@ behaviour of single nodes) from *benign geo-correlated failures* (an
 entire datacenter crashing). :class:`FaultInjector` can stage both,
 plus the network-level misbehaviour (drops, delays, corruption) that
 Blockplane's transmission-record machinery must survive.
+
+Windowed faults (``partition``, ``drop_probabilistically``,
+``tamper_matching`` with an ``end``) uninstall themselves once the
+window closes: a removal is scheduled at ``end`` and the hook also
+self-sweeps if it happens to run after its window, so long chaos runs
+never accumulate dead hooks on the network's hot send path.
 """
 
 from __future__ import annotations
@@ -37,6 +43,11 @@ class FaultInjector:
         """Recover ``node`` at absolute virtual time ``at``."""
         self.sim.schedule_at(at, node.recover)
 
+    def crash_cycle(self, node: "Node", down_at: float, up_at: float) -> None:
+        """One crash/recover cycle: down in ``[down_at, up_at)``."""
+        self.crash_at(node, down_at)
+        self.recover_at(node, up_at)
+
     def crash_site_at(self, site: str, at: float) -> None:
         """Geo-correlated failure: crash every node in a datacenter.
 
@@ -60,9 +71,43 @@ class FaultInjector:
 
         self.sim.schedule_at(at, _up)
 
+    def site_outage(self, site: str, down_at: float, up_at: float) -> None:
+        """One whole-site outage window ``[down_at, up_at)``."""
+        self.crash_site_at(site, down_at)
+        self.recover_site_at(site, up_at)
+
     # ------------------------------------------------------------------
     # Network faults
     # ------------------------------------------------------------------
+    def _install_windowed_drop(
+        self,
+        predicate: Callable[[str, str, Any], bool],
+        start: float,
+        end: Optional[float],
+    ) -> DropFilter:
+        """Install a drop filter active in ``[start, end)`` that removes
+        itself once the window is over."""
+
+        def _drop(src: str, dst: str, msg: Any) -> bool:
+            now = self.sim.now
+            if now < start:
+                return False
+            if end is not None and now >= end:
+                # Expired but still installed (the scheduled sweep has
+                # not fired yet, or the injector outlived its
+                # simulator's run) — self-sweep.
+                self.network.remove_drop_filter(_drop)
+                return False
+            return predicate(src, dst, msg)
+
+        self.network.add_drop_filter(_drop)
+        if end is not None:
+            self.sim.schedule_at(
+                max(end, self.sim.now),
+                self.network.remove_drop_filter, _drop,
+            )
+        return _drop
+
     def partition(
         self,
         group_a: Iterable[str],
@@ -75,15 +120,11 @@ class FaultInjector:
         set_b = set(group_b)
 
         def _blocked(src: str, dst: str, _msg: Any) -> bool:
-            if self.sim.now < start:
-                return False
-            if end is not None and self.sim.now >= end:
-                return False
             return (src in set_a and dst in set_b) or (
                 src in set_b and dst in set_a
             )
 
-        return self.network.add_drop_filter(_blocked)
+        return self._install_windowed_drop(_blocked, start, end)
 
     def drop_matching(
         self,
@@ -92,15 +133,7 @@ class FaultInjector:
         end: Optional[float] = None,
     ) -> DropFilter:
         """Drop messages matching ``predicate`` inside a time window."""
-
-        def _drop(src: str, dst: str, msg: Any) -> bool:
-            if self.sim.now < start:
-                return False
-            if end is not None and self.sim.now >= end:
-                return False
-            return predicate(src, dst, msg)
-
-        return self.network.add_drop_filter(_drop)
+        return self._install_windowed_drop(predicate, start, end)
 
     def drop_probabilistically(
         self, probability: float, start: float = 0.0, end: Optional[float] = None
@@ -108,31 +141,47 @@ class FaultInjector:
         """Drop each message with the given probability (seeded RNG)."""
 
         def _lossy(_src: str, _dst: str, _msg: Any) -> bool:
-            if self.sim.now < start:
-                return False
-            if end is not None and self.sim.now >= end:
-                return False
             return self.sim.rng.random() < probability
 
-        return self.network.add_drop_filter(_lossy)
+        return self._install_windowed_drop(_lossy, start, end)
 
     def tamper_matching(
         self,
         predicate: Callable[[str, str, Any], bool],
         mutate: Callable[[Any], Any],
+        start: float = 0.0,
+        end: Optional[float] = None,
     ) -> TamperHook:
         """Byzantine link: replace matching messages with
-        ``mutate(message)`` (return None from ``mutate`` to swallow)."""
+        ``mutate(message)`` (return None from ``mutate`` to swallow).
+        With an ``end`` the hook is windowed and auto-removed."""
 
         def _hook(src: str, dst: str, msg: Any) -> Any:
+            now = self.sim.now
+            if now < start:
+                return msg
+            if end is not None and now >= end:
+                self.network.remove_tamper_hook(_hook)
+                return msg
             if predicate(src, dst, msg):
                 return mutate(msg)
             return msg
 
-        return self.network.add_tamper_hook(_hook)
+        self.network.add_tamper_hook(_hook)
+        if end is not None:
+            self.sim.schedule_at(
+                max(end, self.sim.now),
+                self.network.remove_tamper_hook, _hook,
+            )
+        return _hook
 
     def heal(self, *hooks: Any) -> None:
         """Remove previously installed drop filters / tamper hooks."""
         for hook in hooks:
             self.network.remove_drop_filter(hook)
             self.network.remove_tamper_hook(hook)
+
+    def active_hooks(self) -> int:
+        """How many fault hooks are currently installed (chaos runs
+        assert this returns to zero after every window expires)."""
+        return len(self.network.drop_filters) + len(self.network.tamper_hooks)

@@ -1,0 +1,90 @@
+"""Tests for the chaos CLI entry points."""
+
+import json
+import os
+
+from repro.chaos.__main__ import main as chaos_main
+from repro.chaos.plan import FaultAction, FaultBudget, FaultPlan
+from repro.__main__ import main as repro_main
+
+
+def small_plan(*actions):
+    return FaultPlan(
+        seed=9,
+        profile="crash",
+        budget=FaultBudget(f_independent=1, f_geo=0,
+                           horizon_ms=3_000.0, settle_ms=1_500.0),
+        actions=tuple(actions),
+        batches=1,
+    )
+
+
+def write_plan(tmp_path, plan):
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    return str(path)
+
+
+def test_replaying_a_clean_plan_exits_zero(tmp_path, capsys):
+    path = write_plan(tmp_path, small_plan())
+    assert chaos_main(["--plan", path]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 runs clean" in out
+
+
+def test_over_budget_plan_fails_and_shrinks(tmp_path, capsys):
+    path = write_plan(tmp_path, small_plan(
+        FaultAction(kind="crash", site="V", node_index=1,
+                    start=500.0, end=1_500.0),
+        FaultAction(kind="crash", site="V", node_index=2,
+                    start=800.0, end=1_400.0),
+    ))
+    out_dir = str(tmp_path / "artifacts")
+    code = chaos_main(["--plan", path, "--shrink", "--obs-out", out_dir])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "minimal plan:" in out
+    assert "standalone reproduction script" in out
+    repro = os.path.join(out_dir, "repro_minimal.py")
+    assert os.path.exists(repro)
+    with open(repro, "r", encoding="utf-8") as handle:
+        compile(handle.read(), repro, "exec")
+
+
+def test_obs_out_writes_artifacts_only_for_failing_runs(tmp_path):
+    clean_path = write_plan(tmp_path, small_plan())
+    out_dir = str(tmp_path / "artifacts")
+    assert chaos_main(["--plan", clean_path, "--obs-out", out_dir]) == 0
+    assert not os.path.exists(out_dir)  # clean runs leave nothing behind
+
+    failing = small_plan(
+        FaultAction(kind="crash", site="V", node_index=1,
+                    start=500.0, end=1_500.0),
+        FaultAction(kind="crash", site="V", node_index=2,
+                    start=800.0, end=1_400.0),
+    )
+    failing_path = write_plan(tmp_path, failing)
+    assert chaos_main(["--plan", failing_path, "--obs-out", out_dir]) == 1
+    plan_files = [
+        os.path.join(root, name)
+        for root, _dirs, names in os.walk(out_dir)
+        for name in names
+        if name == "plan.json"
+    ]
+    assert plan_files
+    with open(plan_files[0], "r", encoding="utf-8") as handle:
+        assert FaultPlan.from_dict(json.load(handle)) == failing
+
+
+def test_generated_sweep_with_short_horizon_is_clean(capsys):
+    assert chaos_main(
+        ["--seed", "3", "--runs", "1", "--profile", "crash",
+         "--horizon-ms", "4000", "--settle-ms", "2000"]
+    ) == 0
+    assert "1/1 runs clean" in capsys.readouterr().out
+
+
+def test_repro_main_forwards_chaos_subcommand(tmp_path, capsys):
+    path = write_plan(tmp_path, small_plan())
+    assert repro_main(["chaos", "--plan", path]) == 0
+    assert "1/1 runs clean" in capsys.readouterr().out

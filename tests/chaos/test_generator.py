@@ -1,0 +1,72 @@
+"""Tests for the budget-bounded schedule generator."""
+
+import pytest
+
+from repro.chaos.generator import PROFILES, ScheduleGenerator
+from repro.chaos.invariants import check_plan_budget
+
+
+def test_unknown_profile_is_rejected():
+    with pytest.raises(ValueError):
+        ScheduleGenerator(1, profile="nope")
+
+
+def test_same_seed_and_index_is_deterministic():
+    for profile in PROFILES:
+        a = ScheduleGenerator(7, profile=profile).generate(3)
+        b = ScheduleGenerator(7, profile=profile).generate(3)
+        assert a == b
+
+
+def test_run_indices_draw_distinct_plans():
+    generator = ScheduleGenerator(7, profile="mixed")
+    plans = [generator.generate(index) for index in range(6)]
+    assert len({plan.actions for plan in plans}) > 1
+    assert len({plan.seed for plan in plans}) == len(plans)
+
+
+def test_generated_plans_are_within_budget_by_construction():
+    # The acceptance property: across profiles and many draws, the
+    # static budget checker never flags a generated plan.
+    for profile in PROFILES:
+        generator = ScheduleGenerator(99, profile=profile)
+        for index in range(20):
+            plan = generator.generate(index)
+            assert check_plan_budget(plan) == [], (profile, index)
+
+
+def test_profiles_respect_their_fault_vocabulary():
+    crash_kinds = {
+        action.kind
+        for index in range(10)
+        for action in ScheduleGenerator(5, profile="crash").generate(index).actions
+    }
+    assert "site_outage" not in crash_kinds
+    assert "byzantine" not in crash_kinds
+    assert "tamper" not in crash_kinds
+
+    byz_kinds = {
+        action.kind
+        for index in range(10)
+        for action in ScheduleGenerator(5, profile="byzantine").generate(index).actions
+    }
+    assert "site_outage" not in byz_kinds
+    assert "byzantine" in byz_kinds
+
+
+def test_fg_budget_follows_profile():
+    assert ScheduleGenerator(1, profile="crash").budget.f_geo == 0
+    assert ScheduleGenerator(1, profile="geo").budget.f_geo == 1
+    assert ScheduleGenerator(1, profile="mixed").budget.f_geo == 1
+
+
+def test_windows_close_before_the_horizon():
+    generator = ScheduleGenerator(13, profile="mixed")
+    for index in range(10):
+        plan = generator.generate(index)
+        for action in plan.actions:
+            if action.kind == "byzantine":
+                assert action.end is None
+            else:
+                assert action.end is not None
+                assert action.end <= plan.budget.horizon_ms

@@ -1,0 +1,70 @@
+"""Tests for declarative fault plans (serialization, describe)."""
+
+from repro.chaos.plan import FaultAction, FaultBudget, FaultPlan
+
+
+def sample_plan():
+    return FaultPlan(
+        seed=11,
+        profile="mixed",
+        budget=FaultBudget(f_independent=1, f_geo=1,
+                           horizon_ms=5_000.0, settle_ms=2_000.0),
+        actions=(
+            FaultAction(kind="crash", site="V", node_index=2,
+                        start=600.0, end=1_400.0),
+            FaultAction(kind="site_outage", site="O",
+                        start=2_000.0, end=3_000.0),
+            FaultAction(kind="partition", site="C", peer="I",
+                        start=900.0, end=1_800.0),
+            FaultAction(kind="loss", probability=0.1,
+                        start=1_000.0, end=2_000.0),
+            FaultAction(kind="withhold", site="I", peer="C",
+                        start=1_200.0, end=2_200.0),
+            FaultAction(kind="byzantine", site="C", node_index=3,
+                        behavior="silent"),
+        ),
+        batches=4,
+    )
+
+
+def test_json_round_trip_is_lossless():
+    plan = sample_plan()
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_action_dict_omits_defaults():
+    action = FaultAction(kind="crash", site="V", node_index=2,
+                         start=1.0, end=2.0)
+    data = action.to_dict()
+    assert "probability" not in data
+    assert "behavior" not in data
+    assert "peer" not in data
+    assert FaultAction.from_dict(data) == action
+
+
+def test_from_dict_ignores_unknown_keys():
+    action = FaultAction.from_dict(
+        {"kind": "crash", "site": "V", "not_a_field": 1}
+    )
+    assert action.kind == "crash" and action.site == "V"
+
+
+def test_with_actions_replaces_schedule_only():
+    plan = sample_plan()
+    kept = plan.actions[:2]
+    shrunk = plan.with_actions(kept)
+    assert shrunk.actions == tuple(kept)
+    assert shrunk.seed == plan.seed
+    assert shrunk.budget == plan.budget
+
+
+def test_describe_sorts_by_start_and_names_every_kind():
+    lines = sample_plan().describe()
+    assert len(lines) == 6
+    # The byzantine plant (start 0) leads; the outage (start 2000) is last.
+    assert lines[0].startswith("byzantine")
+    assert lines[-1].startswith("site outage")
+    text = "\n".join(lines)
+    for fragment in ("crash V[2]", "partition C", "loss p=0.10",
+                     "withhold I→C", "byzantine C[3] (silent)"):
+        assert fragment in text

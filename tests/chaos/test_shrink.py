@@ -1,0 +1,111 @@
+"""Tests for failing-schedule shrinking (ddmin + window narrowing)."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.invariants import check_plan_budget
+from repro.chaos.plan import FaultAction, FaultBudget, FaultPlan
+from repro.chaos.shrink import repro_script, shrink_plan
+
+
+def budget_plan(*actions):
+    return FaultPlan(
+        seed=3,
+        budget=FaultBudget(f_independent=1, f_geo=0, horizon_ms=10_000.0),
+        actions=tuple(actions),
+    )
+
+
+def budget_oracle(plan):
+    return bool(check_plan_budget(plan))
+
+
+NOISE = [
+    FaultAction(kind="crash", site="C", node_index=1,
+                start=3_000.0, end=3_500.0),
+    FaultAction(kind="loss", probability=0.1, start=100.0, end=900.0),
+    FaultAction(kind="partition", site="C", peer="I",
+                start=4_000.0, end=5_000.0),
+]
+OVERLAP = [
+    FaultAction(kind="crash", site="V", node_index=1,
+                start=500.0, end=2_100.0),
+    FaultAction(kind="crash", site="V", node_index=2,
+                start=900.0, end=1_700.0),
+]
+
+
+def test_shrink_requires_a_failing_plan():
+    with pytest.raises(ValueError):
+        shrink_plan(budget_plan(*NOISE), oracle=budget_oracle)
+
+
+def test_shrink_isolates_the_overlapping_pair():
+    plan = budget_plan(*(NOISE + OVERLAP))
+    report = shrink_plan(plan, oracle=budget_oracle)
+    assert report.removed == len(NOISE)
+    kinds = sorted(
+        (action.kind, action.site) for action in report.minimal.actions
+    )
+    assert kinds == [("crash", "V"), ("crash", "V")]
+    # 1-minimality: the shrunken plan still fails, every single-action
+    # subset passes.
+    assert budget_oracle(report.minimal)
+    for index in range(len(report.minimal.actions)):
+        remaining = [
+            action
+            for position, action in enumerate(report.minimal.actions)
+            if position != index
+        ]
+        assert not budget_oracle(report.minimal.with_actions(remaining))
+
+
+def test_windows_are_narrowed_while_failure_persists():
+    # A synthetic oracle that only needs the crash to exist at all, so
+    # narrowing can halve the window down to its floor.
+    plan = budget_plan(
+        FaultAction(kind="crash", site="V", node_index=1,
+                    start=0.0, end=6_400.0),
+    )
+    report = shrink_plan(
+        plan,
+        oracle=lambda p: any(a.kind == "crash" for a in p.actions),
+    )
+    action = report.minimal.actions[0]
+    assert action.end - action.start <= 6_400.0 / 16  # 4 halving rounds
+
+
+def test_oracle_budget_is_respected():
+    calls = [0]
+
+    def counting_oracle(plan):
+        calls[0] += 1
+        return budget_oracle(plan)
+
+    plan = budget_plan(*(NOISE + OVERLAP))
+    shrink_plan(plan, oracle=counting_oracle, max_oracle_runs=4)
+    assert calls[0] <= 4
+
+
+def test_failure_without_faults_shrinks_to_the_empty_plan():
+    plan = budget_plan(*NOISE)
+    report = shrink_plan(plan, oracle=lambda _plan: True)
+    assert report.minimal.actions == ()
+
+
+def test_repro_script_embeds_the_plan_and_compiles():
+    plan = budget_plan(*OVERLAP)
+    script = repro_script(plan)
+    compile(script, "<repro>", "exec")
+    embedded = FaultPlan.from_json(
+        script.split('PLAN_JSON = r"""')[1].split('"""')[0]
+    )
+    assert embedded == plan
+
+
+def test_shrink_report_counts_oracle_runs():
+    plan = budget_plan(*(NOISE + OVERLAP))
+    report = shrink_plan(plan, oracle=budget_oracle)
+    assert report.oracle_runs >= 1
+    assert report.original == plan

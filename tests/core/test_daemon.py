@@ -191,3 +191,130 @@ def test_transmission_survives_message_loss_via_reserves(sim):
         e.record_type == "received" and e.value.record.message == "lossy"
         for e in log_b
     )
+
+
+def test_reserve_first_probes_are_staggered(sim):
+    # Reserves derive a deterministic per-(node, destination) offset so
+    # an entire unit's reserves never probe in lockstep.
+    from repro.core.daemon import ReserveDaemon
+
+    deployment = build_pair(sim)
+    interval = deployment.config.reserve_poll_interval_ms
+    delays = []
+    node = deployment.unit("A").nodes[3]
+    for destination in ("B", "B2", "B3"):
+        captured = []
+        original = node.set_timer
+        node.set_timer = lambda delay, *a, **k: captured.append(delay)
+        try:
+            ReserveDaemon(node, destination)
+        finally:
+            node.set_timer = original
+        delays.append(captured[0])
+    assert len(set(delays)) == len(delays)
+    for delay in delays:
+        assert interval <= delay < 2 * interval
+
+
+def test_retransmission_recovers_loss_without_reserves(sim):
+    # A transient WAN loss is healed by the ack-driven retry path alone;
+    # the reserves never need to wake up.
+    from repro.core.messages import TransmissionMessage
+    from repro.sim.faults import FaultInjector
+
+    config = BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=60_000.0,
+        reserve_gap_threshold=100,
+    )
+    deployment = build_pair(sim, config=config)
+    injector = FaultInjector(sim, deployment.network)
+    injector.drop_matching(
+        lambda src, dst, msg: isinstance(msg, TransmissionMessage),
+        start=0.0,
+        end=250.0,
+    )
+    sim.run_until_resolved(deployment.api("A").send("retried", to="B"))
+    sim.run(until=2_000.0)
+    assert sim.trace.count("bp.retransmit") >= 1
+    assert sim.trace.count("bp.reserve_promoted") == 0
+    log_b = deployment.unit("B").gateway_node().local_log
+    assert any(
+        e.record_type == "received" and e.value.record.message == "retried"
+        for e in log_b
+    )
+
+
+def test_retransmission_backs_off_and_gives_up(sim):
+    # Under a permanent blackhole the retry schedule spaces out
+    # exponentially and stops at the configured limit.
+    from repro.core.messages import TransmissionMessage
+    from repro.sim.faults import FaultInjector
+
+    config = BlockplaneConfig(
+        f_independent=1,
+        reserve_poll_interval_ms=60_000.0,
+        reserve_gap_threshold=100,
+    )
+    deployment = build_pair(sim, config=config)
+    injector = FaultInjector(sim, deployment.network)
+    injector.drop_matching(
+        lambda src, dst, msg: isinstance(msg, TransmissionMessage),
+        start=0.0,
+    )
+    sim.run_until_resolved(deployment.api("A").send("blackholed", to="B"))
+    sim.run(until=10_000.0)
+    retries = [r for r in sim.trace.records if r["kind"] == "bp.retransmit"]
+    assert len(retries) == config.transmission_retry_limit
+    gaps = [
+        later["time"] - earlier["time"]
+        for earlier, later in zip(retries, retries[1:])
+    ]
+    assert all(b > a for a, b in zip(gaps, gaps[1:])) or len(gaps) == 1
+    if len(gaps) >= 2:
+        assert gaps[1] > gaps[0]
+    assert sim.trace.count("bp.retransmit_exhausted") == 1
+
+
+def test_retry_limit_zero_disables_retransmission(sim):
+    config = BlockplaneConfig(f_independent=1, transmission_retry_limit=0)
+    deployment = build_pair(sim, config=config)
+    sim.run_until_resolved(deployment.api("A").send("once", to="B"))
+    sim.run(until=2_000.0)
+    assert sim.trace.count("bp.retransmit") == 0
+    assert deployment.unit("A").daemons["B"]._awaiting_ack == {}
+    log_b = deployment.unit("B").gateway_node().local_log
+    assert any(e.record_type == "received" for e in log_b)
+
+
+def test_healthy_network_never_retransmits(sim):
+    deployment = build_pair(sim)
+
+    def sender():
+        api = deployment.api("A")
+        for index in range(4):
+            yield api.send(f"m{index}", to="B")
+
+    sim.run_until_resolved(sim.spawn(sender()))
+    sim.run(until=2_000.0)
+    assert sim.trace.count("bp.retransmit") == 0
+    assert deployment.unit("A").daemons["B"]._awaiting_ack == {}
+
+
+def test_reserve_ignores_gap_claims_from_other_units(sim):
+    # Regression: the node fans every GapResponse to all of its
+    # reserves, so a reserve auditing B once recorded claims made by
+    # members of OTHER units about their own reception — inflating the
+    # trusted floor and hiding B's real gap.
+    from repro.core.messages import GapResponse
+
+    deployment = build_pair(sim)
+    reserve = next(
+        r for r in deployment.unit("A").reserves if r.destination == "B"
+    )
+    outsider = GapResponse(source_participant="A", last_source_position=15)
+    reserve.handle_gap_response(outsider, "A-1")
+    assert reserve._responses == {}
+    member = GapResponse(source_participant="A", last_source_position=2)
+    reserve.handle_gap_response(member, "B-1")
+    assert reserve._responses == {"B-1": 2}

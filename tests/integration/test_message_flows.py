@@ -70,10 +70,14 @@ def test_fig3b_send_crosses_the_wide_area_exactly_fanout_times(sim):
     sim.run_until_resolved(api_a.send("message", to="B"))
     sim.run(until=sim.now + 100)
     assert received.resolved
-    # Exactly `transmission_fanout` wide-area transmissions; nothing
-    # else crosses datacenters.
+    # Exactly `transmission_fanout` wide-area transmissions, each
+    # answered by one transport-level ack; nothing else crosses
+    # datacenters.
     fanout = deployment.config.transmission_fanout
-    assert counter.wide_area == {"TransmissionMessage": fanout}
+    assert counter.wide_area == {
+        "TransmissionMessage": fanout,
+        "TransmissionAck": fanout,
+    }
     # Signature collection is one local round: requests out, responses
     # back (the daemon's own signature needs no message).
     assert counter.local.get("SignRequest", 0) == 3

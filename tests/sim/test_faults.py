@@ -117,3 +117,33 @@ def test_heal_removes_hooks():
     a.send("b", Tick(n=1))
     sim.run()
     assert b.seen == [1]
+
+
+def test_windowed_hooks_uninstall_themselves():
+    sim, _n, injector, a, b, _a2 = make_env()
+    injector.partition(["a"], ["b"], start=5.0, end=15.0)
+    injector.drop_probabilistically(0.9, start=5.0, end=20.0)
+    injector.tamper_matching(
+        lambda src, dst, msg: True,
+        lambda msg: Tick(n=-1),
+        start=5.0,
+        end=25.0,
+    )
+    assert injector.active_hooks() == 3
+    sim.schedule(30.0, a.send, "b", Tick(n=7))
+    sim.run()
+    # All windows closed: every hook removed itself, and late traffic
+    # flows untouched.
+    assert injector.active_hooks() == 0
+    assert b.seen == [7]
+
+
+def test_unbounded_hooks_stay_installed():
+    sim, _n, injector, a, b, _a2 = make_env()
+    injector.drop_matching(lambda *_: True)
+    a.send("b", Tick(n=1))
+    sim.run()
+    sim.schedule(1_000.0, a.send, "b", Tick(n=2))
+    sim.run()
+    assert injector.active_hooks() == 1
+    assert b.seen == []
