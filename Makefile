@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-rules chaos experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Protocol-aware lints always run; ruff (generic hygiene) only when
+# installed — the offline dev container ships without it, CI installs it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping generic hygiene checks"; \
+	fi
+	$(PYTHON) -m repro.analysis src tests
+
+lint-rules:
+	$(PYTHON) -m repro.analysis --list-rules
+
+chaos:
+	$(PYTHON) -m repro.chaos --seed 7 --runs 5 --profile mixed --shrink
+
+experiments:
+	$(PYTHON) -m repro

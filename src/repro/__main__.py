@@ -101,6 +101,12 @@ def main(argv: list) -> int:
         from repro.chaos.__main__ import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Forward to the static analyzer: `python -m repro lint` is
+        # equivalent to `python -m repro.analysis`.
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     argv, obs_out, error = _parse_obs_out(argv)
     if error:
         print(error)

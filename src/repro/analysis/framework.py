@@ -1,0 +1,274 @@
+"""The checker framework: registry, module contexts, suppressions.
+
+A checker is a class with a ``rule`` id; the framework instantiates the
+registered checkers once per run, feeds every analyzed module to
+:meth:`Checker.visit_module`, and finally calls
+:meth:`Checker.finalize` so cross-module rules (e.g. handler
+exhaustiveness) can emit findings after seeing the whole tree.
+
+Suppressions use ``# bp-lint: disable=RULE[,RULE...]`` comments:
+
+* trailing after code, the listed rules are suppressed on that line;
+* on a line of its own, the listed rules are suppressed for the whole
+  file (conventionally placed at the top);
+* ``disable=all`` suppresses every rule.
+
+Suppression is applied *after* checkers run, so a checker never needs
+to know about it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.findings import Finding, PARSE_ERROR_RULE
+
+#: Sub-packages whose code must be deterministic / protocol-clean.
+PROTOCOL_PACKAGES = (
+    "repro.sim",
+    "repro.pbft",
+    "repro.core",
+    "repro.paxos",
+    "repro.baselines",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*bp-lint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+
+class ModuleContext:
+    """Everything a checker may want to know about one source file.
+
+    Attributes:
+        path: The file path as given to the analyzer.
+        module: Best-effort dotted module name (``repro.pbft.replica``),
+            derived from the path; overridable for fixture tests.
+        tree: The parsed :mod:`ast` tree.
+        source: Raw source text.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.AST,
+        module: Optional[str] = None,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module if module is not None else _module_of(path)
+
+    @property
+    def is_protocol(self) -> bool:
+        """Whether this module belongs to a protocol package (the scope
+        of the determinism rules)."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in PROTOCOL_PACKAGES
+        )
+
+    @property
+    def is_messages_module(self) -> bool:
+        """Whether this is a ``*/messages.py`` wire-format module."""
+        return self.module.rsplit(".", 1)[-1] == "messages"
+
+
+def _module_of(path: str) -> str:
+    """Dotted module name from a file path (anchored at ``repro``)."""
+    parts = list(Path(path).with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["__init__"]
+    return ".".join(parts)
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule`, :attr:`summary`, and :attr:`rationale`
+    (the protocol property the rule protects — surfaced by
+    ``--list-rules`` and the docs), override :meth:`visit_module`, and
+    optionally :meth:`finalize` for whole-project rules. Checkers are
+    instantiated fresh for every run, so instance state is per-run
+    state.
+    """
+
+    rule: str = "BP???"
+    summary: str = ""
+    rationale: str = ""
+
+    def visit_module(self, ctx: ModuleContext) -> List[Finding]:
+        """Analyze one module; return its findings."""
+        return []
+
+    def finalize(self) -> List[Finding]:
+        """Emit findings that need the whole project (default: none)."""
+        return []
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker for rule {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def registered_checkers() -> Dict[str, Type[Checker]]:
+    """rule id → checker class, for every registered rule."""
+    _ensure_rules_loaded()
+    return dict(_REGISTRY)
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rules package registers every built-in checker;
+    # deferred so framework import never cycles with rule modules.
+    from repro.analysis import rules  # noqa: F401
+
+
+class Suppressions:
+    """Parsed ``# bp-lint: disable=...`` comments for one file."""
+
+    def __init__(self, source: str) -> None:
+        self.file_rules: Set[str] = set()
+        self.line_rules: Dict[int, Set[str]] = {}
+        self._parse(source)
+
+    def _parse(self, source: str) -> None:
+        code_lines: Set[int] = set()
+        comments: List[Tuple[int, str]] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+            elif token.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+        for line, comment in comments:
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = {
+                rule.strip().upper()
+                for rule in match.group(1).split(",")
+                if rule.strip()
+            }
+            if line in code_lines:
+                self.line_rules.setdefault(line, set()).update(rules)
+            else:
+                self.file_rules.update(rules)
+
+    def allows(self, finding: Finding) -> bool:
+        """Whether ``finding`` survives this file's suppressions."""
+        for rules in (
+            self.file_rules,
+            self.line_rules.get(finding.line, set()),
+        ):
+            if "ALL" in rules or finding.rule in rules:
+                return False
+        return True
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(str(p) for p in sorted(path.rglob("*.py")))
+        else:
+            found.append(str(path))
+    return found
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    checkers: Sequence[Checker],
+    module: Optional[str] = None,
+) -> List[Finding]:
+    """Run per-module checkers over one source text.
+
+    Parse failures come back as a single :data:`PARSE_ERROR_RULE`
+    finding; suppressions are already applied to the result.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, source, tree, module=module)
+    suppressions = Suppressions(source)
+    findings: List[Finding] = []
+    for checker in checkers:
+        findings.extend(checker.visit_module(ctx))
+    return [f for f in findings if suppressions.allows(f)]
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyze every Python file under ``paths`` with the registered
+    checkers (optionally narrowed to ``rules``); returns all surviving
+    findings sorted by location.
+
+    Note: file-level suppressions silence a rule's *per-module*
+    findings in that file, and cross-module findings (``finalize``)
+    whose location falls in that file.
+    """
+    registry = registered_checkers()
+    selected = set(rules) if rules is not None else set(registry)
+    unknown = selected - set(registry)
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    checkers = [registry[rule]() for rule in sorted(selected)]
+    findings: List[Finding] = []
+    suppressions_by_path: Dict[str, Suppressions] = {}
+    for path in iter_python_files(paths):
+        try:
+            source = Path(path).read_text()
+        except OSError as exc:
+            findings.append(
+                Finding(PARSE_ERROR_RULE, path, 1, 0, f"unreadable: {exc}")
+            )
+            continue
+        suppressions_by_path[path] = Suppressions(source)
+        findings.extend(analyze_source(source, path, checkers))
+    for checker in checkers:
+        for finding in checker.finalize():
+            suppressions = suppressions_by_path.get(finding.path)
+            if suppressions is None or suppressions.allows(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

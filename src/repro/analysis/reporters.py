@@ -1,0 +1,45 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Type
+
+from repro.analysis.findings import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """gcc-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [str(finding) for finding in findings]
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    if findings:
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document (for the CI artifact and tooling)."""
+    document = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rules(registry: Dict[str, Type]) -> str:
+    """``--list-rules`` output: id, summary, and rationale per rule."""
+    blocks: List[str] = []
+    for rule in sorted(registry):
+        checker = registry[rule]
+        blocks.append(f"{rule}  {checker.summary}")
+        if checker.rationale:
+            blocks.append(f"       {checker.rationale}")
+    return "\n".join(blocks)

@@ -1,0 +1,160 @@
+"""BP004 — handler exhaustiveness and handler purity.
+
+Half one is cross-module: every :class:`~repro.sim.node.Message`
+subclass defined in a ``*/messages.py`` wire-format module must have a
+``handle_<kind>`` method *somewhere* in the analyzed tree, because the
+dispatch in :meth:`Node.on_message` raises ``ProtocolError`` at
+runtime for missing handlers — this rule moves that discovery to lint
+time. Half two is local: no handler may mutate its incoming message.
+The network delivers messages by reference in-simulation, so a handler
+writing ``msg.x = ...`` corrupts the sender's (and every other
+recipient's) copy — the classic heisenbug of actor simulations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, ModuleContext, register
+
+
+def _snake_case(name: str) -> str:
+    # Mirrors repro.sim.node._snake_case (kind derivation).
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def _message_kind(node: ast.ClassDef) -> str:
+    """The dispatch kind: an explicit ``kind = "..."`` class attribute
+    or the snake_cased class name."""
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "kind"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "kind"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+    return _snake_case(node.name)
+
+
+def _is_message_subclass(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(
+            base, "id", None
+        )
+        if name == "Message":
+            return True
+    return False
+
+
+@register
+class HandlerChecker(Checker):
+    """BP004 — every wire message handled; no handler mutates input."""
+
+    rule = "BP004"
+    summary = (
+        "every */messages.py Message class has a handle_<kind> "
+        "somewhere; handlers never mutate the incoming message"
+    )
+    rationale = (
+        "Node.on_message raises ProtocolError for unknown kinds at "
+        "runtime — under exactly the fault schedule that first emits "
+        "the message. Messages are delivered by reference in the "
+        "simulator, so handler-side mutation corrupts every other "
+        "recipient's copy and the sender's retransmission buffer."
+    )
+
+    def __init__(self) -> None:
+        #: (path, line, col, class name, kind) per message class.
+        self._messages: List[Tuple[str, int, int, str, str]] = []
+        self._handlers: Set[str] = set()
+
+    def visit_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                if ctx.is_messages_module and _is_message_subclass(node):
+                    self._messages.append(
+                        (
+                            ctx.path,
+                            node.lineno,
+                            node.col_offset,
+                            node.name,
+                            _message_kind(node),
+                        )
+                    )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if node.name.startswith("handle_"):
+                    self._handlers.add(node.name)
+                    findings.extend(self._check_mutation(ctx, node))
+        return findings
+
+    def _check_mutation(
+        self, ctx: ModuleContext, func: ast.FunctionDef
+    ) -> List[Finding]:
+        args = [a.arg for a in func.args.args]
+        if len(args) < 2:
+            return []
+        msg_name = args[1] if args[0] == "self" else args[0]
+        findings: List[Finding] = []
+        for node in ast.walk(func):
+            target = None
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if self._is_msg_attr(t, msg_name):
+                        target = t
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if self._is_msg_attr(node.target, msg_name):
+                    target = node.target
+            elif isinstance(node, ast.Delete):
+                for t in node.targets:
+                    if self._is_msg_attr(t, msg_name):
+                        target = t
+            if target is not None:
+                findings.append(
+                    Finding(
+                        self.rule, ctx.path, node.lineno, node.col_offset,
+                        f"handler `{func.name}` mutates the incoming "
+                        f"message (`{msg_name}.{target.attr}`); messages "
+                        "are shared by reference — copy instead",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_msg_attr(node: ast.AST, msg_name: str) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == msg_name
+        )
+
+    def finalize(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for path, line, col, name, kind in self._messages:
+            if f"handle_{kind}" not in self._handlers:
+                findings.append(
+                    Finding(
+                        self.rule, path, line, col,
+                        f"message class `{name}` (kind `{kind}`) has no "
+                        f"`handle_{kind}` handler anywhere in the "
+                        "analyzed tree; dispatch will raise "
+                        "ProtocolError at runtime",
+                    )
+                )
+        return findings

@@ -1,0 +1,119 @@
+"""BP002 — quorum thresholds must come from :mod:`repro.pbft.quorums`.
+
+Hand-written ``2f + 1`` arithmetic is how hierarchical deployments end
+up with one layer sized from the configured ``f`` and another from a
+stale copy (the pre-migration ``hierarchical_pbft`` unit sizing was
+exactly this). With every threshold derived from one helper module, a
+change to the fault model is a one-line change, and a mismatch between
+layers is impossible to write.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, ModuleContext, register
+
+#: Terminal identifier names that denote a fault-tolerance level.
+_F_NAMES = {"f", "fi", "fg", "f_independent", "f_geo"}
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """``self.f`` → ``f``; ``budget.f_independent`` → ``f_independent``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_f(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and name in _F_NAMES
+
+
+def _is_const(node: ast.AST, value: int) -> bool:
+    return isinstance(node, ast.Constant) and node.value == value
+
+
+def _is_scaled_f(node: ast.AST) -> bool:
+    """``2 * f`` / ``3 * f`` (either operand order)."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+        return False
+    left, right = node.left, node.right
+    return (_is_f(left) and _is_const(right, 2)) or (
+        _is_f(right) and _is_const(left, 2)
+    ) or (_is_f(left) and _is_const(right, 3)) or (
+        _is_f(right) and _is_const(left, 3)
+    )
+
+
+@register
+class QuorumLiteralChecker(Checker):
+    """BP002 — no hand-rolled ``3f+1`` / ``2f+1`` / ``f+1`` arithmetic."""
+
+    rule = "BP002"
+    summary = "quorum arithmetic must use repro.pbft.quorums helpers"
+    rationale = (
+        "Quorum sizes written out by hand drift: one layer derives its "
+        "unit size from the configured f while a copy elsewhere stays "
+        "at f=1. repro.pbft.quorums is the single home of the "
+        "formulas; everything else calls unit_size/commit_quorum/"
+        "reply_quorum/proof_quorum/majority."
+    )
+
+    def visit_module(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            message = self._match(node)
+            if message is not None:
+                findings.append(
+                    Finding(
+                        self.rule, ctx.path, node.lineno, node.col_offset,
+                        message,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _match(node: ast.BinOp) -> Optional[str]:
+        # ``f + 1`` / ``2*f + 1`` / ``3*f + 1`` (either operand order).
+        if isinstance(node.op, ast.Add):
+            for a, b in ((node.left, node.right), (node.right, node.left)):
+                if not _is_const(b, 1):
+                    continue
+                if _is_f(a):
+                    return (
+                        "hand-rolled `f + 1` threshold; use "
+                        "quorums.reply_quorum/proof_quorum"
+                    )
+                if _is_scaled_f(a):
+                    return (
+                        "hand-rolled `2f+1`/`3f+1` arithmetic; use "
+                        "quorums.commit_quorum/unit_size"
+                    )
+                # ``x // 2 + 1`` — a hand-rolled benign majority.
+                if (
+                    isinstance(a, ast.BinOp)
+                    and isinstance(a.op, ast.FloorDiv)
+                    and _is_const(a.right, 2)
+                ):
+                    return (
+                        "hand-rolled `n // 2 + 1` majority; use "
+                        "quorums.majority"
+                    )
+            return None
+        # ``(n - 1) // 3`` — the tolerated-failure inverse.
+        if (
+            isinstance(node.op, ast.FloorDiv)
+            and _is_const(node.right, 3)
+            and isinstance(node.left, ast.BinOp)
+            and isinstance(node.left.op, ast.Sub)
+            and _is_const(node.left.right, 1)
+        ):
+            return "hand-rolled `(n - 1) // 3`; use quorums.max_faulty"
+        return None

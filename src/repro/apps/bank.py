@@ -17,7 +17,7 @@ counterparty's unit collectively signed).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.records import LogEntry, RECORD_COMMUNICATION, RECORD_LOG_COMMIT
 from repro.core.verification import VerificationRoutines

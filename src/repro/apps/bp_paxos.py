@@ -25,6 +25,7 @@ from repro.core.records import (
     RECORD_LOG_COMMIT,
 )
 from repro.core.verification import VerificationRoutines
+from repro.pbft.quorums import majority
 from repro.sim.process import Future
 
 #: Ballot: (round, participant) — lexicographic order, globally unique.
@@ -146,7 +147,7 @@ class BlockplanePaxosParticipant:
     @property
     def majority(self) -> int:
         """Participants needed for a quorum (including ourselves)."""
-        return len(self.participants) // 2 + 1
+        return majority(len(self.participants))
 
     @property
     def others(self) -> List[str]:

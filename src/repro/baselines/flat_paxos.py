@@ -8,7 +8,7 @@ is compared against.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.paxos.node import MultiPaxosNode

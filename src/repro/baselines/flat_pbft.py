@@ -9,7 +9,7 @@ inter-replica RTTs, not just the leader's distances. The paper measures
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.pbft.config import PBFTConfig

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.pbft.config import PBFTConfig
+from repro.pbft.quorums import site_majority, unit_size
 from repro.pbft.replica import PBFTReplica
 from repro.sim.network import Network, NetworkOptions
 from repro.sim.node import Message
@@ -137,12 +138,12 @@ class HierarchicalPBFTDeployment:
         self.sim = sim
         self.topology = topology
         self.network = network or Network(sim, topology, network_options)
-        self.site_majority = len(topology.site_names) // 2 + 1
-        unit_size = 3 * f + 1
+        self.site_majority = site_majority(len(topology.site_names))
+        members = unit_size(f)
         self.units: Dict[str, List[HierarchicalPBFTNode]] = {}
         self.gateways: Dict[str, HierarchicalPBFTNode] = {}
         for site in topology.site_names:
-            peer_ids = [f"{site}-h{i}" for i in range(unit_size)]
+            peer_ids = [f"{site}-h{i}" for i in range(members)]
             nodes = [
                 HierarchicalPBFTNode(
                     sim,

@@ -35,7 +35,8 @@ from repro.chaos.plan import (
     FaultAction,
     FaultPlan,
 )
-from repro.core.records import RECORD_COMMUNICATION, RECORD_RECEIVED
+from repro.core.records import RECORD_RECEIVED
+from repro.pbft.quorums import unit_size
 
 #: Sites of the default chaos deployment (the paper's 4-DC topology).
 DEFAULT_SITES: Tuple[str, ...] = ("C", "O", "V", "I")
@@ -95,7 +96,7 @@ def check_plan_budget(
     """Every way ``plan`` exceeds (or malforms) its own fault budget."""
     violations: List[Violation] = []
     budget = plan.budget
-    unit_size = 3 * budget.f_independent + 1
+    members = unit_size(budget.f_independent)
 
     for action in plan.actions:
         if action.kind not in ACTION_KINDS:
@@ -138,7 +139,7 @@ def check_plan_budget(
                         f"horizon: {action.describe()}",
                     )
                 )
-        if action.kind == "crash" and not 0 <= action.node_index < unit_size:
+        if action.kind == "crash" and not 0 <= action.node_index < members:
             violations.append(
                 Violation(
                     "budget",
@@ -155,7 +156,7 @@ def check_plan_budget(
                         site=action.site,
                     )
                 )
-            if not 1 <= action.node_index < unit_size:
+            if not 1 <= action.node_index < members:
                 # Member 0 is the gateway/API entry point; a byzantine
                 # plant there is outside the harness's observable model.
                 violations.append(

@@ -40,7 +40,7 @@ from repro.chaos.invariants import (
     check_post_heal,
     check_transmission_chains,
 )
-from repro.chaos.plan import FaultAction, FaultPlan
+from repro.chaos.plan import FaultPlan
 from repro.core import BlockplaneConfig, BlockplaneDeployment
 from repro.core.byzantine import (
     ForgingSigner,

@@ -18,7 +18,7 @@ rendered as a standalone reproduction script with
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from repro.chaos.plan import FaultAction, FaultPlan
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import ConfigurationError
+from repro.pbft import quorums
 from repro.pbft.config import PBFTConfig
 
 
@@ -94,14 +95,14 @@ class BlockplaneConfig:
     @property
     def unit_size(self) -> int:
         """Nodes per participant: ``3·fi + 1``."""
-        return 3 * self.f_independent + 1
+        return quorums.unit_size(self.f_independent)
 
     @property
     def proof_size(self) -> int:
         """Signatures in a transmission proof: ``fi + 1``."""
-        return self.f_independent + 1
+        return quorums.proof_quorum(self.f_independent)
 
     @property
     def replication_set_size(self) -> int:
         """Participants mirroring each other's state: ``2·fg + 1``."""
-        return 2 * self.f_geo + 1
+        return quorums.replication_set_size(self.f_geo)

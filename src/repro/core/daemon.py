@@ -21,7 +21,7 @@ the receive verification routine drops duplicates.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.messages import GapQuery, GapResponse, TransmissionMessage
 from repro.core.records import (
@@ -30,6 +30,7 @@ from repro.core.records import (
     SealedTransmission,
     TransmissionRecord,
 )
+from repro.pbft.quorums import commit_quorum
 
 
 class CommunicationDaemon:
@@ -238,7 +239,7 @@ class ReserveDaemon:
         members = self.node.directory.unit_members(self.destination)
         # Ask more than f+1 so a single slow/malicious responder cannot
         # force a spurious promotion (Section IV-C's discussion).
-        ask = min(len(members), 2 * self.node.bp_config.f_independent + 1)
+        ask = min(len(members), commit_quorum(self.node.bp_config.f_independent))
         query = GapQuery(source_participant=self.node.participant)
         for member in members[:ask]:
             self.node.send(member, query)

@@ -16,7 +16,7 @@ from repro.crypto.signatures import QuorumProof, Signature
 from repro.sim.node import Message
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SignRequest(Message):
     """Ask a unit member to attest a local-log entry's digest.
 
@@ -31,7 +31,7 @@ class SignRequest(Message):
     purpose: str = "transmission"  # or "mirror"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SignResponse(Message):
     """A unit member's signature over the requested digest."""
 
@@ -41,7 +41,7 @@ class SignResponse(Message):
     purpose: str = "transmission"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TransmissionMessage(Message):
     """A sealed transmission record crossing the wide area.
 
@@ -60,7 +60,7 @@ class TransmissionMessage(Message):
         return self.sealed.size_bytes()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TransmissionAck(Message):
     """Transport-level acknowledgement of one transmission record.
 
@@ -77,7 +77,7 @@ class TransmissionAck(Message):
     source_position: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class GapQuery(Message):
     """Reserve probe: "what is the last position you received from my
     participant?" (Section IV-C)."""
@@ -85,7 +85,7 @@ class GapQuery(Message):
     source_participant: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class GapResponse(Message):
     """Answer to a :class:`GapQuery` — the *source* log position of the
     most recent transmission record committed from that participant."""
@@ -94,7 +94,7 @@ class GapResponse(Message):
     last_source_position: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class MirrorRequest(Message):
     """Geo replication: ship a committed entry to a mirror participant
     (Section V), with the source unit's ``fi + 1`` signatures."""
@@ -110,7 +110,7 @@ class MirrorRequest(Message):
         return size
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class MirrorResponse(Message):
     """A mirror's acknowledgement: ``fi + 1`` signatures from its unit
     proving the entry is durable there."""
@@ -121,7 +121,7 @@ class MirrorResponse(Message):
     proof: Optional[QuorumProof] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Heartbeat(Message):
     """Geo primary liveness beacon (primary gateway → secondaries)."""
 
@@ -129,7 +129,7 @@ class Heartbeat(Message):
     sequence: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TakeOver(Message):
     """A secondary's announcement that it is the new geo primary."""
 
@@ -137,7 +137,7 @@ class TakeOver(Message):
     epoch: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ReadRequest(Message):
     """Read one Local Log position from a unit node."""
 
@@ -145,7 +145,7 @@ class ReadRequest(Message):
     request_id: Tuple[str, int] = ("", 0)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ReadResponse(Message):
     """A node's view of the requested position (None if unwritten)."""
 

@@ -31,6 +31,7 @@ from repro.core.verification import AcceptAll, VerificationRoutines
 from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigurationError
 from repro.obs.hub import DISABLED, Observability
+from repro.pbft.quorums import proof_quorum
 from repro.sim.network import Network, NetworkOptions
 from repro.sim.simulator import Simulator
 from repro.sim.topology import Topology
@@ -97,7 +98,7 @@ class BlockplaneDeployment:
             # only require the operational minimum of fg + 1 (the
             # primary plus fg proof-granting mirrors) and use as much of
             # the ideal set as the deployment offers.
-            needed = self.config.f_geo + 1
+            needed = proof_quorum(self.config.f_geo)
             if len(names) < needed:
                 raise ConfigurationError(
                     f"fg={self.config.f_geo} needs at least {needed} "

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import enum
 
+from repro.pbft.quorums import commit_quorum
+
 
 class ReadStrategy(enum.Enum):
     """How strongly a Local Log read is guarded."""
@@ -30,7 +32,7 @@ def required_responses(strategy: ReadStrategy, f_independent: int) -> int:
     if strategy is ReadStrategy.READ_ONE:
         return 1
     if strategy is ReadStrategy.READ_QUORUM:
-        return 2 * f_independent + 1
+        return commit_quorum(f_independent)
     if strategy is ReadStrategy.LINEARIZABLE:
         return 1  # served locally after the read marker commits
     raise ValueError(f"unknown read strategy {strategy!r}")

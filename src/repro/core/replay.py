@@ -20,7 +20,7 @@ convergence.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from repro.core.local_log import LocalLog
 from repro.core.records import LogEntry

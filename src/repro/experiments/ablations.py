@@ -22,6 +22,7 @@ from repro.core import BlockplaneConfig, BlockplaneDeployment
 from repro.core.batching import Batcher
 from repro.core.reads import ReadStrategy
 from repro.experiments.report import fmt_ms, format_table
+from repro.pbft.quorums import unit_size
 from repro.sim.metrics import LatencySeries
 from repro.sim.simulator import Simulator
 from repro.sim.topology import (
@@ -224,7 +225,7 @@ def run_fi_scaling(
 
         sim.run_until_resolved(sim.spawn(workload()), max_events=400_000_000)
         results[fi] = {
-            "nodes_per_datacenter": float(3 * fi + 1),
+            "nodes_per_datacenter": float(unit_size(fi)),
             "blockplane_paxos_ms": series.mean,
         }
     return results

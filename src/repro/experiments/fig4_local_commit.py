@@ -15,7 +15,7 @@ Paper's observations to reproduce:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.core import BlockplaneConfig, BlockplaneDeployment
 from repro.experiments.report import fmt_mb_s, fmt_ms, format_table

@@ -9,7 +9,9 @@ def format_table(headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
     """Render an aligned plain-text table."""
     cells = [[str(cell) for cell in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
         for i in range(len(headers))
     ]
     lines = [

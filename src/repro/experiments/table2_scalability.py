@@ -13,6 +13,7 @@ from typing import Dict, Sequence
 
 from repro.core import BlockplaneConfig, BlockplaneDeployment
 from repro.experiments.report import fmt_mb_s, fmt_ms, format_table
+from repro.pbft.quorums import max_faulty, unit_size
 from repro.sim.simulator import Simulator
 from repro.sim.topology import single_dc_topology
 from repro.workloads.generator import BatchWorkload
@@ -52,7 +53,7 @@ def run_one(
         workload,
     )
     return {
-        "nodes": 3 * f_independent + 1,
+        "nodes": unit_size(f_independent),
         "latency_ms": result["latency_ms"],
         "throughput_mb_s": result["throughput_mb_s"],
     }
@@ -86,7 +87,7 @@ def main(
         paper_throughput, paper_latency = PAPER_TABLE2.get(nodes, (None, None))
         rows.append(
             [
-                f"{nodes} (fi={(nodes - 1) // 3})",
+                f"{nodes} (fi={max_faulty(nodes)})",
                 fmt_mb_s(metrics["throughput_mb_s"]),
                 f"{paper_throughput:.0f}" if paper_throughput else "-",
                 fmt_ms(metrics["latency_ms"]),

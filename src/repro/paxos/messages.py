@@ -16,7 +16,7 @@ from repro.sim.node import Message
 Ballot = Tuple[int, str]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PaxosPrepare(Message):
     """Phase-1a: a proposer asks acceptors to promise a ballot."""
 
@@ -24,7 +24,7 @@ class PaxosPrepare(Message):
     first_unchosen: int = 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Promise(Message):
     """Phase-1b: an acceptor promises and reports accepted values.
 
@@ -39,7 +39,7 @@ class Promise(Message):
     acceptor: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Accept(Message):
     """Phase-2a: the leader proposes a value for a slot."""
 
@@ -48,7 +48,7 @@ class Accept(Message):
     value: Any = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Accepted(Message):
     """Phase-2b: an acceptor accepted the proposal."""
 
@@ -57,7 +57,7 @@ class Accepted(Message):
     acceptor: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Nack(Message):
     """An acceptor rejects a stale ballot and reveals the newer one."""
 
@@ -66,7 +66,7 @@ class Nack(Message):
     slot: Optional[int] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Learn(Message):
     """The leader announces a chosen value (asynchronous)."""
 

@@ -23,6 +23,7 @@ from repro.paxos.messages import (
     PaxosPrepare,
     Promise,
 )
+from repro.pbft.quorums import majority
 from repro.sim.node import Node
 from repro.sim.process import Future
 
@@ -79,7 +80,7 @@ class MultiPaxosNode(Node):
     @property
     def majority(self) -> int:
         """Quorum size: more than half of the participants."""
-        return len(self.peers) // 2 + 1
+        return majority(len(self.peers))
 
     # ------------------------------------------------------------------
     # Phase 1 — Leader Election

@@ -51,7 +51,7 @@ class CommittedEntry:
     request_id: Tuple[str, int] = ("", 0)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ClientRequest(Message):
     """Submit a value for commitment (client/submitter → leader).
 
@@ -68,7 +68,7 @@ class ClientRequest(Message):
     trace: Optional[Tuple[int, int]] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PrePrepare(Message):
     """Leader's ordering proposal (leader → all replicas)."""
 
@@ -82,7 +82,7 @@ class PrePrepare(Message):
     trace: Optional[Tuple[int, int]] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Prepare(Message):
     """Replica's echo of the proposal digest (replica → all)."""
 
@@ -92,7 +92,7 @@ class Prepare(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Commit(Message):
     """Replica's commit vote, sent after the verification routine
     accepts the prepared value (replica → all)."""
@@ -103,7 +103,7 @@ class Commit(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Reply(Message):
     """Execution acknowledgement (replica → request origin). The origin
     accepts a request as committed after ``f + 1`` matching replies."""
@@ -115,7 +115,7 @@ class Reply(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RejectRequest(Message):
     """Leader's refusal to propose a request (failed pre-validation,
     e.g. a duplicate transmission record or an invalid transition).
@@ -126,7 +126,7 @@ class RejectRequest(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Checkpoint(Message):
     """Periodic state summary enabling log truncation (replica → all)."""
 
@@ -135,8 +135,8 @@ class Checkpoint(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
-class PreparedCertificate(Message):
+@dataclasses.dataclass(slots=True)
+class PreparedCertificate(Message):  # bp-lint: disable=BP004
     """Evidence inside a view change that a slot was prepared."""
 
     view: int = 0
@@ -148,7 +148,7 @@ class PreparedCertificate(Message):
     request_id: Tuple[str, int] = ("", 0)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ViewChange(Message):
     """Vote to replace the current leader (replica → all)."""
 
@@ -158,7 +158,7 @@ class ViewChange(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class NewView(Message):
     """New leader's announcement, re-proposing prepared slots."""
 
@@ -167,7 +167,7 @@ class NewView(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CatchUpRequest(Message):
     """A lagging/recovered replica asks peers for committed entries."""
 
@@ -175,7 +175,7 @@ class CatchUpRequest(Message):
     replica: str = ""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CatchUpResponse(Message):
     """Committed entries above the requester's execution point."""
 

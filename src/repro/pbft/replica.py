@@ -45,6 +45,12 @@ from repro.pbft.messages import (
     Reply,
     ViewChange,
 )
+from repro.pbft.quorums import (
+    commit_quorum,
+    max_faulty,
+    reply_quorum,
+    unit_size,
+)
 from repro.sim.node import Node
 from repro.sim.process import Future
 
@@ -142,9 +148,10 @@ class PBFTReplica(Node):
         self.obs = obs if obs is not None else DISABLED
         if node_id not in peers:
             raise ProtocolError(f"{node_id} missing from its own peer list")
-        if len(peers) < 4:
+        if len(peers) < unit_size(1):
             raise ProtocolError(
-                f"PBFT needs at least 4 replicas (3f+1), got {len(peers)}"
+                f"PBFT needs at least {unit_size(1)} replicas (3f+1), "
+                f"got {len(peers)}"
             )
         self.peers = list(peers)
         self.config = config or PBFTConfig()
@@ -188,7 +195,7 @@ class PBFTReplica(Node):
     @property
     def f(self) -> int:
         """Tolerated byzantine failures: ``(n - 1) // 3``."""
-        return (self.n - 1) // 3
+        return max_faulty(self.n)
 
     def leader_of(self, view: int) -> str:
         """Deterministic leader rotation: the view number modulo n."""
@@ -558,7 +565,7 @@ class PBFTReplica(Node):
         slot = self.slots.get(seq)
         if slot is None or not slot.has_pre_prepare or slot.commit_sent:
             return
-        if self._matching_votes(slot.prepares, slot.digest) < 2 * self.f + 1:
+        if self._matching_votes(slot.prepares, slot.digest) < commit_quorum(self.f):
             return
         if self.obs.enabled and slot.t_prepared < 0:
             slot.t_prepared = self.sim.now
@@ -626,7 +633,7 @@ class PBFTReplica(Node):
         slot = self.slots.get(seq)
         if slot is None or slot.committed or not slot.has_pre_prepare:
             return
-        if self._matching_votes(slot.commits, slot.digest) < 2 * self.f + 1:
+        if self._matching_votes(slot.commits, slot.digest) < commit_quorum(self.f):
             return
         if not slot.commit_sent:
             return  # our own verification routine has not accepted it
@@ -758,7 +765,7 @@ class PBFTReplica(Node):
             for replica, (view, seq, digest) in pending.replies.items()
             if (seq, digest) == (msg.seq, msg.digest)
         ]
-        if len(matching) < self.f + 1:
+        if len(matching) < reply_quorum(self.f):
             return
         del self._pending[msg.request_id]
         entry = CommittedEntry(
@@ -792,7 +799,7 @@ class PBFTReplica(Node):
         votes[src] = msg.state_digest
         digests = list(votes.values())
         for digest in set(digests):
-            if digests.count(digest) >= 2 * self.f + 1:
+            if digests.count(digest) >= commit_quorum(self.f):
                 self.stable_checkpoint = msg.seq
                 for seq in [s for s in self.slots if s <= msg.seq]:
                     if self.slots[seq].executed:
@@ -837,7 +844,7 @@ class PBFTReplica(Node):
             if slot.has_pre_prepare
             and (
                 self._matching_votes(slot.prepares, slot.digest)
-                >= 2 * self.f + 1
+                >= commit_quorum(self.f)
                 or slot.executed
             )
         ]
@@ -884,7 +891,7 @@ class PBFTReplica(Node):
         # no local pending work would re-announce the same vote forever
         # and the f+1 join rule could never advance past the dead view.
         votes_for_view = len(self._view_change_votes.get(voted_view, {}))
-        if self._has_progress_pressure() or votes_for_view >= 2 * self.f + 1:
+        if self._has_progress_pressure() or votes_for_view >= commit_quorum(self.f):
             # The view change itself is stuck (its leader may be down):
             # escalate.
             self._start_view_change(voted_view + 1)
@@ -916,11 +923,11 @@ class PBFTReplica(Node):
             (view for view in self._highest_vote.values() if view > self.view),
             reverse=True,
         )
-        if len(higher) >= self.f + 1:
+        if len(higher) >= reply_quorum(self.f):
             target = higher[self.f]
             if target > self._voted_view:
                 self._start_view_change(target)
-        if len(votes) < 2 * self.f + 1:
+        if len(votes) < commit_quorum(self.f):
             return
         if self.leader_of(msg.new_view) != self.node_id:
             return
@@ -1083,7 +1090,7 @@ class PBFTReplica(Node):
                 break
             adopted = None
             for digest, voters in tally.items():
-                if len(voters) >= self.f + 1:
+                if len(voters) >= reply_quorum(self.f):
                     adopted = self._catch_up_values[(seq, digest)]
                     break
             if adopted is None:

@@ -15,7 +15,7 @@ never accumulate dead hooks on the network's hot send path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.sim.network import DropFilter, TamperHook
 

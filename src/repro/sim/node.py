@@ -32,7 +32,7 @@ def _snake_case(name: str) -> str:
     return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Message:
     """Base class for all simulated protocol messages.
 
@@ -49,7 +49,10 @@ class Message:
     payload_bytes: int = 0
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
-        super().__init_subclass__(**kwargs)
+        # Two-arg super: ``slots=True`` makes the dataclass decorator
+        # replace the class object, so the zero-arg form's ``__class__``
+        # cell would still point at the undecorated class.
+        super(Message, cls).__init_subclass__(**kwargs)
         if "kind" not in cls.__dict__:
             cls.kind = _snake_case(cls.__name__)
 

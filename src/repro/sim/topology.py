@@ -13,6 +13,7 @@ import dataclasses
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.pbft.quorums import majority
 
 #: Site labels used throughout the paper's evaluation.
 AWS_SITES: Tuple[str, ...] = ("C", "O", "V", "I")
@@ -132,7 +133,7 @@ class Topology:
         ``(n // 2)``-th closest peer. This is the paper's model for the
         Paxos Replication-phase latency (Figure 7).
         """
-        needed_remote = len(self.sites) // 2 + 1 - 1
+        needed_remote = majority(len(self.sites)) - 1
         if needed_remote <= 0:
             return 0.0
         return self.neighbors_by_distance(origin)[needed_remote - 1][1]

@@ -1,0 +1,125 @@
+"""FunctionCFG: statement-level control flow and dominators."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import FunctionCFG, header_exprs
+
+
+def build(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    return func, FunctionCFG(func)
+
+
+def find_call(func, name):
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == name
+        ):
+            return node
+    raise AssertionError(f"no call to {name}")
+
+
+def is_check(stmt):
+    # Header-aware, the way real checkers consume dominators: only the
+    # part of a compound statement that runs on every path counts.
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "check"
+            ):
+                return True
+    return False
+
+
+def test_straight_line_dominance():
+    func, cfg = build("""
+        def f(x):
+            check(x)
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert cfg.dominated_by(use, is_check)
+
+
+def test_branch_does_not_dominate_join():
+    # check() only on one branch: the join point is not dominated.
+    func, cfg = build("""
+        def f(x, flag):
+            if flag:
+                check(x)
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert not cfg.dominated_by(use, is_check)
+
+
+def test_test_expression_dominates_both_branches():
+    func, cfg = build("""
+        def f(x):
+            if check(x):
+                use(x)
+            else:
+                other(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    other = cfg.statement_of(find_call(func, "other"))
+    assert cfg.dominated_by(use, is_check)
+    assert cfg.dominated_by(other, is_check)
+
+
+def test_early_return_guard_dominates_rest():
+    func, cfg = build("""
+        def f(x):
+            if not check(x):
+                return None
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert cfg.dominated_by(use, is_check)
+
+
+def test_loop_body_dominated_by_loop_header():
+    func, cfg = build("""
+        def f(xs):
+            for x in check(xs):
+                use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert cfg.dominated_by(use, is_check)
+
+
+def test_except_handler_not_dominated_by_try_body():
+    # Any try-body statement may raise before check() runs.
+    func, cfg = build("""
+        def f(x):
+            try:
+                check(x)
+            except ValueError:
+                use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert not cfg.dominated_by(use, is_check)
+
+
+def test_statement_of_returns_innermost():
+    func, cfg = build("""
+        def f(x, flag):
+            if flag:
+                use(x)
+    """)
+    stmt = cfg.statement_of(find_call(func, "use"))
+    assert isinstance(stmt, ast.Expr)
+
+
+def test_statement_of_outside_function_is_none():
+    func, cfg = build("""
+        def f(x):
+            return x
+    """)
+    assert cfg.statement_of(ast.parse("y = 1").body[0]) is None

@@ -5,7 +5,6 @@ import pytest
 from repro.apps.bank import BankParticipant, BankVerification
 from repro.core import BlockplaneConfig, BlockplaneDeployment
 from repro.errors import VerificationFailed
-from repro.sim.simulator import Simulator
 from repro.sim.topology import aws_four_dc_topology
 
 INITIAL = {

@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps.bp_paxos import BlockplanePaxosParticipant, PaxosVerification
 from repro.core import BlockplaneConfig, BlockplaneDeployment
-from repro.sim.simulator import Simulator
 from repro.sim.topology import aws_four_dc_topology
 
 

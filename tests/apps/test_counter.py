@@ -6,7 +6,6 @@ import pytest
 from repro.apps.counter import CounterParticipant, CounterVerification
 from repro.core import BlockplaneConfig, BlockplaneDeployment
 from repro.errors import VerificationFailed
-from repro.sim.simulator import Simulator
 from repro.sim.topology import aws_four_dc_topology
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps.kvstore import KVStoreParticipant, KVVerification, owner_of
 from repro.core import BlockplaneConfig, BlockplaneDeployment
-from repro.sim.simulator import Simulator
 from repro.sim.topology import aws_four_dc_topology
 
 

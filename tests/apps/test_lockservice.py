@@ -8,7 +8,6 @@ from repro.apps.lockservice import (
     lock_owner,
 )
 from repro.core import BlockplaneConfig, BlockplaneDeployment
-from repro.sim.simulator import Simulator
 from repro.sim.topology import aws_four_dc_topology
 
 

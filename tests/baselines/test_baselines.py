@@ -8,7 +8,6 @@ from repro.baselines import (
     HierarchicalPBFTDeployment,
 )
 from repro.errors import ConfigurationError
-from repro.sim.simulator import Simulator
 from repro.sim.topology import aws_four_dc_topology
 
 

@@ -1,6 +1,5 @@
 """Tests for failing-schedule shrinking (ddmin + window narrowing)."""
 
-import dataclasses
 
 import pytest
 

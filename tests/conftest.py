@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import BlockplaneConfig, BlockplaneDeployment
-from repro.sim.network import Network, NetworkOptions
+
 from repro.sim.simulator import Simulator
 from repro.sim.topology import (
     aws_four_dc_topology,

@@ -1,8 +1,6 @@
 """Each byzantine Blockplane-node variant is defeated by the documented
 mechanism."""
 
-import pytest
-
 from repro.core import BlockplaneConfig
 from repro.core.byzantine import (
     CounterfeitingGateway,
@@ -11,8 +9,6 @@ from repro.core.byzantine import (
     PromiscuousSigner,
     SilentUnitMember,
 )
-
-from tests.conftest import build_pair
 
 
 def build_with(sim, node_class, node_id="A-2", config=None):

@@ -1,11 +1,7 @@
 """Tests for geo-correlated fault tolerance: mirror proofs, failover,
 and latency behaviour (Section V / Figure 8 mechanics)."""
 
-import pytest
-
 from repro.core import BlockplaneConfig
-from repro.sim.process import any_of
-from repro.sim.simulator import Simulator
 
 from tests.conftest import build_four_dc
 

@@ -1,7 +1,5 @@
 """Tests for the three read strategies (Section VI-A)."""
 
-import pytest
-
 from repro.core.reads import ReadStrategy, required_responses
 
 from tests.conftest import build_single_dc

@@ -1,13 +1,10 @@
 """End-to-end byzantine scenarios through the whole middleware stack —
 the paper's Lemmas 1–3 exercised as running systems."""
 
-import pytest
-
 from repro.core import BlockplaneConfig
 from repro.core.node import BlockplaneNode
-from repro.pbft.messages import ClientRequest, PrePrepare
 
-from tests.conftest import build_four_dc, build_pair
+from tests.conftest import build_pair
 
 
 class SilentBlockplaneNode(BlockplaneNode):

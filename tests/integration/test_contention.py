@@ -1,8 +1,6 @@
 """Contention scenarios: concurrent conflicting operations across
 participants must resolve consistently."""
 
-import pytest
-
 from repro.apps.bp_paxos import BlockplanePaxosParticipant, PaxosVerification
 from repro.apps.lockservice import LockServiceParticipant, LockVerification
 from repro.core import BlockplaneConfig, BlockplaneDeployment

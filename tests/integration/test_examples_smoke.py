@@ -3,8 +3,6 @@
 import runpy
 import sys
 
-import pytest
-
 
 def run_example(path):
     argv = sys.argv

@@ -10,7 +10,6 @@ that the wide-area message count matches the benign protocol — exactly
 one transmission crosses datacenters per send (per fanout target).
 """
 
-import dataclasses
 
 from repro.core.messages import (
     MirrorRequest,

@@ -1,7 +1,5 @@
 """Tests for the leader pre-validation / request-rejection path."""
 
-import pytest
-
 from repro.errors import VerificationFailed
 from repro.pbft.messages import RejectRequest
 from tests.pbft.helpers import commit_values, make_group

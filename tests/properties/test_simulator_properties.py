@@ -25,7 +25,10 @@ def test_events_always_fire_in_nondecreasing_time_order(delays):
     assert len(fire_times) == len(delays)
 
 
-@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=30))
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=30),
+)
 @settings(max_examples=50, deadline=None)
 def test_seeded_runs_are_bit_identical(seed, n):
     def run():
