@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules chaos experiments
+.PHONY: test lint lint-rules chaos bench experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,9 @@ lint-rules:
 
 chaos:
 	$(PYTHON) -m repro.chaos --seed 7 --runs 5 --profile mixed --shrink
+
+bench:
+	$(PYTHON) -m repro.bench --out BENCH_0004.json --disable-caches
 
 experiments:
 	$(PYTHON) -m repro

@@ -80,9 +80,16 @@ class HierarchicalPBFTNode(PBFTReplica):
         accept = GlobalAccept(
             payload_bytes=payload_bytes, slot=slot, value=value
         )
-        for site, gateway in self.deployment.gateways.items():
-            if site != self.site:
-                self.send(gateway.node_id, accept)
+        # Batched fan-out: the network groups the remote gateways by
+        # site and enqueues one composite arrival event per site.
+        self.broadcast(
+            [
+                gateway.node_id
+                for site, gateway in self.deployment.gateways.items()
+                if site != self.site
+            ],
+            accept,
+        )
         # Completion is driven by handle_global_accepted.
 
     def handle_global_accepted(self, msg: GlobalAccepted, src: str) -> None:

@@ -1,0 +1,51 @@
+"""The repro performance harness.
+
+``python -m repro.bench --out BENCH_0004.json`` runs the registered
+micro- and macro-benchmarks and writes one schema-versioned JSON record
+(see :mod:`repro.bench.schema`). Each PR in the performance trajectory
+adds its own ``BENCH_*.json`` at the repository root, so speedups and
+regressions are diffable across the history.
+
+Layout:
+
+============ =========================================================
+module       role
+============ =========================================================
+``timer``    the only wall-clock boundary in the repository (BP001)
+``schema``   the BENCH record format and its validator
+``harness``  benchmark registration, execution, document assembly
+``micro``    isolated hot-path operations (digest, HMAC, proof, heap,
+             wire)
+``macro``    end-to-end commits/sec on a 3-site deployment, fault-free
+             and under the ``mixed`` chaos profile
+``__main__`` the CLI
+============ =========================================================
+"""
+
+from repro.bench.harness import (
+    Benchmark,
+    BenchResult,
+    build_document,
+    run_benchmark,
+    run_suite,
+)
+from repro.bench.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    SchemaError,
+    check,
+    validate,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "build_document",
+    "check",
+    "run_benchmark",
+    "run_suite",
+    "validate",
+]

@@ -1,0 +1,158 @@
+"""CLI for the performance harness.
+
+Examples::
+
+    # Full suite, cache-on measurements only.
+    python -m repro.bench --out BENCH_0004.json
+
+    # Include the cache-off control pass and the speedup comparison.
+    python -m repro.bench --out BENCH_0004.json --disable-caches
+
+    # CI smoke: micro suite, one repeat, schema-checked.
+    python -m repro.bench --only micro --repeats 1 --out bench-smoke.json
+
+    # Validate an existing record without running anything.
+    python -m repro.bench --validate BENCH_0004.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.bench import macro, micro
+from repro.bench.harness import Benchmark, build_document, run_suite
+from repro.bench.schema import check, validate
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repro micro/macro benchmark suite.",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="write the BENCH JSON record here (default: stdout)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repeats per benchmark (best is kept; default 3)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed warmup runs per benchmark (default 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed (default 7)",
+    )
+    parser.add_argument(
+        "--only", choices=("micro", "macro"),
+        help="run only one suite",
+    )
+    parser.add_argument(
+        "--filter", metavar="SUBSTR",
+        help="run only benchmarks whose name contains SUBSTR",
+    )
+    parser.add_argument(
+        "--disable-caches", action="store_true",
+        help="additionally run a cache-disabled control pass and emit "
+        "the control/comparison sections",
+    )
+    parser.add_argument(
+        "--validate", metavar="FILE",
+        help="validate an existing BENCH record and exit",
+    )
+    return parser
+
+
+def _selected(args: argparse.Namespace) -> List[Benchmark]:
+    benchmarks: List[Benchmark] = []
+    if args.only in (None, "micro"):
+        benchmarks += micro.BENCHMARKS
+    if args.only in (None, "macro"):
+        benchmarks += macro.BENCHMARKS
+    if args.filter:
+        benchmarks = [
+            benchmark
+            for benchmark in benchmarks
+            if args.filter in benchmark.name
+        ]
+    return benchmarks
+
+
+def _validate_file(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(document)
+    if errors:
+        for error in errors:
+            print(f"schema violation: {error}", file=sys.stderr)
+        return 1
+    results = document.get("results", [])
+    print(f"{path}: valid ({len(results)} result(s))")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.validate:
+        return _validate_file(args.validate)
+
+    benchmarks = _selected(args)
+    if not benchmarks:
+        print("error: no benchmarks match the selection", file=sys.stderr)
+        return 2
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    progress(
+        f"running {len(benchmarks)} benchmark(s): "
+        f"seed={args.seed} repeats={args.repeats} warmup={args.warmup}"
+    )
+    results = run_suite(
+        benchmarks, args.seed, args.repeats, args.warmup,
+        caches=True, progress=progress,
+    )
+    control = None
+    if args.disable_caches:
+        progress("control pass (caches disabled):")
+        control = run_suite(
+            benchmarks, args.seed, args.repeats, args.warmup,
+            caches=False, progress=progress,
+        )
+
+    document = build_document(
+        args.seed, args.repeats, args.warmup, results, control
+    )
+    check(document)
+
+    text = json.dumps(document, indent=2, sort_keys=False) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        progress(f"wrote {args.out}")
+    else:
+        print(text, end="")
+
+    for result in results:
+        progress(
+            f"  {result.name}: {result.ns_per_op:,.0f} ns/op "
+            f"({result.ops_per_sec:,.1f} ops/sec)"
+        )
+    if control is not None:
+        comparison = document.get("comparison", {})
+        for name, numbers in comparison.items():
+            progress(f"  {name}: speedup ×{numbers['speedup']:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

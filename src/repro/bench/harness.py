@@ -1,0 +1,158 @@
+"""Benchmark registration and execution.
+
+A :class:`Benchmark` wraps a setup function (untimed: builds whatever
+state the operation needs) and an operation function (timed: runs
+``ops`` operations against that state and returns bench-specific
+counters). The harness times ``warmup + repeats`` calls, keeps the best
+repeat (minimum wall time — the standard estimator for CPU-bound micro
+work, least polluted by scheduler noise), and normalizes to ns/op and
+ops/sec.
+
+Determinism contract: every benchmark receives an explicit ``seed``;
+the *work done* (operation counts, event counts, committed entries)
+must be a pure function of it. Only the wall-clock readings vary
+between invocations, and those are confined to
+:mod:`repro.bench.timer`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench import timer
+from repro.bench.schema import SCHEMA_NAME, SCHEMA_VERSION
+from repro.crypto.caches import set_caches_enabled
+
+
+@dataclasses.dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark.
+
+    Attributes:
+        name: Dotted identifier, e.g. ``micro.digest.stable``.
+        kind: ``micro`` or ``macro``.
+        make: ``seed -> (operation, ops)``: builds the timed closure and
+            declares how many logical operations one call performs. The
+            closure may return a dict of extra counters (or None).
+    """
+
+    name: str
+    kind: str
+    make: Callable[[int], Any]
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """Measured outcome of one benchmark."""
+
+    name: str
+    kind: str
+    ops: int
+    repeats: int
+    samples_ns: List[int]
+    extra: Dict[str, Any]
+
+    @property
+    def best_ns(self) -> int:
+        return min(self.samples_ns)
+
+    @property
+    def ns_per_op(self) -> float:
+        return self.best_ns / self.ops
+
+    @property
+    def ops_per_sec(self) -> float:
+        return 1e9 * self.ops / self.best_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ops": self.ops,
+            "repeats": self.repeats,
+            "ns_per_op": self.ns_per_op,
+            "ops_per_sec": self.ops_per_sec,
+            "samples_ns": list(self.samples_ns),
+            "extra": dict(self.extra),
+        }
+
+
+def run_benchmark(
+    benchmark: Benchmark, seed: int, repeats: int, warmup: int
+) -> BenchResult:
+    """Execute one benchmark and normalize its readings."""
+    operation, ops = benchmark.make(seed)
+    samples, last = timer.repeat_ns(operation, repeats=repeats, warmup=warmup)
+    extra = dict(last) if isinstance(last, dict) else {}
+    return BenchResult(
+        name=benchmark.name,
+        kind=benchmark.kind,
+        ops=ops,
+        repeats=max(1, repeats),
+        samples_ns=samples,
+        extra=extra,
+    )
+
+
+def run_suite(
+    benchmarks: Sequence[Benchmark],
+    seed: int,
+    repeats: int,
+    warmup: int,
+    caches: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run ``benchmarks`` under the requested cache setting.
+
+    The previous cache setting is restored afterwards, so a control
+    pass (``caches=False``) cannot leak into later measurements.
+    """
+    previous = set_caches_enabled(caches)
+    try:
+        results = []
+        for benchmark in benchmarks:
+            if progress is not None:
+                label = "" if caches else " [no caches]"
+                progress(f"  {benchmark.name}{label} ...")
+            results.append(run_benchmark(benchmark, seed, repeats, warmup))
+        return results
+    finally:
+        set_caches_enabled(previous)
+
+
+def build_document(
+    seed: int,
+    repeats: int,
+    warmup: int,
+    results: Sequence[BenchResult],
+    control: Optional[Sequence[BenchResult]] = None,
+) -> Dict[str, Any]:
+    """Assemble the schema-versioned BENCH document."""
+    document: Dict[str, Any] = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "repeats": max(1, repeats),
+        "warmup": max(0, warmup),
+        "caches_enabled": True,
+        "results": [result.to_dict() for result in results],
+    }
+    if control is not None:
+        document["control"] = {
+            "caches_enabled": False,
+            "results": [result.to_dict() for result in control],
+        }
+        by_name = {result.name: result for result in results}
+        comparison: Dict[str, Any] = {}
+        for controlled in control:
+            cached = by_name.get(controlled.name)
+            if cached is None:
+                continue
+            comparison[controlled.name] = {
+                "cached_ops_per_sec": cached.ops_per_sec,
+                "control_ops_per_sec": controlled.ops_per_sec,
+                "speedup": cached.ops_per_sec / controlled.ops_per_sec,
+            }
+        document["comparison"] = comparison
+    return document

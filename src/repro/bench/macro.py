@@ -1,0 +1,242 @@
+"""Macro-benchmarks: end-to-end commit throughput.
+
+Both benchmarks drive a 3-site × ``fi = 1`` Blockplane deployment with
+a payload-heavy workload (nested tuples large enough that digesting
+them costs real time) and report committed operations per wall-second:
+
+* ``macro.commits.3site_f1`` — fault-free, the headline number for the
+  cache speedup comparison;
+* ``macro.commits.mixed_chaos`` — the same deployment under a seeded
+  ``mixed`` chaos profile (site outage, byzantine plant, tamper, loss,
+  partitions), proving the caches stay semantically invisible while
+  byzantine machinery is actively exercised.
+
+Everything the simulation *does* is a pure function of the seed — the
+operation counts in ``extra`` are identical run-to-run and across the
+cache-on / cache-off passes; only wall nanoseconds differ.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.bench.harness import Benchmark
+from repro.chaos.generator import ScheduleGenerator
+from repro.chaos.runner import byzantine_overrides, schedule_plan_actions
+from repro.core.config import BlockplaneConfig
+from repro.core.middleware import BlockplaneDeployment
+from repro.crypto.digest import digest_cache_stats
+from repro.sim.faults import FaultInjector
+from repro.sim.process import any_of
+from repro.sim.simulator import Simulator
+from repro.sim.topology import symmetric_topology
+
+#: The benchmark deployment: three symmetric sites, 40 ms RTT.
+SITES = ("A", "B", "C")
+_RTT_MS = 40.0
+#: Workload batches per site. Each batch is one wide-area send; every
+#: third batch additionally commits a local state entry.
+_BATCHES = 10
+#: Integers per payload tuple. Sized so one canonical digest of a
+#: payload costs real time relative to event dispatch: the control pass
+#: re-canonicalizes the same transmission record at every signer and
+#: every verifying replica (~6 recomputations per send), which is
+#: exactly what the identity memo collapses to one.
+_PAYLOAD_INTS = 2_048
+_PAYLOAD_BYTES = 1_000
+#: Per-attempt commit timeout for the chaos run (virtual ms).
+_SEND_TIMEOUT_MS = 4_000.0
+
+
+def workload_ops(sites: int = len(SITES), batches: int = _BATCHES) -> int:
+    """Commit operations one run performs (sends + state commits)."""
+    state_commits = len(range(0, batches, 3))
+    return sites * (batches + state_commits)
+
+
+def _payload(rng: random.Random, site: str, index: int) -> Any:
+    return (
+        ("payload", site, index),
+        tuple(rng.randrange(1 << 30) for _ in range(_PAYLOAD_INTS)),
+    )
+
+
+def _sender(
+    sim: Simulator,
+    deployment,
+    seed: int,
+    site: str,
+    site_index: int,
+    done: List[int],
+):
+    """Fault-free workload: wait out each commit before the next."""
+    rng = random.Random(seed * 7_919 + site_index)
+    api = deployment.api(site)
+    others = [other for other in SITES if other != site]
+    for index in range(_BATCHES):
+        if index % 3 == 0:
+            yield api.log_commit(
+                _payload(rng, site, index), payload_bytes=_PAYLOAD_BYTES
+            )
+            done[site_index] += 1
+        target = others[(index + site_index) % len(others)]
+        yield api.send(
+            _payload(rng, f"{site}->{target}", index),
+            to=target,
+            payload_bytes=_PAYLOAD_BYTES,
+        )
+        done[site_index] += 1
+        yield sim.sleep(rng.uniform(5.0, 40.0))
+
+
+def _hardened_sender(
+    sim: Simulator,
+    deployment,
+    seed: int,
+    site: str,
+    site_index: int,
+    done: List[int],
+):
+    """Chaos workload: every commit retried through faults."""
+    rng = random.Random(seed * 7_919 + site_index)
+    api = deployment.api(site)
+    others = [other for other in SITES if other != site]
+    for index in range(_BATCHES):
+        if index % 3 == 0:
+            yield from _commit_with_retry(
+                sim,
+                lambda attempt, a=index: api.log_commit(
+                    _payload(rng, site, a) + (("try", attempt),),
+                    payload_bytes=_PAYLOAD_BYTES,
+                ),
+            )
+            done[site_index] += 1
+        target = others[(index + site_index) % len(others)]
+        yield from _commit_with_retry(
+            sim,
+            lambda attempt, a=index, t=target: api.send(
+                _payload(rng, f"{site}->{t}", a) + (("try", attempt),),
+                to=t,
+                payload_bytes=_PAYLOAD_BYTES,
+            ),
+        )
+        done[site_index] += 1
+        yield sim.sleep(rng.uniform(10.0, 80.0))
+
+
+def _commit_with_retry(sim: Simulator, submit):
+    """Re-submit on timeout or transient error (gateway down mid-outage);
+    a timed-out attempt may still commit later — throughput here counts
+    *operations the workload completed*, invariants are chaos's job."""
+    attempt = 0
+    while True:
+        try:
+            future = submit(attempt)
+            winner, _value = yield any_of(
+                sim, [future, sim.sleep(_SEND_TIMEOUT_MS)]
+            )
+        except Exception:
+            attempt += 1
+            yield sim.sleep(250.0)
+            continue
+        if winner == 0:
+            return
+        attempt += 1
+        yield sim.sleep(100.0)
+
+
+def _run_stats(
+    sim: Simulator, deployment, done: List[int], cache_before: Dict[str, int]
+) -> Dict[str, Any]:
+    stats = digest_cache_stats()
+    return {
+        "completed_ops": sum(done),
+        "virtual_ms": sim.now,
+        "events_processed": sim.events_processed,
+        "messages_sent": deployment.network.messages_sent,
+        "heap_compactions": sim.compactions,
+        "digest_cache_hits": stats["hits"] - cache_before["hits"],
+        "digest_cache_misses": stats["misses"] - cache_before["misses"],
+    }
+
+
+def _make_chaos_free(seed: int):
+    ops = workload_ops()
+
+    def operation():
+        cache_before = digest_cache_stats()
+        sim = Simulator(seed=seed)
+        deployment = BlockplaneDeployment(
+            sim,
+            symmetric_topology(SITES, _RTT_MS),
+            BlockplaneConfig(f_independent=1, f_geo=0),
+        )
+        done = [0] * len(SITES)
+        for site_index, site in enumerate(SITES):
+            sim.spawn(
+                _sender(sim, deployment, seed, site, site_index, done)
+            )
+        sim.run(until=10_000.0)
+        if sum(done) != ops:
+            raise RuntimeError(
+                f"fault-free workload incomplete: {sum(done)}/{ops} commits"
+            )
+        return _run_stats(sim, deployment, done, cache_before)
+
+    return operation, ops
+
+
+def _make_mixed_chaos(seed: int):
+    ops = workload_ops()
+    generator = ScheduleGenerator(
+        seed,
+        profile="mixed",
+        sites=SITES,
+        batches=_BATCHES,
+        horizon_ms=16_000.0,
+        settle_ms=6_000.0,
+    )
+    plan = generator.generate(0)
+
+    def operation():
+        cache_before = digest_cache_stats()
+        sim = Simulator(seed=plan.seed)
+        deployment = BlockplaneDeployment(
+            sim,
+            symmetric_topology(SITES, _RTT_MS),
+            BlockplaneConfig(
+                f_independent=plan.budget.f_independent,
+                f_geo=plan.budget.f_geo,
+                reserve_poll_interval_ms=150.0,
+                reserve_gap_threshold=0,
+            ),
+            node_class_overrides=byzantine_overrides(plan) or None,
+        )
+        injector = FaultInjector(sim, deployment.network)
+        schedule_plan_actions(sim, deployment, injector, plan)
+        done = [0] * len(SITES)
+        for site_index, site in enumerate(SITES):
+            sim.spawn(
+                _hardened_sender(
+                    sim, deployment, plan.seed, site, site_index, done
+                )
+            )
+        sim.run(until=plan.budget.horizon_ms)
+        sim.run(until=sim.now + plan.budget.settle_ms)
+        if sum(done) != ops:
+            raise RuntimeError(
+                f"chaos workload incomplete: {sum(done)}/{ops} commits"
+            )
+        stats = _run_stats(sim, deployment, done, cache_before)
+        stats["fault_actions"] = len(plan.actions)
+        return stats
+
+    return operation, ops
+
+
+#: The registered macro suite.
+BENCHMARKS = [
+    Benchmark("macro.commits.3site_f1", "macro", _make_chaos_free),
+    Benchmark("macro.commits.mixed_chaos", "macro", _make_mixed_chaos),
+]

@@ -1,0 +1,162 @@
+"""The BENCH_*.json record schema.
+
+Every benchmark invocation emits one schema-versioned JSON document so
+the repository accumulates a comparable performance trajectory:
+``BENCH_0004.json`` (this PR), ``BENCH_0005.json`` (the next), and so
+on. The validator here is what CI's ``bench-smoke`` job runs — schema
+violations fail the build; performance *regressions* do not (thresholds
+are a later PR's concern, once several trajectory points exist).
+
+Top-level document::
+
+    {
+      "schema": "repro.bench/v1",
+      "schema_version": 1,
+      "seed": 7,
+      "repeats": 3,
+      "warmup": 1,
+      "caches_enabled": true,
+      "results": [<result>, ...],
+      "control": {"caches_enabled": false, "results": [<result>, ...]},
+      "comparison": {"<macro name>": {"speedup": 1.42, ...}, ...}
+    }
+
+``control`` and ``comparison`` appear only when the invocation also ran
+the cache-disabled control pass (``--disable-caches``). Each result::
+
+    {
+      "name": "micro.digest.stable",
+      "kind": "micro" | "macro",
+      "ops": 123,                  # operations per repeat (int > 0)
+      "repeats": 3,
+      "ns_per_op": 1234.5,         # best repeat / ops
+      "ops_per_sec": 810372.2,     # 1e9 / ns_per_op
+      "samples_ns": [...],         # raw per-repeat wall nanoseconds
+      "extra": {...}               # benchmark-specific counters
+    }
+
+The document deliberately records **no timestamps, hostnames, or
+environment fingerprints** — nothing nondeterministic beyond the
+measured durations themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+SCHEMA_NAME = "repro.bench/v1"
+SCHEMA_VERSION = 1
+
+#: Required top-level fields and their types.
+_TOP_FIELDS = {
+    "schema": str,
+    "schema_version": int,
+    "seed": int,
+    "repeats": int,
+    "warmup": int,
+    "caches_enabled": bool,
+    "results": list,
+}
+
+_RESULT_FIELDS = {
+    "name": str,
+    "kind": str,
+    "ops": int,
+    "repeats": int,
+    "ns_per_op": (int, float),
+    "ops_per_sec": (int, float),
+    "samples_ns": list,
+    "extra": dict,
+}
+
+_KINDS = ("micro", "macro")
+
+
+class SchemaError(ValueError):
+    """A BENCH record violates the schema."""
+
+
+def validate(document: Any) -> List[str]:
+    """Return every schema violation in ``document`` (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be an object, got {type(document).__name__}"]
+    for field, expected in _TOP_FIELDS.items():
+        if field not in document:
+            errors.append(f"missing top-level field {field!r}")
+        elif not isinstance(document[field], expected):
+            errors.append(
+                f"field {field!r} must be {expected}, "
+                f"got {type(document[field]).__name__}"
+            )
+    if document.get("schema") not in (None, SCHEMA_NAME):
+        errors.append(
+            f"schema must be {SCHEMA_NAME!r}, got {document.get('schema')!r}"
+        )
+    if document.get("schema_version") not in (None, SCHEMA_VERSION):
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {document.get('schema_version')!r}"
+        )
+    results = document.get("results")
+    if isinstance(results, list):
+        if not results:
+            errors.append("results must not be empty")
+        names = set()
+        for index, result in enumerate(results):
+            errors.extend(_validate_result(result, f"results[{index}]"))
+            if isinstance(result, dict) and "name" in result:
+                if result["name"] in names:
+                    errors.append(f"duplicate result name {result['name']!r}")
+                names.add(result["name"])
+    control = document.get("control")
+    if control is not None:
+        if not isinstance(control, dict):
+            errors.append("control must be an object")
+        else:
+            if control.get("caches_enabled") is not False:
+                errors.append("control.caches_enabled must be false")
+            for index, result in enumerate(control.get("results", [])):
+                errors.extend(_validate_result(result, f"control.results[{index}]"))
+    comparison = document.get("comparison")
+    if comparison is not None and not isinstance(comparison, dict):
+        errors.append("comparison must be an object")
+    return errors
+
+
+def _validate_result(result: Any, where: str) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(result, dict):
+        return [f"{where} must be an object"]
+    for field, expected in _RESULT_FIELDS.items():
+        if field not in result:
+            errors.append(f"{where} missing field {field!r}")
+        elif not isinstance(result[field], expected) or (
+            expected is int and isinstance(result[field], bool)
+        ):
+            errors.append(
+                f"{where}.{field} must be {expected}, "
+                f"got {type(result[field]).__name__}"
+            )
+    if result.get("kind") not in (None,) + _KINDS:
+        errors.append(f"{where}.kind must be one of {_KINDS}")
+    ops = result.get("ops")
+    if isinstance(ops, int) and not isinstance(ops, bool) and ops <= 0:
+        errors.append(f"{where}.ops must be positive")
+    for rate_field in ("ns_per_op", "ops_per_sec"):
+        rate = result.get(rate_field)
+        if isinstance(rate, (int, float)) and rate <= 0:
+            errors.append(f"{where}.{rate_field} must be positive")
+    samples = result.get("samples_ns")
+    if isinstance(samples, list) and not all(
+        isinstance(sample, int) and sample >= 0 for sample in samples
+    ):
+        errors.append(f"{where}.samples_ns must be non-negative integers")
+    return errors
+
+
+def check(document: Dict[str, Any]) -> None:
+    """Raise :class:`SchemaError` listing every violation, if any."""
+    errors = validate(document)
+    if errors:
+        raise SchemaError("; ".join(errors))

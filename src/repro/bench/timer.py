@@ -1,0 +1,43 @@
+# bp-lint: disable=BP001
+"""The harness's wall-clock boundary.
+
+This is the **only** module in the repository allowed to read a wall
+clock (hence the file-level BP001 suppression above): benchmarks
+measure real CPU time by definition. Everything *measured* stays
+BP001-clean — the workloads under test are seeded simulations whose
+event counts and committed-operation counts are pure functions of their
+seeds; only the nanosecond readings differ between runs. Keeping the
+clock reads behind this one seam is the bench determinism contract
+documented in ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Tuple
+
+
+def elapsed_ns(fn: Callable[[], Any]) -> Tuple[int, Any]:
+    """Run ``fn`` once; return (wall nanoseconds, fn's return value)."""
+    start = time.perf_counter_ns()
+    result = fn()
+    return time.perf_counter_ns() - start, result
+
+
+def repeat_ns(
+    fn: Callable[[], Any], repeats: int, warmup: int
+) -> Tuple[List[int], Any]:
+    """Run ``fn`` ``warmup + repeats`` times; time the last ``repeats``.
+
+    Returns the per-repeat nanosecond readings and the final run's
+    return value (benchmarks return their operation counts so the
+    harness can normalize to ns/op without trusting a constant).
+    """
+    result = None
+    for _ in range(max(0, warmup)):
+        result = fn()
+    samples: List[int] = []
+    for _ in range(max(1, repeats)):
+        ns, result = elapsed_ns(fn)
+        samples.append(ns)
+    return samples, result

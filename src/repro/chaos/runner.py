@@ -95,6 +95,77 @@ class ChaosResult:
         )
 
 
+def byzantine_overrides(plan: FaultPlan) -> Dict[str, Any]:
+    """Node-class overrides for a plan's byzantine plants (build-time).
+
+    Shared by :class:`ChaosRunner` and the macro benchmarks in
+    :mod:`repro.bench`, which run fault plans against their own
+    deployments.
+    """
+    return {
+        f"{action.site}-{action.node_index}":
+            BYZANTINE_CLASSES[action.behavior]
+        for action in plan.actions
+        if action.kind == "byzantine"
+    }
+
+
+def schedule_plan_actions(
+    sim: Simulator,
+    deployment: BlockplaneDeployment,
+    injector: FaultInjector,
+    plan: FaultPlan,
+) -> None:
+    """Arm every timed action of ``plan`` on ``sim``.
+
+    Byzantine plants are build-time concerns (see
+    :func:`byzantine_overrides`) and are skipped here.
+    """
+    for action in plan.actions:
+        if action.kind == "crash":
+            node = deployment.unit(action.site).nodes[action.node_index]
+            injector.crash_cycle(node, action.start, action.end)
+        elif action.kind == "site_outage":
+            injector.site_outage(action.site, action.start, action.end)
+        elif action.kind == "partition":
+            ids_a = [
+                node.node_id
+                for node in deployment.unit(action.site).nodes
+            ]
+            ids_b = [
+                node.node_id
+                for node in deployment.unit(action.peer).nodes
+            ]
+            injector.partition(ids_a, ids_b, action.start, action.end)
+        elif action.kind == "loss":
+            injector.drop_probabilistically(
+                action.probability, action.start, action.end
+            )
+        elif action.kind == "tamper":
+            injector.tamper_matching(
+                _is_transmission_from_site(action.site),
+                _corrupt_transmission,
+                start=action.start,
+                end=action.end,
+            )
+        elif action.kind == "withhold":
+            daemon = deployment.unit(action.site).daemons[action.peer]
+            sim.schedule_at(action.start, _set_daemon_active, daemon, False)
+            sim.schedule_at(action.end, _set_daemon_active, daemon, True)
+        # "byzantine" is applied at build time via overrides.
+
+
+def _is_transmission_from_site(source: str):
+    def _matches(_src: str, _dst: str, message: Any) -> bool:
+        return (
+            isinstance(message, TransmissionMessage)
+            and message.sealed is not None
+            and message.sealed.record.source == source
+        )
+
+    return _matches
+
+
 class ChaosRunner:
     """Executes one fault plan end to end.
 
@@ -125,12 +196,7 @@ class ChaosRunner:
             return ChaosResult(plan, budget_violations, ran=False)
 
         sim = Simulator(seed=plan.seed)
-        overrides = {
-            f"{action.site}-{action.node_index}":
-                BYZANTINE_CLASSES[action.behavior]
-            for action in plan.actions
-            if action.kind == "byzantine"
-        }
+        overrides = byzantine_overrides(plan)
         config = BlockplaneConfig(
             f_independent=plan.budget.f_independent,
             f_geo=plan.budget.f_geo,
@@ -194,51 +260,7 @@ class ChaosRunner:
         deployment: BlockplaneDeployment,
         injector: FaultInjector,
     ) -> None:
-        for action in self.plan.actions:
-            if action.kind == "crash":
-                node = deployment.unit(action.site).nodes[action.node_index]
-                injector.crash_cycle(node, action.start, action.end)
-            elif action.kind == "site_outage":
-                injector.site_outage(action.site, action.start, action.end)
-            elif action.kind == "partition":
-                ids_a = [
-                    node.node_id
-                    for node in deployment.unit(action.site).nodes
-                ]
-                ids_b = [
-                    node.node_id
-                    for node in deployment.unit(action.peer).nodes
-                ]
-                injector.partition(ids_a, ids_b, action.start, action.end)
-            elif action.kind == "loss":
-                injector.drop_probabilistically(
-                    action.probability, action.start, action.end
-                )
-            elif action.kind == "tamper":
-                injector.tamper_matching(
-                    self._tamper_predicate(action.site),
-                    _corrupt_transmission,
-                    start=action.start,
-                    end=action.end,
-                )
-            elif action.kind == "withhold":
-                daemon = deployment.unit(action.site).daemons[action.peer]
-                sim.schedule_at(action.start, _set_daemon_active, daemon, False)
-                sim.schedule_at(action.end, _set_daemon_active, daemon, True)
-            # "byzantine" is applied at build time via overrides.
-
-    @staticmethod
-    def _tamper_predicate(source: str):
-        def _is_transmission_from(
-            _src: str, _dst: str, message: Any
-        ) -> bool:
-            return (
-                isinstance(message, TransmissionMessage)
-                and message.sealed is not None
-                and message.sealed.record.source == source
-            )
-
-        return _is_transmission_from
+        schedule_plan_actions(sim, deployment, injector, self.plan)
 
     # ------------------------------------------------------------------
     # Workload

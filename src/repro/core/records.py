@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Optional, Tuple
 
-from repro.crypto.digest import stable_digest
+from repro.crypto.digest import cached_digest, stable_digest
 from repro.crypto.signatures import QuorumProof
 
 #: Record-type annotations carried through PBFT (Section IV-B).
@@ -66,10 +66,14 @@ class LogEntry:
         return None
 
     def digest(self) -> str:
-        """Canonical digest of the entry's identity and content."""
-        return stable_digest(
-            (self.position, self.record_type, self.value, self.meta)
-        )
+        """Canonical digest of the entry's identity and content.
+
+        Memoized by object identity: the same entry object is digested
+        at every unit node that signs or checks it. Entries carrying
+        mutable values (e.g. a ``meta`` dict) bypass the memo — see
+        :func:`~repro.crypto.digest.cached_digest`.
+        """
+        return cached_digest(self, _log_entry_digest)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,16 +101,13 @@ class TransmissionRecord:
     payload_bytes: int = 0
 
     def digest(self) -> str:
-        """Digest covered by the source unit's ``fi + 1`` signatures."""
-        return stable_digest(
-            (
-                self.source,
-                self.destination,
-                self.message,
-                self.source_position,
-                self.prev_position,
-            )
-        )
+        """Digest covered by the source unit's ``fi + 1`` signatures.
+
+        Memoized by object identity (the digest formula deliberately
+        excludes ``payload_bytes``, so the memo keys the record object,
+        not its full field set).
+        """
+        return cached_digest(self, _transmission_digest)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -153,7 +154,46 @@ class MirrorEntry:
     meta: Optional[Dict[str, Any]] = None
 
     def digest(self) -> str:
-        """Digest covered by mirror proofs."""
-        return stable_digest(
-            (self.source, self.position, self.record_type, self.value, self.meta)
+        """Digest covered by mirror proofs (identity-memoized)."""
+        return cached_digest(self, _mirror_digest)
+
+
+# Digest formulas, module-level so :func:`cached_digest` can key the
+# memo on the record object. Each formula folds the (potentially large)
+# application value in as ``cached_digest(value)`` rather than inline:
+# the digest string is a collision-resistant stand-in for the value's
+# canonical bytes, and — crucially — the value object is shared *by
+# reference* across every replica that re-derives the record (signers
+# rebuilding a TransmissionRecord in ``_attest``, verifying replicas,
+# mirror construction), so the expensive canonicalization happens once
+# per value object even though the outer record objects are distinct.
+# ``cached_digest`` computes the same string whether or not the memo is
+# enabled, so digests are identical across cache settings.
+def _log_entry_digest(entry: "LogEntry") -> str:
+    return stable_digest(
+        (entry.position, entry.record_type, cached_digest(entry.value), entry.meta)
+    )
+
+
+def _transmission_digest(record: "TransmissionRecord") -> str:
+    return stable_digest(
+        (
+            record.source,
+            record.destination,
+            cached_digest(record.message),
+            record.source_position,
+            record.prev_position,
         )
+    )
+
+
+def _mirror_digest(entry: "MirrorEntry") -> str:
+    return stable_digest(
+        (
+            entry.source,
+            entry.position,
+            entry.record_type,
+            cached_digest(entry.value),
+            entry.meta,
+        )
+    )

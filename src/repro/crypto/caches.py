@@ -1,0 +1,128 @@
+"""Hot-path memoization for the crypto layer.
+
+Two caches amortize the dominant CPU costs of a simulated deployment:
+
+* :class:`IdentityLRU` — backs :func:`repro.crypto.digest.cached_digest`.
+  Keys are **object identities**: the simulator passes records between
+  replicas by reference, so the same frozen ``TransmissionRecord`` (or
+  ``LogEntry``/``MirrorEntry``) object has its digest requested once per
+  replica per protocol phase. Each cache entry holds a strong reference
+  to the keyed object, which makes identity keying sound: an id can
+  never be recycled while its entry is alive, and eviction drops both
+  together.
+* the per-registry verification cache in
+  :class:`~repro.crypto.keys.KeyRegistry` — keyed by the full
+  ``(signer, digest, mac)`` triple plus the registry's mutation version,
+  so a forged mac never aliases a cached honest verdict and key
+  rotation invalidates every prior verdict wholesale.
+
+Both caches are **semantically invisible**: they only ever return a
+value that recomputing from scratch would also return. The global
+switch below exists for the benchmark harness (``--disable-caches``
+produces the control run) and for byzantine tests that want to prove
+equivalence of the cached and uncached paths.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Tuple
+
+#: Global cache switch. Mutated only through :func:`set_caches_enabled`;
+#: read on every lookup so the bench harness can flip it per run.
+_ENABLED = True
+
+
+def caches_enabled() -> bool:
+    """Whether the crypto-layer caches are active."""
+    return _ENABLED
+
+
+def set_caches_enabled(enabled: bool) -> bool:
+    """Enable/disable all crypto caches; returns the previous setting.
+
+    Disabling also clears the shared digest cache so a later re-enable
+    cannot serve entries recorded under a different code path.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    if not _ENABLED:
+        from repro.crypto.digest import clear_digest_cache
+
+        clear_digest_cache()
+    return previous
+
+
+class IdentityLRU:
+    """A bounded LRU keyed by object identity.
+
+    Entries pin the keyed object (see module docstring), so the cache
+    must stay bounded: beyond ``maxsize`` the least-recently-used entry
+    (object and value) is evicted together.
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses")
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[int, Tuple[Any, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def lookup(self, obj: Any) -> Optional[Any]:
+        """Cached value for ``obj``, or None on a miss."""
+        entry = self._entries.get(id(obj))
+        if entry is None or entry[0] is not obj:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(id(obj))
+        return entry[1]
+
+    def store(self, obj: Any, value: Any) -> None:
+        """Record ``value`` for ``obj``, evicting the LRU tail."""
+        key = id(obj)
+        self._entries[key] = (obj, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+
+class KeyedLRU:
+    """A bounded LRU over hashable keys (the verification cache)."""
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses")
+
+    def __init__(self, maxsize: int = 16384) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value

@@ -6,61 +6,165 @@ tree of basic types and dataclasses). :func:`stable_digest` serializes
 such a value canonically — independent of dict insertion order — and
 hashes it with SHA-256 so that two honest nodes always derive the same
 digest for the same logical value.
+
+The canonicalizer is iterative (an explicit stack instead of one Python
+frame per tree node) with single-append fast paths for the str/int/
+bytes leaves that dominate real payloads. :func:`cached_digest` adds an
+identity-keyed memo on top for the frozen record objects the simulator
+passes between replicas by reference — the same ``TransmissionRecord``
+has its digest requested at every replica of every unit it crosses.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Any
+from typing import Any, Callable, List, Optional
 
+from repro.crypto.caches import IdentityLRU, caches_enabled
 from repro.errors import CryptoError
 
 
-def _canonical(value: Any, out: list) -> None:
-    """Append a canonical byte representation of ``value`` to ``out``."""
-    if value is None:
-        out.append(b"n")
-    elif isinstance(value, bool):
-        out.append(b"b1" if value else b"b0")
-    elif isinstance(value, int):
-        out.append(b"i" + str(value).encode())
-    elif isinstance(value, float):
-        out.append(b"f" + repr(value).encode())
-    elif isinstance(value, str):
-        encoded = value.encode("utf-8")
-        out.append(b"s" + str(len(encoded)).encode() + b":" + encoded)
-    elif isinstance(value, bytes):
-        out.append(b"y" + str(len(value)).encode() + b":" + value)
-    elif isinstance(value, (list, tuple)):
-        out.append(b"l" + str(len(value)).encode() + b"[")
-        for item in value:
-            _canonical(item, out)
-        out.append(b"]")
-    elif isinstance(value, dict):
-        out.append(b"d" + str(len(value)).encode() + b"{")
+class _Emit:
+    """Stack marker: literal bytes to append when popped (container
+    closers). A distinct type so byte *values* can never alias it."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+
+_CLOSE_LIST = _Emit(b"]")
+_CLOSE_TUPLE = _Emit(b")")
+_CLOSE_DICT = _Emit(b"}")
+_CLOSE_SET = _Emit(b")")
+_CLOSE_DATACLASS = _Emit(b">")
+
+
+def _canonical_into(value: Any, out: List[bytes]) -> None:
+    """Append the canonical byte representation of ``value`` to ``out``.
+
+    Iterative depth-first walk; children are pushed in reverse so pops
+    emit them in order. Exact types take the fast path; subclasses fall
+    back to the isinstance chain so e.g. ``IntEnum`` members serialize
+    exactly as before.
+    """
+    append = out.append
+    stack: List[Any] = [value]
+    pop = stack.pop
+    while stack:
+        v = pop()
+        cls = v.__class__
+        if cls is _Emit:
+            append(v.data)
+        elif cls is str:
+            encoded = v.encode("utf-8")
+            append(b"s%d:" % len(encoded))
+            append(encoded)
+        elif cls is int:
+            append(b"i%d" % v)
+        elif cls is bool:
+            append(b"b1" if v else b"b0")
+        elif v is None:
+            append(b"n")
+        elif cls is bytes:
+            append(b"y%d:" % len(v))
+            append(v)
+        elif cls is float:
+            append(b"f" + repr(v).encode())
+        elif cls is tuple:
+            # Tuples and lists are distinct values and must never
+            # collide (``(None, None)`` vs ``[None, None]``) — the wire
+            # layer documents that JSON's tuple→list conversion changes
+            # the digest and callers normalize on receipt.
+            append(b"t%d(" % len(v))
+            stack.append(_CLOSE_TUPLE)
+            for item in reversed(v):
+                stack.append(item)
+        elif cls is list:
+            append(b"l%d[" % len(v))
+            stack.append(_CLOSE_LIST)
+            for item in reversed(v):
+                stack.append(item)
+        elif cls is dict:
+            append(b"d%d{" % len(v))
+            stack.append(_CLOSE_DICT)
+            try:
+                items = sorted(v.items(), key=_repr_of_key)
+            except TypeError as exc:  # unsortable keys
+                raise CryptoError(
+                    f"cannot canonicalize dict keys: {exc}"
+                ) from exc
+            for key, item in reversed(items):
+                stack.append(item)
+                stack.append(key)
+        elif cls is set or cls is frozenset:
+            append(b"S%d(" % len(v))
+            stack.append(_CLOSE_SET)
+            for item in sorted(v, key=repr, reverse=True):
+                stack.append(item)
+        else:
+            _canonical_slow(v, append, stack)
+
+
+def _repr_of_key(kv: Any) -> str:
+    return repr(kv[0])
+
+
+def _canonical_slow(v: Any, append: Callable, stack: List[Any]) -> None:
+    """Subclass / dataclass / unknown-type path of the canonical walk.
+
+    Mirrors the exact-type dispatch with isinstance checks so values of
+    derived types keep their historical encodings.
+    """
+    if isinstance(v, bool):
+        append(b"b1" if v else b"b0")
+    elif isinstance(v, int):
+        append(b"i" + str(v).encode())
+    elif isinstance(v, float):
+        append(b"f" + repr(v).encode())
+    elif isinstance(v, str):
+        encoded = v.encode("utf-8")
+        append(b"s%d:" % len(encoded))
+        append(encoded)
+    elif isinstance(v, bytes):
+        append(b"y%d:" % len(v))
+        append(v)
+    elif isinstance(v, tuple):
+        append(b"t%d(" % len(v))
+        stack.append(_CLOSE_TUPLE)
+        for item in reversed(v):
+            stack.append(item)
+    elif isinstance(v, list):
+        append(b"l%d[" % len(v))
+        stack.append(_CLOSE_LIST)
+        for item in reversed(v):
+            stack.append(item)
+    elif isinstance(v, dict):
+        append(b"d%d{" % len(v))
+        stack.append(_CLOSE_DICT)
         try:
-            items = sorted(value.items(), key=lambda kv: repr(kv[0]))
-        except TypeError as exc:  # unsortable keys
+            items = sorted(v.items(), key=_repr_of_key)
+        except TypeError as exc:
             raise CryptoError(f"cannot canonicalize dict keys: {exc}") from exc
-        for key, item in items:
-            _canonical(key, out)
-            _canonical(item, out)
-        out.append(b"}")
-    elif isinstance(value, (set, frozenset)):
-        out.append(b"S" + str(len(value)).encode() + b"(")
-        for item in sorted(value, key=repr):
-            _canonical(item, out)
-        out.append(b")")
-    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-        out.append(b"D" + type(value).__name__.encode() + b"<")
-        for field in dataclasses.fields(value):
-            _canonical(field.name, out)
-            _canonical(getattr(value, field.name), out)
-        out.append(b">")
+        for key, item in reversed(items):
+            stack.append(item)
+            stack.append(key)
+    elif isinstance(v, (set, frozenset)):
+        append(b"S%d(" % len(v))
+        stack.append(_CLOSE_SET)
+        for item in sorted(v, key=repr, reverse=True):
+            stack.append(item)
+    elif dataclasses.is_dataclass(v) and not isinstance(v, type):
+        append(b"D" + type(v).__name__.encode() + b"<")
+        stack.append(_CLOSE_DATACLASS)
+        for field in reversed(dataclasses.fields(v)):
+            stack.append(getattr(v, field.name))
+            stack.append(field.name)
     else:
         raise CryptoError(
-            f"cannot canonicalize value of type {type(value).__name__}"
+            f"cannot canonicalize value of type {type(v).__name__}"
         )
 
 
@@ -71,6 +175,91 @@ def stable_digest(value: Any) -> str:
         CryptoError: If the value contains a type with no canonical
             representation (e.g. an arbitrary object).
     """
-    out: list = []
-    _canonical(value, out)
+    out: List[bytes] = []
+    _canonical_into(value, out)
     return hashlib.sha256(b"".join(out)).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Identity-keyed digest memo
+# ----------------------------------------------------------------------
+
+#: Shared memo for :func:`cached_digest`. Entries pin their keyed
+#: object, so identity keys cannot be recycled while cached (see
+#: :class:`~repro.crypto.caches.IdentityLRU`).
+_DIGEST_CACHE = IdentityLRU(maxsize=8192)
+
+#: Leaf types that can never change value in place.
+_IMMUTABLE_LEAVES = (type(None), bool, int, float, str, bytes)
+
+
+def _deeply_immutable(value: Any) -> bool:
+    """Whether ``value`` is a tree of immutable values all the way down.
+
+    Only such values are safe to memoize by identity with no
+    invalidation protocol: nothing reachable from them can be mutated
+    into a different canonical form. Frozen dataclasses qualify when
+    every field value does; lists, dicts, sets, and non-frozen
+    dataclasses do not.
+    """
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if isinstance(v, _IMMUTABLE_LEAVES):
+            continue
+        if isinstance(v, (tuple, frozenset)):
+            stack.extend(v)
+            continue
+        if dataclasses.is_dataclass(v) and not isinstance(v, type):
+            params = getattr(type(v), "__dataclass_params__", None)
+            if params is None or not params.frozen:
+                return False
+            for field in dataclasses.fields(v):
+                stack.append(getattr(v, field.name))
+            continue
+        return False
+    return True
+
+
+def cached_digest(
+    obj: Any, compute: Optional[Callable[[Any], str]] = None
+) -> str:
+    """Identity-memoized digest of ``obj``.
+
+    Args:
+        obj: The value to digest. Cache hits require the *same object*
+            (``is``-identity); equal-but-distinct objects recompute and
+            agree with :func:`stable_digest` by construction.
+        compute: Digest function applied on a miss; defaults to
+            :func:`stable_digest` of ``obj`` itself. Record classes pass
+            a function digesting their identity tuple so the cached
+            value is byte-for-byte the historical formula.
+
+    Mutable values (anything failing the deep-immutability check) are
+    never cached — they take the compute path every time, so the memo
+    needs no invalidation hooks.
+    """
+    fn = compute if compute is not None else stable_digest
+    if not caches_enabled():
+        return fn(obj)
+    hit = _DIGEST_CACHE.lookup(obj)
+    if hit is not None:
+        return hit
+    digest = fn(obj)
+    if _deeply_immutable(obj):
+        _DIGEST_CACHE.store(obj, digest)
+    return digest
+
+
+def clear_digest_cache() -> None:
+    """Drop every memoized digest (used when caches are disabled)."""
+    _DIGEST_CACHE.clear()
+
+
+def digest_cache_stats() -> dict:
+    """Hit/miss/size counters for the shared digest memo."""
+    return {
+        "hits": _DIGEST_CACHE.hits,
+        "misses": _DIGEST_CACHE.misses,
+        "size": len(_DIGEST_CACHE),
+    }

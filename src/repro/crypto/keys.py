@@ -13,11 +13,20 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Iterable, List
 
+from repro.crypto.caches import KeyedLRU
 from repro.errors import CryptoError
 
 
 class KeyRegistry:
     """Maps node ids to signing secrets.
+
+    The registry also owns the signature-verification memo for its key
+    material (see :func:`repro.crypto.signatures.verify`): verdicts are
+    a pure function of ``(signer, digest, mac)`` *and* the registered
+    secrets, so any mutation of the key set — a new registration or a
+    rotation — drops every cached verdict. That wholesale invalidation
+    is what makes negative caching safe: "unknown signer" can never
+    outlive the registration that would change the answer.
 
     Args:
         seed: Deterministic seed so a deployment's keys are reproducible.
@@ -26,12 +35,40 @@ class KeyRegistry:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._keys: Dict[str, bytes] = {}
+        self._rotations: Dict[str, int] = {}
+        #: Mutation counter; bumped whenever any secret (dis)appears.
+        self.version = 0
+        #: Bounded memo of verification verdicts under the current keys.
+        self.verification_cache = KeyedLRU(maxsize=16384)
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self.verification_cache.clear()
 
     def register(self, node_id: str) -> bytes:
         """Create (or return) the secret for ``node_id``."""
         if node_id not in self._keys:
             material = f"key/{self._seed}/{node_id}".encode()
             self._keys[node_id] = hashlib.sha256(material).digest()
+            self._invalidate()
+        return self._keys[node_id]
+
+    def rotate(self, node_id: str) -> bytes:
+        """Replace ``node_id``'s secret with a fresh one.
+
+        Signatures minted under the old secret stop verifying, and any
+        cached verdicts (positive or negative) are dropped.
+
+        Raises:
+            CryptoError: If the node was never registered.
+        """
+        if node_id not in self._keys:
+            raise CryptoError(f"cannot rotate unregistered node {node_id!r}")
+        generation = self._rotations.get(node_id, 0) + 1
+        self._rotations[node_id] = generation
+        material = f"key/{self._seed}/{node_id}/gen{generation}".encode()
+        self._keys[node_id] = hashlib.sha256(material).digest()
+        self._invalidate()
         return self._keys[node_id]
 
     def register_all(self, node_ids: Iterable[str]) -> None:

@@ -14,6 +14,7 @@ import hashlib
 import hmac
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro.crypto.caches import caches_enabled
 from repro.crypto.keys import KeyRegistry
 from repro.errors import InsufficientProofError
 
@@ -46,20 +47,42 @@ def sign(registry: KeyRegistry, signer: str, digest: str) -> Signature:
     return Signature(signer=signer, digest=digest, mac=mac)
 
 
+def _verify_uncached(
+    registry: KeyRegistry, signer: str, digest: str, mac: str
+) -> bool:
+    """Recompute one HMAC verdict from the registry's current keys."""
+    if signer not in registry:
+        return False
+    secret = registry.secret_for(signer)
+    expected = hmac.new(secret, digest.encode(), hashlib.sha256).hexdigest()
+    return hmac.compare_digest(expected, mac)
+
+
 def verify(registry: KeyRegistry, signature: Signature, digest: str) -> bool:
     """Check that ``signature`` covers ``digest`` and verifies.
 
     Unknown signers verify as False (not an exception): a byzantine
     node may claim any identity, and the honest path must treat that as
     an invalid signature rather than crash.
+
+    Verdicts are memoized per registry, keyed by the full
+    ``(signer, digest, mac)`` triple: a forged mac over an
+    honestly-signed digest is a *different* key and is always
+    recomputed (to False). Any registry mutation — registration or
+    rotation — clears the memo, so stale verdicts (positive or
+    negative) never survive a key change. The memo is therefore
+    semantically invisible; ``--disable-caches`` in the bench harness
+    bypasses it to prove that.
     """
     if signature.digest != digest:
         return False
-    if signature.signer not in registry:
-        return False
-    secret = registry.secret_for(signature.signer)
-    expected = hmac.new(secret, digest.encode(), hashlib.sha256).hexdigest()
-    return hmac.compare_digest(expected, signature.mac)
+    if not caches_enabled():
+        return _verify_uncached(registry, signature.signer, digest, signature.mac)
+    signer, mac = signature.signer, signature.mac
+    return registry.verification_cache.get(
+        (signer, digest, mac),
+        lambda: _verify_uncached(registry, signer, digest, mac),
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,16 +107,30 @@ class QuorumProof:
         self,
         registry: KeyRegistry,
         allowed_signers: Optional[Sequence[str]] = None,
+        required: Optional[int] = None,
     ) -> Set[str]:
         """Distinct signers whose signatures verify (optionally limited
-        to an allowed set, e.g. the source participant's unit)."""
+        to an allowed set, e.g. the source participant's unit).
+
+        Args:
+            required: Early-exit threshold. When given, scanning stops
+                as soon as this many distinct valid signers are found —
+                the quorum question is already answered, so the
+                remaining signatures need not be verified. The returned
+                set may then be a subset of all valid signers; callers
+                that need the complete set must leave this unset.
+        """
         allowed = set(allowed_signers) if allowed_signers is not None else None
         signers: Set[str] = set()
         for signature in self.signatures:
             if allowed is not None and signature.signer not in allowed:
                 continue
+            if signature.signer in signers:
+                continue  # duplicate signer: no new information
             if verify(registry, signature, self.digest):
                 signers.add(signature.signer)
+                if required is not None and len(signers) >= required:
+                    break
         return signers
 
     def check(
@@ -107,7 +144,9 @@ class QuorumProof:
         Raises:
             InsufficientProofError: Too few valid signatures.
         """
-        signers = self.valid_signers(registry, allowed_signers)
+        signers = self.valid_signers(
+            registry, allowed_signers, required=required
+        )
         if len(signers) < required:
             raise InsufficientProofError(
                 f"proof over {self.digest[:12]}... has {len(signers)} valid "
@@ -120,8 +159,11 @@ class QuorumProof:
         required: int,
         allowed_signers: Optional[Sequence[str]] = None,
     ) -> bool:
-        """Boolean form of :meth:`check`."""
-        return len(self.valid_signers(registry, allowed_signers)) >= required
+        """Boolean form of :meth:`check` (same ``required`` fast path)."""
+        signers = self.valid_signers(
+            registry, allowed_signers, required=required
+        )
+        return len(signers) >= required
 
     def size_bytes(self) -> int:
         """Approximate wire size of the serialized proof."""

@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.crypto.digest import stable_digest
 from repro.pbft.messages import ClientRequest, Commit, PrePrepare, Prepare
-from repro.pbft.replica import PBFTReplica
+from repro.pbft.replica import PBFTReplica, request_digest
 
 
 class SilentReplica(PBFTReplica):
@@ -59,7 +58,7 @@ class EquivocatingLeader(PBFTReplica):
                 payload_bytes=msg.payload_bytes,
                 view=self.view,
                 seq=seq,
-                digest=stable_digest((value, msg.record_type, msg.request_id)),
+                digest=request_digest(value, msg.record_type, msg.request_id),
                 request_id=msg.request_id,
                 value=value,
                 record_type=msg.record_type,

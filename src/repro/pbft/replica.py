@@ -22,11 +22,12 @@ suite live in :mod:`repro.pbft.byzantine`.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import hashlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.crypto.digest import stable_digest
+from repro.crypto.digest import cached_digest, stable_digest
 from repro.errors import ProtocolError, VerificationFailed
 from repro.obs.hub import DISABLED
 from repro.pbft.config import PBFTConfig
@@ -63,6 +64,34 @@ Verifier = Callable[[Any, str, Optional[Dict[str, Any]]], bool]
 #: Verification routines must accept it; executors must ignore it.
 NOOP_VALUE = "__pbft_noop__"
 NOOP_RECORD_TYPE = "noop"
+
+
+def request_digest(
+    value: Any, record_type: str, request_id: Tuple[str, int]
+) -> str:
+    """The digest a proposal binds its request to.
+
+    The (possibly large) application value is folded in as
+    ``cached_digest(value)`` — the same string whether or not the memo
+    is enabled — so a value object that already passed through the
+    digest memo (record digests, earlier proposals) costs nothing to
+    bind again. Every request-digest computation in the protocol (and
+    in the byzantine forgers) goes through this one helper; the two
+    sides of a digest comparison always agree on the formula.
+    """
+    return stable_digest((cached_digest(value), record_type, request_id))
+
+
+def catch_up_digest(value: Any, record_type: str, seq: int) -> str:
+    """Digest peers vote on when vouching a caught-up entry for a slot
+    (same value-folding rationale as :func:`request_digest`)."""
+    return stable_digest((cached_digest(value), record_type, seq))
+
+
+#: Digest of the hole-filler proposal. It is a constant of the protocol
+#: (value, type, and the null request id never vary), yet a new leader
+#: plugging a deposed leader's holes used to recompute it per slot.
+_NOOP_FILL_DIGEST = request_digest(NOOP_VALUE, NOOP_RECORD_TYPE, ("", 0))
 
 
 @dataclasses.dataclass
@@ -409,7 +438,7 @@ class PBFTReplica(Node):
         seq = self.next_seq
         self.next_seq += 1
         self._assigned_requests[msg.request_id] = seq
-        digest = stable_digest((msg.value, msg.record_type, msg.request_id))
+        digest = request_digest(msg.value, msg.record_type, msg.request_id)
         pre_prepare = PrePrepare(
             payload_bytes=msg.payload_bytes,
             view=self.view,
@@ -981,7 +1010,7 @@ class PBFTReplica(Node):
                 PrePrepare(
                     view=new_view,
                     seq=seq,
-                    digest=stable_digest((NOOP_VALUE, NOOP_RECORD_TYPE, noop_rid)),
+                    digest=_NOOP_FILL_DIGEST,
                     request_id=noop_rid,
                     value=NOOP_VALUE,
                     record_type=NOOP_RECORD_TYPE,
@@ -1054,11 +1083,13 @@ class PBFTReplica(Node):
 
     def handle_catch_up_request(self, msg: CatchUpRequest, src: str) -> None:
         """Serve committed entries above the requester's watermark."""
-        entries = [
-            entry
-            for entry in self.executed_entries
-            if entry.seq >= msg.from_seq
-        ]
+        # ``executed_entries`` is append-only in execution order, so the
+        # suffix starts at a binary-searchable index — a full scan here
+        # made every catch-up O(total log).
+        start = bisect.bisect_left(
+            self.executed_entries, msg.from_seq, key=lambda entry: entry.seq
+        )
+        entries = self.executed_entries[start:]
         if entries:
             payload = sum(entry.payload_bytes for entry in entries)
             self.send(
@@ -1075,7 +1106,7 @@ class PBFTReplica(Node):
         for entry in msg.entries:
             if entry.seq <= self.last_executed:
                 continue
-            digest = stable_digest((entry.value, entry.record_type, entry.seq))
+            digest = catch_up_digest(entry.value, entry.record_type, entry.seq)
             tally = self._catch_up_tally.setdefault(entry.seq, {})
             tally.setdefault(digest, set()).add(src)
             self._catch_up_values[(entry.seq, digest)] = entry
@@ -1098,8 +1129,8 @@ class PBFTReplica(Node):
             advanced = True
             slot = self.slots.setdefault(seq, _Slot(view=adopted.view))
             slot.view = adopted.view
-            slot.digest = stable_digest(
-                (adopted.value, adopted.record_type, adopted.seq)
+            slot.digest = catch_up_digest(
+                adopted.value, adopted.record_type, adopted.seq
             )
             slot.value = adopted.value
             slot.record_type = adopted.record_type

@@ -9,7 +9,7 @@ order they were scheduled, which keeps every simulation deterministic.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 @dataclasses.dataclass
@@ -23,6 +23,10 @@ class Event:
         args: Positional arguments passed to ``fn``.
         cancelled: When true the event is skipped at fire time. Use
             :meth:`cancel` rather than mutating this directly.
+        owner: The simulator whose heap currently holds this event; set
+            at schedule time and cleared when the event leaves the heap.
+            Lets :meth:`cancel` report to the owner's live-event
+            counters without the simulator scanning its heap.
     """
 
     time: float
@@ -30,14 +34,23 @@ class Event:
     fn: Callable[..., Any]
     args: Tuple[Any, ...] = ()
     cancelled: bool = False
+    owner: Optional[Any] = dataclasses.field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent this event from firing.
 
-        Cancelling is O(1): the event stays in the heap and is discarded
-        when popped.
+        Cancelling is O(1): the event stays in the heap as a tombstone
+        and is discarded when popped (or swept by the owner's
+        compaction pass if tombstones come to dominate the heap).
+        Cancelling an event that already fired, or a second time, is a
+        no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancelled(self)
 
     def sort_key(self) -> Tuple[float, int]:
         """Return the deterministic ordering key ``(time, seq)``."""

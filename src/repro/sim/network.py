@@ -168,6 +168,78 @@ class Network:
         arrival = self._compute_arrival_time(src, dst, size, wide_area)
         self.sim.schedule_at(arrival, self._arrive, dst_id, src_id, message, size)
 
+    def broadcast(self, src_id: str, dst_ids: List[str], message: "Message") -> None:
+        """Fan ``message`` out to several destinations at once.
+
+        Semantically equivalent to calling :meth:`send` per destination
+        (same egress serialization, same per-destination drop/tamper
+        hooks, same ingress model), but the wide-area/heap cost is
+        batched: all destinations in one site share a single composite
+        arrival event instead of one heap push each — a unit-wide PBFT
+        broadcast schedules one event per destination *site*, not per
+        replica. Ingress NIC reservations for a site's batch are made
+        in arrival order when the batch's first message lands.
+        """
+        src = self.node(src_id)
+        self.messages_sent += len(dst_ids)
+        if src.crashed:
+            return
+        groups: Dict[str, List[tuple]] = {}
+        for dst_id in dst_ids:
+            dst = self.node(dst_id)
+            dropped = False
+            for drop in self.drop_filters:
+                if drop(src_id, dst_id, message):
+                    self.sim.trace.record(
+                        "net.drop", self.sim.now, src=src_id, dst=dst_id,
+                        msg=type(message).__name__,
+                    )
+                    dropped = True
+                    break
+            if dropped:
+                continue
+            delivered = message
+            for tamper in self.tamper_hooks:
+                delivered = tamper(src_id, dst_id, delivered)
+                if delivered is None:
+                    break
+            if delivered is None:
+                continue
+            wide_area = src.site != dst.site
+            size = delivered.size_bytes() + self.options.per_message_overhead_bytes
+            self.bytes_sent += size
+            if self.obs.enabled:
+                self._count_link(src.site, dst.site, size)
+            if dst_id == src_id:
+                self.sim.schedule(
+                    self.options.receiver_processing_ms,
+                    self._deliver, dst_id, src_id, delivered,
+                )
+                continue
+            arrival = self._compute_arrival_time(src, dst, size, wide_area)
+            groups.setdefault(dst.site, []).append(
+                (arrival, dst_id, delivered, size)
+            )
+        for entries in groups.values():
+            entries.sort(key=lambda entry: entry[0])
+            self.sim.schedule_at(
+                entries[0][0], self._arrive_batch, src_id, entries
+            )
+
+    def _arrive_batch(self, src_id: str, entries: List[tuple]) -> None:
+        """Composite arrival: reserve each destination's ingress NIC in
+        arrival order and schedule the per-destination deliveries."""
+        bytes_per_ms = self.options.bytes_per_ms(wide_area=False)
+        processing = self.options.receiver_processing_ms
+        free_at = self._ingress_free_at
+        for arrival, dst_id, message, size in entries:
+            ingress_start = max(arrival, self.sim.now, free_at.get(dst_id, 0.0))
+            ingress_done = ingress_start + size / bytes_per_ms + processing
+            free_at[dst_id] = ingress_done
+            self.sim.schedule_at(
+                ingress_done, self._deliver, dst_id, src_id, message
+            )
+
     def _count_link(self, src_site: str, dst_site: str, size: int) -> None:
         """Per-link byte/message counters (counter objects cached so
         the hot send path does one dict lookup, not a registry walk)."""

@@ -96,10 +96,21 @@ class Node:
         self.network.send(self.node_id, dst_id, message)
 
     def broadcast(self, dst_ids: Iterable[str], message: Message) -> None:
-        """Send the same message to several nodes (self is skipped)."""
-        for dst_id in dst_ids:
-            if dst_id != self.node_id:
-                self.send(dst_id, message)
+        """Send the same message to several nodes (self is skipped).
+
+        Multi-destination fan-out goes through the network's batched
+        broadcast path: one composite arrival event per destination
+        site instead of one heap push per destination.
+        """
+        if self.crashed:
+            return
+        targets = [dst_id for dst_id in dst_ids if dst_id != self.node_id]
+        if not targets:
+            return
+        if len(targets) == 1:
+            self.network.send(self.node_id, targets[0], message)
+        else:
+            self.network.broadcast(self.node_id, targets, message)
 
     def receive_message(self, message: Message, src_id: str) -> None:
         """Entry point used by the network; dispatches to a handler."""
@@ -134,6 +145,11 @@ class Node:
                 fn(*args)
 
         event = self.sim.schedule(delay, _guarded)
+        # Heap hygiene: drop references to timers that already fired or
+        # were cancelled (``owner`` is cleared once an event leaves the
+        # heap), so long-lived nodes don't pin every timer ever armed.
+        if len(self._timers) >= 256:
+            self._timers = [t for t in self._timers if t.owner is not None]
         self._timers.append(event)
         return event
 

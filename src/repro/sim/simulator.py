@@ -33,6 +33,10 @@ class Simulator:
         5.0
     """
 
+    #: Tombstone floor: compaction never triggers below this heap size
+    #: (rebuilding tiny heaps would cost more than the tombstones do).
+    COMPACT_MIN_TOMBSTONES = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
@@ -41,6 +45,13 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        # Live/tombstone counters keep ``pending_events`` O(1) and
+        # drive tombstone compaction; maintained by the schedule/cancel/
+        # pop paths (events report their own cancellation via
+        # ``Event.owner``).
+        self._live = 0
+        self._tombstones = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -62,7 +73,17 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ms in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # Fast path: ``delay >= 0`` already guarantees ``when >= now``,
+        # so the relative form pushes directly instead of re-validating
+        # through :meth:`schedule_at` (this is the hottest call in the
+        # library — every message hop and timer goes through it).
+        event = Event(
+            time=self.now + delay, seq=self._seq, fn=fn, args=args, owner=self
+        )
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
@@ -70,10 +91,40 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before current time t={self.now}"
             )
-        event = Event(time=when, seq=self._seq, fn=fn, args=args)
+        event = Event(time=when, seq=self._seq, fn=fn, args=args, owner=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self, _event: Event) -> None:
+        """Called by :meth:`Event.cancel` while the event is heap-held.
+
+        Keeps the live count exact and sweeps the heap once tombstones
+        outnumber live events (retransmission timers cancel far more
+        events than ever fire; without compaction they dominate the
+        heap and every push/pop pays their log factor).
+        """
+        self._live -= 1
+        self._tombstones += 1
+        if (
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (O(n), amortized free)."""
+        live = []
+        for event in self._heap:
+            if event.cancelled:
+                event.owner = None  # fully detached now
+            else:
+                live.append(event)
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -84,15 +135,11 @@ class Simulator:
         Returns:
             True if an event fired, False if the heap was empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        event = self._next_live()
+        if event is None:
+            return False
+        self._fire(event)
+        return True
 
     def run(
         self,
@@ -112,17 +159,21 @@ class Simulator:
         self._running = True
         fired = 0
         try:
-            while self._heap:
+            # One pop path: ``_next_live`` discards tombstones exactly
+            # once and leaves the next live event at the heap top;
+            # ``_fire`` pops that same event. Nothing re-examines
+            # already-scanned tombstones.
+            while True:
                 if max_events is not None and fired >= max_events:
                     return
-                nxt = self._peek()
+                nxt = self._next_live()
                 if nxt is None:
                     break
                 if until is not None and nxt.time > until:
                     self.now = max(self.now, until)
                     return
-                if self.step():
-                    fired += 1
+                self._fire(nxt)
+                fired += 1
             if until is not None:
                 self.now = max(self.now, until)
         finally:
@@ -148,15 +199,41 @@ class Simulator:
             fired += 1
         return future.result()
 
-    def _peek(self) -> Optional[Event]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+    def _next_live(self) -> Optional[Event]:
+        """Discard tombstones at the heap top; return (without popping)
+        the next live event, or None if the heap has drained."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            tombstone = heapq.heappop(heap)
+            tombstone.owner = None
+            self._tombstones -= 1
+        return heap[0] if heap else None
+
+    def _fire(self, event: Event) -> None:
+        """Pop ``event`` (the live heap top) and invoke its callback."""
+        heapq.heappop(self._heap)
+        self._live -= 1
+        event.owner = None
+        self.now = event.time
+        self._events_processed += 1
+        event.fn(*event.args)
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still in the heap (O(1):
+        maintained by the schedule/cancel/pop paths)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, tombstones included (for diagnostics
+        and the heap-hygiene regression tests)."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many tombstone compaction sweeps have run."""
+        return self._compactions
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,135 @@
+"""The BENCH_*.json schema validator."""
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    SchemaError,
+    check,
+    validate,
+)
+
+
+def _result(name="micro.example", **overrides):
+    result = {
+        "name": name,
+        "kind": "micro",
+        "ops": 100,
+        "repeats": 3,
+        "ns_per_op": 123.4,
+        "ops_per_sec": 8_103_727.7,
+        "samples_ns": [12340, 12500, 13000],
+        "extra": {},
+    }
+    result.update(overrides)
+    return result
+
+
+def _document(**overrides):
+    document = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "seed": 7,
+        "repeats": 3,
+        "warmup": 1,
+        "caches_enabled": True,
+        "results": [_result()],
+    }
+    document.update(overrides)
+    return document
+
+
+class TestValidDocuments:
+    def test_minimal_document_validates(self):
+        assert validate(_document()) == []
+
+    def test_check_passes_silently(self):
+        check(_document())
+
+    def test_document_with_control_and_comparison(self):
+        document = _document(
+            control={"caches_enabled": False, "results": [_result()]},
+            comparison={
+                "micro.example": {
+                    "cached_ops_per_sec": 2.0,
+                    "control_ops_per_sec": 1.0,
+                    "speedup": 2.0,
+                }
+            },
+        )
+        assert validate(document) == []
+
+
+class TestViolations:
+    def test_non_object_document(self):
+        assert validate([1, 2]) != []
+        assert validate(None) != []
+
+    @pytest.mark.parametrize(
+        "field",
+        ["schema", "schema_version", "seed", "repeats", "warmup",
+         "caches_enabled", "results"],
+    )
+    def test_missing_top_level_field(self, field):
+        document = _document()
+        del document[field]
+        assert any(field in error for error in validate(document))
+
+    def test_wrong_schema_name(self):
+        errors = validate(_document(schema="something/v9"))
+        assert any("schema" in error for error in errors)
+
+    def test_wrong_schema_version(self):
+        errors = validate(_document(schema_version=99))
+        assert any("schema_version" in error for error in errors)
+
+    def test_empty_results(self):
+        errors = validate(_document(results=[]))
+        assert any("empty" in error for error in errors)
+
+    def test_duplicate_result_names(self):
+        errors = validate(_document(results=[_result(), _result()]))
+        assert any("duplicate" in error for error in errors)
+
+    def test_bad_kind(self):
+        errors = validate(_document(results=[_result(kind="nano")]))
+        assert any("kind" in error for error in errors)
+
+    def test_non_positive_ops(self):
+        errors = validate(_document(results=[_result(ops=0)]))
+        assert any("ops" in error for error in errors)
+
+    def test_bool_is_not_an_int_ops(self):
+        errors = validate(_document(results=[_result(ops=True)]))
+        assert errors != []
+
+    def test_negative_rate(self):
+        errors = validate(_document(results=[_result(ns_per_op=-1.0)]))
+        assert any("ns_per_op" in error for error in errors)
+
+    def test_non_integer_samples(self):
+        errors = validate(
+            _document(results=[_result(samples_ns=[1.5, "x"])])
+        )
+        assert any("samples_ns" in error for error in errors)
+
+    def test_control_must_disable_caches(self):
+        document = _document(
+            control={"caches_enabled": True, "results": [_result()]}
+        )
+        errors = validate(document)
+        assert any("control.caches_enabled" in error for error in errors)
+
+    def test_control_results_validated(self):
+        document = _document(
+            control={"caches_enabled": False, "results": [_result(ops=-5)]}
+        )
+        assert validate(document) != []
+
+    def test_check_raises_with_every_violation(self):
+        document = _document(results=[_result(ops=0, kind="nano")])
+        with pytest.raises(SchemaError) as excinfo:
+            check(document)
+        message = str(excinfo.value)
+        assert "ops" in message and "kind" in message

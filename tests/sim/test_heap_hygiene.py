@@ -1,0 +1,112 @@
+"""Simulator heap hygiene: O(1) pending counts and tombstone compaction."""
+
+from repro.sim.simulator import Simulator
+
+
+def _noop() -> None:
+    pass
+
+
+class TestPendingEventsCounter:
+    def test_pending_events_tracks_schedule_and_cancel(self):
+        sim = Simulator(seed=1)
+        events = [sim.schedule(float(i), _noop) for i in range(10)]
+        assert sim.pending_events == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending_events == 8
+        # Double-cancel is a no-op on the counters.
+        events[3].cancel()
+        assert sim.pending_events == 8
+
+    def test_pending_events_drains_to_zero(self):
+        sim = Simulator(seed=1)
+        for i in range(25):
+            sim.schedule(float(i), _noop)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.heap_size == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator(seed=1)
+        event = sim.schedule(1.0, _noop)
+        keeper = sim.schedule(2.0, _noop)
+        sim.run()
+        # Firing cleared ownership; a late cancel cannot corrupt counts.
+        event.cancel()
+        keeper.cancel()
+        assert sim.pending_events == 0
+
+
+class TestTombstoneCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        """Cancelling 10k of 10k+1 events must shrink the heap without
+        waiting for the pop path to reach the tombstones."""
+        sim = Simulator(seed=1)
+        doomed = [sim.schedule(1_000.0 + i, _noop) for i in range(10_000)]
+        survivor = sim.schedule(5.0, _noop)
+        assert sim.pending_events == 10_001
+        for event in doomed:
+            event.cancel()
+        assert sim.pending_events == 1
+        assert sim.compactions >= 1
+        # Compaction rebuilt the heap down to the live population plus
+        # at most one sub-threshold tail of fresh tombstones.
+        assert sim.heap_size < 1 + Simulator.COMPACT_MIN_TOMBSTONES
+        fired = []
+        sim.schedule_at(6.0, fired.append, "ran")
+        sim.run()
+        assert fired == ["ran"]
+        # The survivor fired; firing detached it from the simulator.
+        assert not survivor.cancelled
+        assert survivor.owner is None
+        assert sim.pending_events == 0
+
+    def test_compaction_preserves_order_and_liveness(self):
+        sim = Simulator(seed=1)
+        fired = []
+        keep = []
+        for i in range(2_000):
+            event = sim.schedule(float(i), fired.append, i)
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        sim.run()
+        assert fired == keep
+
+    def test_no_compaction_below_threshold(self):
+        sim = Simulator(seed=1)
+        events = [sim.schedule(float(i), _noop) for i in range(100)]
+        for event in events[: Simulator.COMPACT_MIN_TOMBSTONES - 1]:
+            event.cancel()
+        assert sim.compactions == 0
+
+    def test_pending_events_is_constant_time(self):
+        """The property must not scan the heap: reading it twice around
+        a cancellation burst stays consistent with the live counter."""
+        sim = Simulator(seed=1)
+        events = [sim.schedule(float(i), _noop) for i in range(10_000)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending_events == 5_000
+        # After compaction the heap itself is close to the live count;
+        # tombstones never exceed half the heap.
+        assert sim.heap_size - sim.pending_events <= sim.heap_size / 2
+
+    def test_step_uses_single_pop_path(self):
+        """step() must fire exactly the next live event even when the
+        heap top is a pile of tombstones."""
+        sim = Simulator(seed=1)
+        fired = []
+        doomed = [sim.schedule(1.0 + i * 0.001, fired.append, -1) for i in range(50)]
+        sim.schedule(10.0, fired.append, 1)
+        sim.schedule(20.0, fired.append, 2)
+        for event in doomed:
+            event.cancel()
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.now == 10.0
+        assert sim.step() is True
+        assert fired == [1, 2]
+        assert sim.step() is False
