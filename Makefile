@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules chaos bench experiments
+.PHONY: test lint lint-rules chaos audit bench experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,8 +22,12 @@ lint-rules:
 chaos:
 	$(PYTHON) -m repro.chaos --seed 7 --runs 5 --profile mixed --shrink
 
+audit:
+	$(PYTHON) -m repro obs-audit --seed 2 --runs 2 --profile byzantine --strict
+	$(PYTHON) -m repro obs-audit --seed 7 --runs 2 --profile byzantine --fault-free --strict
+
 bench:
-	$(PYTHON) -m repro.bench --out BENCH_0004.json --disable-caches
+	$(PYTHON) -m repro.bench --repeats 5 --out BENCH_0005.json --disable-caches
 
 experiments:
 	$(PYTHON) -m repro

@@ -107,6 +107,12 @@ def main(argv: list) -> int:
         from repro.analysis.__main__ import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "obs-audit":
+        # Forward to the forensics auditor: `python -m repro obs-audit`
+        # is equivalent to `python -m repro.obs.forensics`.
+        from repro.obs.forensics.__main__ import main as audit_main
+
+        return audit_main(argv[1:])
     argv, obs_out, error = _parse_obs_out(argv)
     if error:
         print(error)

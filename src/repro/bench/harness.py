@@ -105,18 +105,46 @@ def run_suite(
 ) -> List[BenchResult]:
     """Run ``benchmarks`` under the requested cache setting.
 
+    Repeats are interleaved round-robin across the suite (every
+    benchmark's repeat *k* runs before any benchmark's repeat *k+1*)
+    instead of back-to-back per benchmark, so slow machine drift —
+    thermal throttling, a co-tenant waking up — lands on every
+    benchmark's sample set alike. Paired comparisons between suite
+    members (``macro.commits.recorder_on`` against
+    ``macro.commits.3site_f1``) depend on this: a sequential schedule
+    puts the entire drift between the two timing blocks into their
+    ratio.
+
     The previous cache setting is restored afterwards, so a control
     pass (``caches=False``) cannot leak into later measurements.
     """
     previous = set_caches_enabled(caches)
     try:
-        results = []
+        operations = []
         for benchmark in benchmarks:
             if progress is not None:
                 label = "" if caches else " [no caches]"
                 progress(f"  {benchmark.name}{label} ...")
-            results.append(run_benchmark(benchmark, seed, repeats, warmup))
-        return results
+            operation, ops = benchmark.make(seed)
+            last = None
+            for _ in range(max(0, warmup)):
+                last = operation()
+            operations.append([benchmark, operation, ops, [], last])
+        for _ in range(max(1, repeats)):
+            for entry in operations:
+                ns, entry[4] = timer.elapsed_ns(entry[1])
+                entry[3].append(ns)
+        return [
+            BenchResult(
+                name=benchmark.name,
+                kind=benchmark.kind,
+                ops=ops,
+                repeats=max(1, repeats),
+                samples_ns=samples,
+                extra=dict(last) if isinstance(last, dict) else {},
+            )
+            for benchmark, _operation, ops, samples, last in operations
+        ]
     finally:
         set_caches_enabled(previous)
 

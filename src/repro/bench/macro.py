@@ -187,6 +187,44 @@ def _make_chaos_free(seed: int):
     return operation, ops
 
 
+def _make_recorder_on(seed: int):
+    """The fault-free workload with the forensics flight recorder on
+    (journal + metrics, spans off — the auditing configuration). The
+    acceptance bar is ≤10% throughput loss versus
+    ``macro.commits.3site_f1``."""
+    ops = workload_ops()
+
+    def operation():
+        from repro.obs.hub import Observability
+
+        cache_before = digest_cache_stats()
+        sim = Simulator(seed=seed)
+        obs = Observability(enabled=True, tracing=False)
+        obs.bind_clock(sim)
+        deployment = BlockplaneDeployment(
+            sim,
+            symmetric_topology(SITES, _RTT_MS),
+            BlockplaneConfig(f_independent=1, f_geo=0),
+            obs=obs,
+        )
+        done = [0] * len(SITES)
+        for site_index, site in enumerate(SITES):
+            sim.spawn(
+                _sender(sim, deployment, seed, site, site_index, done)
+            )
+        sim.run(until=10_000.0)
+        if sum(done) != ops:
+            raise RuntimeError(
+                f"recorder-on workload incomplete: {sum(done)}/{ops} commits"
+            )
+        stats = _run_stats(sim, deployment, done, cache_before)
+        stats["journal_events"] = obs.journal.recorded
+        stats["journal_dropped"] = obs.journal.dropped
+        return stats
+
+    return operation, ops
+
+
 def _make_mixed_chaos(seed: int):
     ops = workload_ops()
     generator = ScheduleGenerator(
@@ -238,5 +276,6 @@ def _make_mixed_chaos(seed: int):
 #: The registered macro suite.
 BENCHMARKS = [
     Benchmark("macro.commits.3site_f1", "macro", _make_chaos_free),
+    Benchmark("macro.commits.recorder_on", "macro", _make_recorder_on),
     Benchmark("macro.commits.mixed_chaos", "macro", _make_mixed_chaos),
 ]

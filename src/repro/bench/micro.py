@@ -191,6 +191,41 @@ def _make_heap_churn(seed: int):
 
 
 # ----------------------------------------------------------------------
+# Flight-recorder journal
+# ----------------------------------------------------------------------
+def _make_journal_append(seed: int):
+    """Raw cost of one ``EventJournal.record`` — the per-event price the
+    forensics flight recorder adds to every instrumented hot path. The
+    ring is sized below the op count so steady-state eviction is part of
+    the measurement."""
+    from repro.obs.journal import EventJournal
+
+    rng = random.Random(seed)
+    digests = [f"{rng.randrange(1 << 64):016x}" for _ in range(_CORPUS)]
+    ops = 10_000
+
+    def operation():
+        journal = EventJournal(max_events=4_096)
+        for index in range(ops):
+            journal.record(
+                "pbft.vote",
+                float(index),
+                participant="C",
+                node=f"C-{index & 3}",
+                trace=None,
+                phase="prepare",
+                view=0,
+                seq=index,
+                digest=digests[index % _CORPUS],
+                voter=f"C-{index & 3}",
+                src=f"C-{index & 3}",
+            )
+        return {"recorded": journal.recorded, "dropped": journal.dropped}
+
+    return operation, ops
+
+
+# ----------------------------------------------------------------------
 # Wire
 # ----------------------------------------------------------------------
 def _sealed(seed: int) -> List[SealedTransmission]:
@@ -238,6 +273,7 @@ BENCHMARKS = [
     Benchmark("micro.crypto.verify", "micro", _make_crypto_verify),
     Benchmark("micro.proof.check", "micro", _make_proof_check),
     Benchmark("micro.sim.heap_churn", "micro", _make_heap_churn),
+    Benchmark("micro.obs.journal_append", "micro", _make_journal_append),
     Benchmark("micro.wire.encode", "micro", _make_wire_encode),
     Benchmark("micro.wire.decode", "micro", _make_wire_decode),
 ]

@@ -72,6 +72,17 @@ class CommunicationDaemon:
         if entry.position in self.shipped:
             return
         self.shipped.add(entry.position)
+        obs = self.node.obs
+        if obs.forensics:
+            # Journaled at intent time (synchronously with the append or
+            # catch-up that triggered it), so the auditor's withholding
+            # timeline cannot be skewed by in-flight tail work.
+            obs.event(
+                "daemon.ship", participant=self.node.participant,
+                node=self.node.node_id,
+                trace=obs.entry_trace(self.node.participant, entry.position),
+                destination=self.destination, position=entry.position,
+            )
         self.node.sim.spawn(self._ship_process(entry))
 
     def _ship_process(self, entry: LogEntry):
@@ -240,6 +251,12 @@ class ReserveDaemon:
         # Ask more than f+1 so a single slow/malicious responder cannot
         # force a spurious promotion (Section IV-C's discussion).
         ask = min(len(members), commit_quorum(self.node.bp_config.f_independent))
+        if self.node.obs.forensics:
+            self.node.obs.event(
+                "reserve.probe", participant=self.node.participant,
+                node=self.node.node_id, destination=self.destination,
+                round=self._probe_round, asked=ask,
+            )
         query = GapQuery(source_participant=self.node.participant)
         for member in members[:ask]:
             self.node.send(member, query)
@@ -258,6 +275,13 @@ class ReserveDaemon:
         # would inflate the trusted floor, hiding the destination's gap.
         if src not in self.node.directory.unit_members(self.destination):
             return
+        if self.node.obs.forensics:
+            self.node.obs.event(
+                "reserve.response", participant=self.node.participant,
+                node=self.node.node_id, destination=self.destination,
+                src=src, claim=msg.last_source_position,
+                round=self._probe_round,
+            )
         self._responses[src] = msg.last_source_position
 
     def _evaluate(self) -> None:
@@ -294,6 +318,12 @@ class ReserveDaemon:
                 participant=self.node.participant,
                 destination=self.destination,
             ).inc()
+            if self.node.obs.forensics:
+                self.node.obs.event(
+                    "reserve.promoted", participant=self.node.participant,
+                    node=self.node.node_id, destination=self.destination,
+                    floor=trusted_floor, latest=latest,
+                )
         self.node.sim.trace.record(
             "bp.reserve_promoted", self.node.sim.now,
             node=self.node.node_id, dst=self.destination,

@@ -243,6 +243,12 @@ class GeoCoordinator:
                     "geo_mirror_timeouts_total",
                     participant=node.participant, target=target,
                 ).inc()
+                if node.obs.forensics:
+                    node.obs.event(
+                        "geo.mirror_timeout", participant=node.participant,
+                        node=node.node_id, target=target,
+                        position=mirror.position,
+                    )
             node.sim.trace.record(
                 "geo.mirror_timeout", node.sim.now,
                 participant=node.participant, target=target,
@@ -317,6 +323,11 @@ class GeoCoordinator:
             self.node.obs.counter(
                 "geo_takeovers_total", participant=self.node.participant
             ).inc()
+            if self.node.obs.forensics:
+                self.node.obs.event(
+                    "geo.take_over", participant=self.node.participant,
+                    node=self.node.node_id, epoch=self.epoch,
+                )
         self._last_heard = self.node.sim.now
         announcement = TakeOver(
             new_primary=self.node.participant, epoch=self.epoch

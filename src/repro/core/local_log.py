@@ -31,15 +31,23 @@ class LocalLog:
     Args:
         participant: Name of the owning participant (for errors/traces).
         obs: Observability hub (defaults to the shared disabled hub).
+        node_id: Owning node's id, stamped on flight-recorder journal
+            events ("" for standalone logs).
     """
 
-    def __init__(self, participant: str, obs=None) -> None:
+    def __init__(self, participant: str, obs=None, node_id: str = "") -> None:
         self.participant = participant
         self.obs = obs if obs is not None else DISABLED
+        self.node_id = node_id
         self.entries: List[LogEntry] = []
         self._comm_by_destination: Dict[str, List[int]] = {}
         self._last_received_from: Dict[str, int] = {}
         self._received_positions: Dict[str, set] = {}
+        # Metric handles resolved once per record type instead of per
+        # append (a registry lookup canonicalizes the label set every
+        # time; appends are the hottest metric site after the network).
+        self._append_counters: Dict[str, Any] = {}
+        self._length_gauge = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -87,14 +95,41 @@ class LocalLog:
                 )
                 self._received_positions.setdefault(source, set()).add(position)
         if self.obs.enabled:
-            self.obs.counter(
-                "log_appends_total",
-                participant=self.participant,
-                record_type=record_type,
-            ).inc()
-            self.obs.gauge(
-                "log_length", participant=self.participant
-            ).set(len(self.entries))
+            counter = self._append_counters.get(record_type)
+            if counter is None:
+                counter = self.obs.counter(
+                    "log_appends_total",
+                    participant=self.participant,
+                    record_type=record_type,
+                )
+                self._append_counters[record_type] = counter
+            counter.value += 1.0
+            gauge = self._length_gauge
+            if gauge is None:
+                gauge = self._length_gauge = self.obs.gauge(
+                    "log_length", participant=self.participant
+                )
+            gauge.value = float(len(self.entries))
+            if self.obs.forensics:
+                args: Dict[str, Any] = {
+                    "position": entry.position,
+                    "record_type": record_type,
+                }
+                if record_type == RECORD_COMMUNICATION:
+                    args["destination"] = entry.destination
+                elif record_type == RECORD_RECEIVED and isinstance(
+                    value, SealedTransmission
+                ):
+                    args["source"] = value.record.source
+                    args["source_position"] = value.record.source_position
+                self.obs.event(
+                    "log.append", participant=self.participant,
+                    node=self.node_id,
+                    trace=self.obs.entry_trace(
+                        self.participant, entry.position
+                    ),
+                    **args,
+                )
         return entry
 
     def read(self, position: int) -> LogEntry:

@@ -127,6 +127,18 @@ class BlockplaneDeployment:
             self.units[name].attach_daemons(
                 [other for other in names if other != name]
             )
+        if self.obs.forensics:
+            # Journal the deployment's membership so the auditor can
+            # reason about units (who belongs where, who gateways)
+            # without access to the deployment object itself.
+            for name in names:
+                unit = self.units[name]
+                self.obs.event(
+                    "deploy.unit", participant=name,
+                    members=list(unit.node_ids),
+                    gateway=self.directory.gateway(name),
+                    f_independent=self.config.f_independent,
+                )
         self._apis: Dict[str, BlockplaneAPI] = {
             name: BlockplaneAPI(self.units[name]) for name in names
         }

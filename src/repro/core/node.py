@@ -108,7 +108,10 @@ class BlockplaneNode(PBFTReplica):
         self.directory = directory
         self.routines = routines
         directory.registry.register(node_id)
-        self.local_log = LocalLog(participant, obs=self.obs)
+        self.local_log = LocalLog(participant, obs=self.obs, node_id=node_id)
+        # Per-source reception counters, resolved once instead of per
+        # applied reception (registry lookups are hot at apply time).
+        self._reception_counters: Dict[str, Any] = {}
         self.mirror_logs: Dict[str, List[MirrorEntry]] = {}
         self.reception_buffers: Dict[str, deque] = {}
         self._reception_waiters: List[Tuple[Optional[str], Future]] = []
@@ -338,6 +341,17 @@ class BlockplaneNode(PBFTReplica):
                     node=self.node_id, key=key,
                 )
                 return
+        trace = (
+            self._slot_traces.pop(committed.seq, None)
+            if self.obs.enabled else None
+        )
+        if trace is not None:
+            # Register before appending so the entry's own ``log.append``
+            # journal event (and everything fired from it) already sees
+            # the commit trace.
+            self.obs.register_entry_trace(
+                self.participant, self.local_log.next_position, trace
+            )
         entry = self.local_log.append(
             committed.record_type,
             committed.value,
@@ -345,7 +359,7 @@ class BlockplaneNode(PBFTReplica):
             committed.payload_bytes,
         )
         if self.obs.enabled:
-            self._record_apply_obs(committed, entry)
+            self._record_apply_obs(committed, entry, trace)
         self._seq_to_position[committed.seq] = entry.position
         for waiter in self._position_waiters.pop(committed.seq, []):
             if not waiter.resolved:
@@ -356,22 +370,25 @@ class BlockplaneNode(PBFTReplica):
             callback(entry)
         self._retry_deferred_sign_requests()
 
-    def _record_apply_obs(self, committed: CommittedEntry, entry: LogEntry) -> None:
+    def _record_apply_obs(
+        self, committed: CommittedEntry, entry: LogEntry, trace
+    ) -> None:
         """Local-Log apply metrics and spans for a freshly appended
         entry (log_appends/log_length live in the LocalLog itself)."""
         if committed.record_type == RECORD_RECEIVED:
             sealed: SealedTransmission = committed.value
-            self.obs.counter(
-                "bp_receptions_total",
-                participant=self.participant,
-                source=sealed.record.source,
-            ).inc()
-        trace = self._slot_traces.pop(committed.seq, None)
+            source = sealed.record.source
+            counter = self._reception_counters.get(source)
+            if counter is None:
+                counter = self.obs.counter(
+                    "bp_receptions_total",
+                    participant=self.participant,
+                    source=source,
+                )
+                self._reception_counters[source] = counter
+            counter.value += 1.0
         if not self.obs.tracing or trace is None:
             return
-        # Let the communication daemon and geo coordinator — which only
-        # see the LogEntry — attach their spans to this commit's trace.
-        self.obs.register_entry_trace(self.participant, entry.position, trace)
         self.obs.complete_span(
             "log.apply" if committed.record_type != RECORD_RECEIVED
             else "receive.apply",
@@ -450,6 +467,13 @@ class BlockplaneNode(PBFTReplica):
                 break
             del pending[ready.source_position]
             self._delivered_heads[source] = ready.source_position
+            if self.obs.forensics:
+                self.obs.event(
+                    "chain.advance", participant=self.participant,
+                    node=self.node_id, source=source,
+                    position=ready.source_position,
+                    prev_position=ready.prev_position,
+                )
             buffer.append(ready.message)
         self._wake_reception_waiters()
 
@@ -537,12 +561,27 @@ class BlockplaneNode(PBFTReplica):
                     "bp_ingress_rejects_total",
                     participant=self.participant, source=record.source,
                 ).inc()
+                if self.obs.forensics:
+                    self.obs.event(
+                        "proof.rejected", participant=self.participant,
+                        node=self.node_id, trace=msg.trace,
+                        source=record.source,
+                        position=record.source_position,
+                        src=src, reason="ingress-proof",
+                    )
             self.sim.trace.record(
                 "bp.ingress_reject", self.sim.now,
                 node=self.node_id, src=record.source,
                 position=record.source_position,
             )
             return
+        if self.obs.forensics:
+            self.obs.event(
+                "proof.verified", participant=self.participant,
+                node=self.node_id, trace=msg.trace,
+                source=record.source, position=record.source_position,
+                src=src,
+            )
         from repro.core.messages import TransmissionAck
 
         # Transport-level ack (also for duplicates: a retransmitted
@@ -726,13 +765,36 @@ class BlockplaneNode(PBFTReplica):
     def handle_sign_response(self, msg: SignResponse, src: str) -> None:
         """Collect a unit member's signature."""
         if msg.signature is None or msg.signature.signer != src:
+            if self.obs.forensics and msg.signature is not None:
+                # A response carrying someone else's signer id is
+                # impersonation evidence — journal it before dropping.
+                self.obs.event(
+                    "sign.spoofed", participant=self.participant,
+                    node=self.node_id, signer=msg.signature.signer,
+                    src=src, position=msg.position, digest=msg.digest,
+                    purpose=msg.purpose,
+                )
             return
         key = (msg.position, msg.digest, msg.purpose)
         collector = self._sign_collectors.get(key)
         if collector is None:
             return
         if not verify(self.directory.registry, msg.signature, msg.digest):
+            if self.obs.forensics:
+                # MAC failure over the claimed digest: cryptographic
+                # evidence the signer forged the signature.
+                self.obs.event(
+                    "sign.invalid", participant=self.participant,
+                    node=self.node_id, signer=src, position=msg.position,
+                    digest=msg.digest, purpose=msg.purpose,
+                )
             return
+        if self.obs.forensics:
+            self.obs.event(
+                "sign.response", participant=self.participant,
+                node=self.node_id, signer=src, position=msg.position,
+                digest=msg.digest, purpose=msg.purpose,
+            )
         collector.add(src, msg.signature)
 
     # ------------------------------------------------------------------
@@ -811,6 +873,13 @@ class BlockplaneNode(PBFTReplica):
 
     def handle_mirror_response(self, msg, src: str) -> None:
         """Deliver a mirror acknowledgement to its waiter."""
+        if self.obs.forensics:
+            self.obs.event(
+                "mirror.ack", participant=self.participant,
+                node=self.node_id,
+                trace=self.obs.entry_trace(self.participant, msg.position),
+                mirror=msg.participant, position=msg.position, src=src,
+            )
         key = (msg.participant, msg.position)
         future = self._mirror_response_waiters.pop(key, None)
         if future is not None and not future.resolved:

@@ -51,10 +51,21 @@ def force_view_change(unit: BlockplaneUnit) -> None:
     if not live:
         return
     target = max(node.view for node in live) + 1
+    obs = live[0].obs
+    if obs.forensics:
+        obs.event(
+            "recovery.force_view_change", participant=unit.participant,
+            target_view=target, live=[node.node_id for node in live],
+        )
     for node in live:
         node._start_view_change(target)
 
 
 def resync_node(node) -> None:
     """Ask peers for the committed suffix this node is missing."""
+    if node.obs.forensics:
+        node.obs.event(
+            "recovery.resync", participant=node.site, node=node.node_id,
+            from_seq=node.last_executed + 1,
+        )
     node._request_catch_up()

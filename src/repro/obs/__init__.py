@@ -17,15 +17,22 @@ reproduction makes:
 * :class:`~repro.obs.spans.SpanLog` /
   :class:`~repro.obs.spans.Span` — commit-lifecycle tracing with
   parent/child links across nodes and datacenters.
+* :class:`~repro.obs.journal.EventJournal` /
+  :class:`~repro.obs.journal.ProtocolEvent` — the protocol flight
+  recorder: a bounded structured journal of protocol facts (votes,
+  proofs, shipments, probes) that feeds the byzantine forensics layer
+  (:mod:`repro.obs.forensics`: online auditor, misbehaviour
+  attribution, detection-quality harness).
 * Exporters (:mod:`repro.obs.exporters`): JSON snapshot, Prometheus
   text format, Chrome trace-event JSON (``chrome://tracing`` /
-  Perfetto).
+  Perfetto), journal JSON.
 
-Metric names and the span taxonomy are documented in
-``docs/OBSERVABILITY.md``.
+Metric names, the span taxonomy, and the journal event taxonomy are
+documented in ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.hub import DISABLED, Observability, TraceCtx
+from repro.obs.journal import EventJournal, ProtocolEvent
 from repro.obs.registry import (
     Counter,
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -36,6 +43,7 @@ from repro.obs.registry import (
 from repro.obs.spans import Span, SpanLog
 from repro.obs.exporters import (
     export_all,
+    journal_snapshot,
     metrics_snapshot,
     to_chrome_trace,
     to_prometheus_text,
@@ -52,8 +60,11 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
     "Span",
     "SpanLog",
+    "EventJournal",
+    "ProtocolEvent",
     "metrics_snapshot",
     "to_prometheus_text",
     "to_chrome_trace",
+    "journal_snapshot",
     "export_all",
 ]

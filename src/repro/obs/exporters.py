@@ -108,6 +108,10 @@ def metrics_snapshot(obs: Observability) -> Dict[str, Any]:
             for h in registry.histograms()
         ],
         "spans_recorded": len(obs.spans),
+        "spans_dropped": obs.spans.dropped,
+        "events_recorded": obs.journal.recorded,
+        "events_retained": len(obs.journal),
+        "events_dropped": obs.journal.dropped,
     }
     return snapshot
 
@@ -149,6 +153,12 @@ def to_prometheus_text(obs: Observability) -> str:
         lines.append(
             f"{name}_count{_label_str(histogram.labels)} {histogram.count}"
         )
+    # Ring-buffer drop counters: always exported so silent eviction of
+    # spans or journal events is visible to a scraper even when zero.
+    _header("obs_spans_dropped_total", "counter")
+    lines.append(f"obs_spans_dropped_total {_fmt(obs.spans.dropped)}")
+    _header("obs_events_dropped_total", "counter")
+    lines.append(f"obs_events_dropped_total {_fmt(obs.journal.dropped)}")
     return "\n".join(lines) + "\n"
 
 
@@ -227,18 +237,32 @@ def to_chrome_trace(obs: Observability) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Journal snapshot
+# ----------------------------------------------------------------------
+def journal_snapshot(obs: Observability) -> Dict[str, Any]:
+    """Snapshot the flight-recorder journal into a JSON-ready dict."""
+    return {
+        "recorded": obs.journal.recorded,
+        "retained": len(obs.journal),
+        "dropped": obs.journal.dropped,
+        "events": [event.to_dict() for event in obs.journal],
+    }
+
+
+# ----------------------------------------------------------------------
 # Artifact bundle
 # ----------------------------------------------------------------------
 def export_all(
     obs: Observability, directory: str, prefix: str = ""
 ) -> Dict[str, str]:
-    """Write metrics.json / metrics.prom / trace.json into
-    ``directory`` (created if needed); returns name → path."""
+    """Write metrics.json / metrics.prom / trace.json / journal.json
+    into ``directory`` (created if needed); returns name → path."""
     os.makedirs(directory, exist_ok=True)
     paths = {
         "metrics.json": os.path.join(directory, f"{prefix}metrics.json"),
         "metrics.prom": os.path.join(directory, f"{prefix}metrics.prom"),
         "trace.json": os.path.join(directory, f"{prefix}trace.json"),
+        "journal.json": os.path.join(directory, f"{prefix}journal.json"),
     }
     with open(paths["metrics.json"], "w", encoding="utf-8") as fh:
         json.dump(metrics_snapshot(obs), fh, indent=2, sort_keys=True)
@@ -247,5 +271,8 @@ def export_all(
         fh.write(to_prometheus_text(obs))
     with open(paths["trace.json"], "w", encoding="utf-8") as fh:
         json.dump(to_chrome_trace(obs), fh)
+        fh.write("\n")
+    with open(paths["journal.json"], "w", encoding="utf-8") as fh:
+        json.dump(journal_snapshot(obs), fh)
         fh.write("\n")
     return paths

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.obs.journal import EventJournal, ProtocolEvent
 from repro.obs.registry import (
     Counter,
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -48,24 +49,31 @@ class Observability:
         enabled: Master switch. When False every instrumentation site
             short-circuits on the first attribute check.
         tracing: Record spans (metrics-only sessions set this False).
+        forensics: Record protocol events into the flight-recorder
+            journal (:mod:`repro.obs.journal`).
         histogram_window_ms: Window size for virtual-time-windowed
             histograms created through :meth:`histogram` (None disables
             windowing).
         max_spans: Span ring-buffer capacity.
+        max_events: Journal ring-buffer capacity.
     """
 
     def __init__(
         self,
         enabled: bool = True,
         tracing: bool = True,
+        forensics: bool = True,
         histogram_window_ms: Optional[float] = None,
         max_spans: Optional[int] = 200_000,
+        max_events: Optional[int] = 200_000,
     ) -> None:
         self.enabled = enabled
         self.tracing = enabled and tracing
+        self.forensics = enabled and forensics
         self.histogram_window_ms = histogram_window_ms
         self.registry = MetricsRegistry()
         self.spans = SpanLog(max_spans=max_spans)
+        self.journal = EventJournal(max_events=max_events)
         self._sim = None
         self._entry_traces: Dict[Tuple[str, int], TraceCtx] = {}
         self._wan_spans: Dict[Tuple[str, str, int], Span] = {}
@@ -163,6 +171,28 @@ class Observability:
         if span is None:
             return None
         return (span.trace_id, span.span_id)
+
+    # ------------------------------------------------------------------
+    # Flight recorder (no-op unless ``forensics``)
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        kind: str,
+        participant: str = "",
+        node: str = "",
+        trace: Optional[TraceCtx] = None,
+        **args: Any,
+    ) -> Optional[ProtocolEvent]:
+        """Journal one protocol fact observed at ``node`` (see
+        :mod:`repro.obs.journal`). Returns None when forensics is off —
+        callers guard with ``if self.obs.forensics`` to keep the
+        disabled path at a single attribute check."""
+        if not self.forensics:
+            return None
+        return self.journal.record(
+            kind, self.now, participant=participant, node=node,
+            trace=trace, **args,
+        )
 
     # ------------------------------------------------------------------
     # Cross-component correlation

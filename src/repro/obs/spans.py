@@ -70,6 +70,9 @@ class SpanLog:
         self._spans: Deque[Span] = deque(maxlen=max_spans)
         self._next_span_id = 1
         self._next_trace_id = 1
+        #: Spans evicted from the ring buffer (surfaced as
+        #: ``spans_dropped`` in ``metrics_snapshot``).
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -98,6 +101,9 @@ class SpanLog:
         when ``trace_id`` is None (the span becomes a root)."""
         if trace_id is None:
             trace_id = self.new_trace()
+        maxlen = self._spans.maxlen
+        if maxlen is not None and len(self._spans) == maxlen:
+            self.dropped += 1
         span = Span(
             span_id=self._next_span_id,
             trace_id=trace_id,

@@ -146,6 +146,10 @@ class PreparedCertificate(Message):  # bp-lint: disable=BP004
     record_type: str = RECORD_TYPE_COMMIT
     meta: Optional[Dict[str, Any]] = None
     request_id: Tuple[str, int] = ("", 0)
+    #: Observability trace context of the originating commit; metadata
+    #: only (never digested or signed). Carried so a commit surviving a
+    #: leader failover re-proposes into the *same* trace tree.
+    trace: Optional[Tuple[int, int]] = None
 
 
 @dataclasses.dataclass(slots=True)

@@ -209,6 +209,10 @@ class PBFTReplica(Node):
         #: by subclasses that attach further spans (Blockplane's Local
         #: Log apply pops entries as it handles them).
         self._slot_traces: Dict[int, Tuple[int, int]] = {}
+        # Metric handles for the per-slot phase metrics, resolved once
+        # instead of per executed slot.
+        self._phase_histograms = None
+        self._commit_counters: Dict[str, Any] = {}
         self._deferred_verification: set = set()
         self._catch_up_tally: Dict[int, Dict[str, set]] = {}
         self._catch_up_values: Dict[Tuple[int, str], CommittedEntry] = {}
@@ -330,6 +334,7 @@ class PBFTReplica(Node):
                         value=slot.value,
                         record_type=slot.record_type,
                         meta=slot.meta,
+                        trace=slot.trace,
                     ),
                 )
         else:
@@ -344,6 +349,7 @@ class PBFTReplica(Node):
                 value=pending.value,
                 record_type=pending.record_type,
                 meta=pending.meta,
+                trace=pending.trace_ctx,
             )
             self.broadcast(self.peers, request)
             self._dispatch_request(request_id)
@@ -500,6 +506,12 @@ class PBFTReplica(Node):
             return
         if src != self.leader_of(msg.view):
             return  # only the view's leader may pre-prepare
+        if self.obs.forensics:
+            self.obs.event(
+                "pbft.pre_prepare", participant=self.site, node=self.node_id,
+                trace=msg.trace, view=msg.view, seq=msg.seq,
+                digest=msg.digest, leader=src, request_id=msg.request_id,
+            )
         slot = self.slots.get(msg.seq)
         if slot is not None and slot.has_pre_prepare:
             if slot.digest == msg.digest and (
@@ -583,6 +595,12 @@ class PBFTReplica(Node):
         pre-prepare, and only votes matching the eventually-fixed
         digest count toward the quorum.
         """
+        if self.obs.forensics:
+            self.obs.event(
+                "pbft.vote", participant=self.site, node=self.node_id,
+                phase="prepare", view=msg.view, seq=msg.seq,
+                digest=msg.digest, voter=msg.replica, src=src,
+            )
         if msg.replica != src:
             return  # a replica may only vote as itself
         slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
@@ -616,6 +634,14 @@ class PBFTReplica(Node):
                 self.obs.counter(
                     "pbft_verify_rejects_total", participant=self.site
                 ).inc()
+                if self.obs.forensics:
+                    self.obs.event(
+                        "pbft.verify_reject", participant=self.site,
+                        node=self.node_id, trace=slot.trace,
+                        view=slot.view, seq=seq,
+                        record_type=slot.record_type, digest=slot.digest,
+                        leader=self.leader_of(slot.view),
+                    )
             return
         slot.commit_sent = True
         slot.commits[self.node_id] = slot.digest
@@ -652,6 +678,12 @@ class PBFTReplica(Node):
 
     def handle_commit(self, msg: Commit, src: str) -> None:
         """Tally a commit vote; execute once a quorum exists in order."""
+        if self.obs.forensics:
+            self.obs.event(
+                "pbft.vote", participant=self.site, node=self.node_id,
+                phase="commit", view=msg.view, seq=msg.seq,
+                digest=msg.digest, voter=msg.replica, src=src,
+            )
         if msg.replica != src:
             return
         slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
@@ -750,16 +782,25 @@ class PBFTReplica(Node):
         site = self.site
         obs = self.obs
         prepared = slot.t_prepared if slot.t_prepared >= 0 else now
-        obs.histogram(
-            "pbft_preprepare_to_prepared_ms", participant=site
-        ).observe(prepared - slot.t_pre_prepare, at=now)
-        obs.histogram(
-            "pbft_prepared_to_committed_ms", participant=site
-        ).observe(now - prepared, at=now)
-        obs.counter(
-            "pbft_commits_total", participant=site,
-            record_type=entry.record_type,
-        ).inc()
+        histograms = self._phase_histograms
+        if histograms is None:
+            histograms = self._phase_histograms = (
+                obs.histogram(
+                    "pbft_preprepare_to_prepared_ms", participant=site
+                ),
+                obs.histogram(
+                    "pbft_prepared_to_committed_ms", participant=site
+                ),
+            )
+        histograms[0].observe(prepared - slot.t_pre_prepare, at=now)
+        histograms[1].observe(now - prepared, at=now)
+        counter = self._commit_counters.get(entry.record_type)
+        if counter is None:
+            counter = self._commit_counters[entry.record_type] = obs.counter(
+                "pbft_commits_total", participant=site,
+                record_type=entry.record_type,
+            )
+        counter.value += 1.0
         if not obs.tracing or slot.trace is None:
             return
         self._slot_traces[entry.seq] = slot.trace
@@ -868,6 +909,7 @@ class PBFTReplica(Node):
                 record_type=slot.record_type,
                 meta=slot.meta,
                 request_id=slot.request_id,
+                trace=slot.trace,
             )
             for seq, slot in sorted(self.slots.items())
             if slot.has_pre_prepare
@@ -892,6 +934,13 @@ class PBFTReplica(Node):
             self.obs.counter(
                 "pbft_view_changes_total", participant=self.site
             ).inc()
+            if self.obs.forensics:
+                self.obs.event(
+                    "pbft.view_change", participant=self.site,
+                    node=self.node_id, new_view=new_view,
+                    last_executed=self.last_executed,
+                    suspected_leader=self.leader_of(self.view),
+                )
         self.broadcast(self.peers, vote)
         self.handle_view_change(vote, self.node_id)
         # Exponential backoff (standard PBFT): if view changes keep
@@ -987,6 +1036,7 @@ class PBFTReplica(Node):
                     value=cert.value,
                     record_type=cert.record_type,
                     meta=cert.meta,
+                    trace=cert.trace,
                 )
             )
         self.view = new_view
@@ -1024,6 +1074,11 @@ class PBFTReplica(Node):
         self.sim.trace.record(
             "pbft.new_view", self.sim.now, node=self.node_id, view=new_view
         )
+        if self.obs.forensics:
+            self.obs.event(
+                "pbft.new_view", participant=self.site, node=self.node_id,
+                view=new_view, reproposed=len(pre_prepares),
+            )
         self.broadcast(self.peers, new_view_msg)
         for pre_prepare in pre_prepares:
             self.handle_pre_prepare(pre_prepare, self.node_id)

@@ -252,8 +252,12 @@ class Network:
                 self.obs.counter("net_bytes_total", link=link),
             )
             self._link_counters[key] = counters
-        counters[0].inc()
-        counters[1].inc(size)
+        # Bump ``value`` directly: this runs once per simulated message,
+        # and the ``inc()`` wrapper (argument default + sign check) is
+        # measurable at that volume. Sizes are non-negative by
+        # construction, so the monotonicity guard is redundant here.
+        counters[0].value += 1.0
+        counters[1].value += size
 
     def _compute_arrival_time(
         self, src: "Node", dst: "Node", size: int, wide_area: bool

@@ -160,12 +160,24 @@ class Node:
         """Benign crash: stop sending, receiving, and firing timers."""
         self.crashed = True
         self.sim.trace.record("node.crash", self.sim.now, node=self.node_id)
+        self._journal_lifecycle("node.crash")
 
     def recover(self) -> None:
         """Return the node to service; subclasses refresh state here."""
         self.crashed = False
         self.sim.trace.record("node.recover", self.sim.now, node=self.node_id)
+        self._journal_lifecycle("node.recover")
         self.on_recover()
+
+    def _journal_lifecycle(self, kind: str) -> None:
+        """Journal a crash/recovery into the flight recorder when the
+        subclass carries an observability hub (the base simulation node
+        has none; instrumented protocol nodes all do). Benign crashes
+        must be journaled so the forensics auditor never mistakes a
+        crashed-and-recovered node for a byzantine silent one."""
+        obs = getattr(self, "obs", None)
+        if obs is not None and obs.forensics:
+            obs.event(kind, participant=self.site, node=self.node_id)
 
     def on_recover(self) -> None:
         """Hook for subclasses: run state catch-up after recovery."""

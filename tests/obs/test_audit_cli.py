@@ -1,0 +1,48 @@
+"""`python -m repro obs-audit` smoke: exit codes, artifacts, JSON."""
+
+import json
+
+from repro.obs.forensics.__main__ import main
+
+
+def test_unknown_profile_exits_2(capsys):
+    assert main(["--profile", "no-such-profile"]) == 2
+    assert "unknown profile" in capsys.readouterr().err
+
+
+def test_strict_byzantine_run_writes_evidence_bundle(tmp_path, capsys):
+    out = tmp_path / "audit"
+    code = main([
+        "--seed", "2", "--runs", "1", "--profile", "byzantine",
+        "--strict", "--out", str(out),
+    ])
+    assert code == 0  # perfect attribution on the pinned seed
+    run_dir = out / "run-0"
+    for name in ("report.json", "plan.json", "score.json"):
+        assert (run_dir / name).is_file()
+    score = json.loads((run_dir / "score.json").read_text())
+    assert score["precision"] == 1.0 and score["recall"] == 1.0
+    assert score["expected"] == score["detected"] != []
+    report = json.loads((run_dir / "report.json").read_text())
+    assert report["accused"] == score["detected"]
+    evidence = sorted((run_dir / "evidence").iterdir())
+    assert evidence  # one bundle per finding
+    text = capsys.readouterr().out
+    assert "1/1 runs with perfect attribution" in text
+    assert "ACCUSED" in text
+
+
+def test_json_mode_emits_one_document(capsys):
+    code = main([
+        "--seed", "7", "--runs", "1", "--profile", "byzantine",
+        "--fault-free", "--json", "--strict",
+    ])
+    assert code == 0  # fault-free: zero accusations, trivially perfect
+    document = json.loads(capsys.readouterr().out)
+    assert document["fault_free"] is True
+    assert document["perfect_runs"] == document["total_runs"] == 1
+    (run,) = document["runs"]
+    assert run["report"]["accused"] == []
+    assert run["plan"]["actions"] == []
+    # The health/SLO summary rides along in the report document.
+    assert run["report"]["health"]["participants"]

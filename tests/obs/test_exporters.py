@@ -134,13 +134,33 @@ def test_chrome_trace_parent_links_preserved():
 # ----------------------------------------------------------------------
 # Artifact bundle
 # ----------------------------------------------------------------------
-def test_export_all_writes_three_artifacts(tmp_path):
+def test_export_all_writes_four_artifacts(tmp_path):
     obs = _populated_obs()
     paths = export_all(obs, str(tmp_path / "session"), prefix="run1-")
-    assert sorted(paths) == ["metrics.json", "metrics.prom", "trace.json"]
+    assert sorted(paths) == [
+        "journal.json", "metrics.json", "metrics.prom", "trace.json",
+    ]
     snapshot = json.loads((tmp_path / "session" / "run1-metrics.json").read_text())
     assert snapshot["counters"]
     trace = json.loads((tmp_path / "session" / "run1-trace.json").read_text())
     assert trace["traceEvents"]
     prom = (tmp_path / "session" / "run1-metrics.prom").read_text()
     assert "# TYPE" in prom
+    journal = json.loads((tmp_path / "session" / "run1-journal.json").read_text())
+    assert journal["dropped"] == 0
+    assert journal["recorded"] == len(journal["events"])
+
+
+def test_snapshot_and_prometheus_surface_drop_counters():
+    obs = Observability(enabled=True, max_spans=2, max_events=2)
+    for index in range(4):
+        obs.end_span(obs.begin_span("s", participant="C"))
+        obs.event("pbft.vote", participant="C", node=f"C-{index}")
+    snapshot = metrics_snapshot(obs)
+    assert snapshot["spans_dropped"] == 2
+    assert snapshot["events_dropped"] == 2
+    assert snapshot["events_recorded"] == 4
+    assert snapshot["events_retained"] == 2
+    text = to_prometheus_text(obs)
+    assert "obs_spans_dropped_total 2.0" in text
+    assert "obs_events_dropped_total 2.0" in text

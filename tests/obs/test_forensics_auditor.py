@@ -1,0 +1,195 @@
+"""Online auditor: every byzantine variant is attributed, honest and
+crashed nodes never are.
+
+Each test runs a real simulation with the flight recorder on and an
+:class:`OnlineAuditor` subscribed live, then checks the report accuses
+exactly the planted offender (or nobody).
+"""
+
+from repro.core import BlockplaneConfig, BlockplaneDeployment
+from repro.core.byzantine import (
+    ForgingSigner,
+    ImpersonatingSigner,
+    PromiscuousSigner,
+    SilentUnitMember,
+)
+from repro.obs import Observability
+from repro.obs.forensics import CanaryProber, OnlineAuditor
+from repro.pbft.byzantine import EquivocatingLeader, TamperingVoter
+from repro.pbft.config import PBFTConfig
+from repro.sim.simulator import Simulator
+from repro.sim.topology import symmetric_topology
+from tests.pbft.helpers import commit_values, make_group
+
+FAST = PBFTConfig(request_timeout_ms=20.0, view_change_timeout_ms=40.0)
+
+
+def _audited_pair(seed=9, node_class_overrides=None):
+    obs = Observability(enabled=True, tracing=False)
+    auditor = OnlineAuditor(obs.journal)
+    sim = Simulator(seed=seed)
+    obs.bind_clock(sim)
+    deployment = BlockplaneDeployment(
+        sim,
+        symmetric_topology(["A", "B"], 20.0),
+        BlockplaneConfig(f_independent=1),
+        node_class_overrides=node_class_overrides,
+        obs=obs,
+    )
+    return sim, deployment, auditor
+
+
+def _roundtrip(sim, deployment, message="probe"):
+    received = deployment.api("B").receive("A")
+    sim.run_until_resolved(
+        deployment.api("A").send(message, to="B"), max_events=20_000_000
+    )
+    sim.run(until=sim.now + 500, max_events=20_000_000)
+    return received
+
+
+# ----------------------------------------------------------------------
+# PBFT-level misbehavior (bare group)
+# ----------------------------------------------------------------------
+def test_equivocating_leader_attributed():
+    obs = Observability(enabled=True, tracing=False)
+    auditor = OnlineAuditor(obs.journal)
+    sim, replicas = make_group(
+        overrides={0: EquivocatingLeader},
+        config=FAST,
+        override_kwargs={"forged_value": "EVIL"},
+        obs=obs,
+    )
+    replicas[1].submit("GOOD")
+    sim.run(until=500.0, max_events=20_000_000)
+    report = auditor.report()
+    assert report.accused() == ["r0"]
+    kinds = {f.kind for f in report.accusations() if f.suspect == "r0"}
+    assert "equivocation" in kinds
+    # The signed conflicting proposals are in the evidence bundle.
+    equivocation = next(
+        f for f in report.accusations() if f.kind == "equivocation"
+    )
+    assert len(equivocation.context["digests"]) == 2
+    assert equivocation.evidence
+
+
+def test_tampering_voter_attributed():
+    obs = Observability(enabled=True, tracing=False)
+    auditor = OnlineAuditor(obs.journal)
+    sim, replicas = make_group(overrides={2: TamperingVoter}, obs=obs)
+    commit_values(sim, replicas[0], ["a", "b", "c"])
+    sim.run(until=sim.now + 10)
+    report = auditor.report()
+    assert report.accused() == ["r2"]
+    kinds = {f.kind for f in report.accusations()}
+    assert "vote-mismatch" in kinds
+
+
+def test_honest_group_accuses_nobody():
+    obs = Observability(enabled=True, tracing=False)
+    auditor = OnlineAuditor(obs.journal)
+    sim, replicas = make_group(obs=obs)
+    commit_values(sim, replicas[0], ["a", "b", "c"])
+    sim.run(until=sim.now + 10)
+    report = auditor.report()
+    assert report.clean
+    assert report.events_seen > 0
+
+
+# ----------------------------------------------------------------------
+# Blockplane-level misbehavior (full deployment)
+# ----------------------------------------------------------------------
+def test_forging_signer_attributed():
+    sim, deployment, auditor = _audited_pair(
+        node_class_overrides={"A-2": ForgingSigner}
+    )
+    received = _roundtrip(sim, deployment)
+    assert received.resolved  # forgery is masked, pipeline unharmed
+    report = auditor.report()
+    assert report.accused() == ["A-2"]
+    forged = next(
+        f for f in report.accusations() if f.kind == "forged-signature"
+    )
+    assert forged.suspect == "A-2"
+
+
+def test_impersonating_signer_attributed():
+    sim, deployment, auditor = _audited_pair(
+        node_class_overrides={"A-2": ImpersonatingSigner}
+    )
+    received = _roundtrip(sim, deployment)
+    assert received.resolved
+    report = auditor.report()
+    assert "A-2" in report.accused()
+    kinds = {f.kind for f in report.accusations() if f.suspect == "A-2"}
+    assert "impersonation" in kinds
+
+
+def test_silent_member_attributed_only_in_active_unit():
+    sim, deployment, auditor = _audited_pair(
+        node_class_overrides={"A-2": SilentUnitMember}
+    )
+    for value in ("one", "two"):
+        sim.run_until_resolved(
+            deployment.api("A").log_commit(value), max_events=20_000_000
+        )
+    sim.run(until=sim.now + 200, max_events=20_000_000)
+    report = auditor.report()
+    assert report.accused() == ["A-2"]
+    silent = next(
+        f for f in report.accusations() if f.kind == "silent-replica"
+    )
+    assert silent.participant == "A"
+    assert silent.context["unit_log_length"] >= 2
+    # Unit B never committed anything: its equally-quiet members are
+    # NOT accused (an idle unit gives silence nothing to prove).
+    assert not any(s.startswith("B-") for s in report.accused())
+
+
+def test_crashed_node_is_never_accused_of_silence():
+    sim, deployment, auditor = _audited_pair()
+    deployment.unit("A").node("A-2").crash()
+    for value in ("one", "two"):
+        sim.run_until_resolved(
+            deployment.api("A").log_commit(value), max_events=20_000_000
+        )
+    sim.run(until=sim.now + 200, max_events=20_000_000)
+    report = auditor.report()
+    assert report.clean  # the crash is journaled, silence is explained
+    assert "A-2" in report.health["crashed_nodes"]
+
+
+# ----------------------------------------------------------------------
+# Canary probes
+# ----------------------------------------------------------------------
+def test_canary_catches_promiscuous_signer():
+    sim, deployment, auditor = _audited_pair(
+        node_class_overrides={"A-1": PromiscuousSigner}
+    )
+    prober = CanaryProber(
+        sim, deployment, auditor=auditor, times_ms=(100.0, 400.0)
+    )
+    received = _roundtrip(sim, deployment)
+    assert received.resolved  # probes never disturb real traffic
+    assert prober.probes_fired > 0
+    report = auditor.report()
+    assert report.accused() == ["A-1"]
+    promiscuous = next(
+        f for f in report.accusations()
+        if f.kind == "promiscuous-signature"
+    )
+    assert promiscuous.suspect == "A-1"
+    assert report.health["canaries"] == 2  # one per site
+
+
+def test_canaries_spare_honest_deployments():
+    sim, deployment, auditor = _audited_pair()
+    prober = CanaryProber(
+        sim, deployment, auditor=auditor, times_ms=(100.0, 400.0)
+    )
+    received = _roundtrip(sim, deployment)
+    assert received.resolved
+    assert prober.probes_fired > 0
+    report = auditor.report()
+    assert report.clean  # honest signers defer the bogus position

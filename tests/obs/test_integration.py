@@ -121,3 +121,58 @@ def test_lifecycle_chrome_trace_exports_cleanly():
         if e["ph"] == "M" and e["name"] == "process_name"
     }
     assert participants >= {"C", "V"}
+
+
+# ----------------------------------------------------------------------
+# Golden flight-recorder journal for the canonical lifecycle
+# ----------------------------------------------------------------------
+def test_lifecycle_journal_matches_golden_fixture():
+    obs = Observability(enabled=True)
+    trace_commit_lifecycle(obs)
+
+    journal = obs.journal
+    assert journal.dropped == 0
+    assert journal.recorded == len(journal.events()) == 140
+    kinds = {}
+    for event in journal.events():
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    # The exact event census of the canonical demo: two 4-node units
+    # (2 deploys), a local commit + a send at C and the reception at V
+    # (4 slots x 4 replicas = 16 pre-prepares / appends, 4 slots x
+    # 4 voters x 2 phases x 3 recipients = 96 votes), one shipment
+    # signed by f+1=2 extra collectors + gateway, verified at 2 of V's
+    # replicas before the proof cache short-circuits the rest.
+    assert kinds == {
+        "deploy.unit": 2,
+        "pbft.pre_prepare": 16,
+        "pbft.vote": 96,
+        "log.append": 16,
+        "sign.response": 3,
+        "daemon.ship": 1,
+        "proof.verified": 2,
+        "chain.advance": 4,
+    }
+
+    # The send is one causal story: the C-side communication appends,
+    # the ship intent, V's proof verification, and V's reception
+    # applies all share the ship's trace id.
+    (ship,) = journal.of_kind("daemon.ship")
+    assert ship.participant == "C" and ship.args["destination"] == "V"
+    trace_id = ship.trace[0]
+    comm_appends = [e for e in journal.of_kind("log.append")
+                    if e.args.get("record_type") == "communication"]
+    received_appends = [e for e in journal.of_kind("log.append")
+                        if e.args.get("record_type") == "received"]
+    assert len(comm_appends) == len(received_appends) == 4
+    for event in comm_appends + received_appends:
+        assert event.trace is not None
+        assert event.trace[0] == trace_id
+    for event in journal.of_kind("proof.verified"):
+        assert event.trace[0] == trace_id
+
+    # The journal serializes cleanly alongside the other artifacts.
+    from repro.obs.exporters import journal_snapshot
+
+    decoded = json.loads(json.dumps(journal_snapshot(obs)))
+    assert decoded["recorded"] == decoded["retained"] == 140
+    assert len(decoded["events"]) == 140

@@ -1,0 +1,93 @@
+"""Flight-recorder journal: ring behavior, subscribers, hub gating."""
+
+import json
+
+from repro.obs import EventJournal, Observability
+from repro.obs.hub import DISABLED
+
+
+# ----------------------------------------------------------------------
+# Ring buffer semantics
+# ----------------------------------------------------------------------
+def test_record_assigns_monotonic_ids_and_preserves_order():
+    journal = EventJournal()
+    for index in range(5):
+        journal.record("pbft.vote", float(index), participant="C",
+                       node=f"C-{index % 4}", seq=index)
+    events = journal.events()
+    assert [e.event_id for e in events] == [1, 2, 3, 4, 5]
+    assert [e.at_ms for e in events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert journal.recorded == 5
+    assert journal.dropped == 0
+    assert len(journal) == 5
+
+
+def test_capacity_evicts_oldest_and_counts_drops():
+    journal = EventJournal(max_events=3)
+    for index in range(7):
+        journal.record("log.append", float(index), participant="C",
+                       position=index)
+    assert journal.recorded == 7
+    assert journal.dropped == 4
+    assert len(journal) == 3
+    # The retained window is the most recent suffix.
+    assert [e.args["position"] for e in journal.events()] == [4, 5, 6]
+    # Event ids keep counting even across drops.
+    assert [e.event_id for e in journal.events()] == [5, 6, 7]
+
+
+def test_queries_by_kind_and_node():
+    journal = EventJournal()
+    journal.record("pbft.vote", 1.0, participant="C", node="C-1")
+    journal.record("pbft.vote", 2.0, participant="C", node="C-2")
+    journal.record("daemon.ship", 3.0, participant="C", node="C-0")
+    assert len(journal.of_kind("pbft.vote")) == 2
+    assert [e.node for e in journal.of_kind("daemon.ship")] == ["C-0"]
+    assert [e.kind for e in journal.by_node("C-1")] == ["pbft.vote"]
+
+
+def test_event_dict_form_is_json_safe():
+    journal = EventJournal()
+    journal.record(
+        "pbft.pre_prepare", 4.25, participant="C", node="C-1",
+        trace=(7, 9), view=0, seq=3, digest="ab" * 32,
+    )
+    (event,) = journal.events()
+    decoded = json.loads(json.dumps(event.to_dict()))
+    assert decoded["kind"] == "pbft.pre_prepare"
+    assert decoded["at_ms"] == 4.25
+    assert decoded["trace"] == [7, 9]
+    assert decoded["args"]["seq"] == 3
+
+
+# ----------------------------------------------------------------------
+# Subscribers
+# ----------------------------------------------------------------------
+def test_subscribers_see_every_event_synchronously():
+    journal = EventJournal(max_events=2)
+    seen = []
+    journal.subscribe(lambda event: seen.append(event.event_id))
+    for index in range(5):
+        journal.record("chain.advance", float(index), participant="V")
+    # Eviction does not affect subscribers: they saw all five.
+    assert seen == [1, 2, 3, 4, 5]
+    assert len(journal) == 2
+
+
+# ----------------------------------------------------------------------
+# Hub gating
+# ----------------------------------------------------------------------
+def test_hub_event_records_only_when_forensics_enabled():
+    obs = Observability(enabled=True)
+    assert obs.forensics
+    obs.event("pbft.vote", participant="C", node="C-1", seq=1)
+    assert len(obs.journal) == 1
+
+    quiet = Observability(enabled=True, forensics=False)
+    assert not quiet.forensics
+    quiet.event("pbft.vote", participant="C", node="C-1", seq=1)
+    assert len(quiet.journal) == 0
+
+    assert not DISABLED.forensics
+    DISABLED.event("pbft.vote", participant="C")
+    assert len(DISABLED.journal) == 0

@@ -18,20 +18,26 @@ def make_group(
     overrides: Optional[Dict[int, Type[PBFTReplica]]] = None,
     verifier=None,
     override_kwargs: Optional[dict] = None,
+    obs=None,
 ):
     """Build one single-datacenter PBFT group.
 
     Returns:
         (sim, list of replicas). Replica i has id ``r{i}``; r0 leads
-        view 0.
+        view 0. When ``obs`` is given every replica records into it
+        (flight-recorder / forensics tests).
     """
     sim = Simulator(seed=seed)
+    if obs is not None and obs.enabled:
+        obs.bind_clock(sim)
     network = Network(sim, single_dc_topology("DC"))
     peers = [f"r{i}" for i in range(n)]
     replicas: List[PBFTReplica] = []
     for index, peer in enumerate(peers):
         cls = (overrides or {}).get(index, PBFTReplica)
         kwargs = dict(override_kwargs or {}) if cls is not PBFTReplica else {}
+        if obs is not None:
+            kwargs["obs"] = obs
         replicas.append(
             cls(
                 sim,
