@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules chaos audit bench experiments
+.PHONY: test lint lint-rules chaos audit bench console experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,7 +27,13 @@ audit:
 	$(PYTHON) -m repro obs-audit --seed 7 --runs 2 --profile byzantine --fault-free --strict
 
 bench:
-	$(PYTHON) -m repro.bench --repeats 5 --out BENCH_0005.json --disable-caches
+	$(PYTHON) -m repro.bench --repeats 5 --out BENCH_0006.json --disable-caches
+
+# Seeded audited chaos run -> schema-checked bundle -> offline replay.
+console:
+	$(PYTHON) -m repro console --chaos-seed 2 --profile byzantine \
+		--out replay.html --bundle-out replay-bundle.json
+	$(PYTHON) -m repro console --validate replay-bundle.json
 
 experiments:
 	$(PYTHON) -m repro

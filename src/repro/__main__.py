@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's evaluation.
+"""Command-line entry point: experiments plus tool subcommands.
 
 Usage::
 
@@ -6,6 +6,13 @@ Usage::
     python -m repro fig4 table2     # a subset
     python -m repro --full          # paper-sized runs (slower)
     python -m repro fig4 --obs-out DIR   # + observability artifacts
+    python -m repro --help          # subcommand + experiment inventory
+
+    python -m repro console --demo --out replay.html
+    python -m repro chaos --seed 7 --runs 5 --profile mixed
+    python -m repro lint src tests
+    python -m repro obs-audit --seed 2 --profile byzantine --strict
+    python -m repro console --help  # per-subcommand help is forwarded
 
 With ``--obs-out DIR`` the obs-aware drivers (fig4/fig5/fig6/table2)
 record metrics and commit-lifecycle spans into one shared
@@ -32,6 +39,31 @@ from repro.experiments import (
     table1_topology,
     table2_scalability,
 )
+
+#: Tool subcommands: name → (dotted module with a ``main(argv)``,
+#: one-line summary). Dispatch imports lazily so ``python -m repro
+#: table1`` never pays for the chaos/forensics stacks, and each
+#: subcommand's own argparse handles ``--help`` forwarding.
+_SUBCOMMANDS = {
+    "console": (
+        "repro.obs.console.__main__",
+        "fold journal/trace/audit artifacts into a self-contained "
+        "HTML replay (topology animation, swimlanes, auditor overlay)",
+    ),
+    "chaos": (
+        "repro.chaos.__main__",
+        "seeded fault injection with global invariant checking "
+        "and schedule shrinking",
+    ),
+    "lint": (
+        "repro.analysis.__main__",
+        "protocol-aware static analysis (BP001-BP008)",
+    ),
+    "obs-audit": (
+        "repro.obs.forensics.__main__",
+        "byzantine forensics audit scored against chaos ground truth",
+    ),
+}
 
 # Drivers take ``obs=None``; the ones not yet instrumented ignore the
 # flag (their lambdas below simply drop it).
@@ -93,26 +125,37 @@ def _parse_obs_out(argv: list) -> tuple:
     return remaining, directory, None
 
 
+def _print_help() -> None:
+    """The top-level inventory: subcommands, then experiments."""
+    print("usage: python -m repro [SUBCOMMAND | EXPERIMENT...] [flags]")
+    print()
+    print("subcommands (each forwards --help to its own parser):")
+    width = max(len(name) for name in _SUBCOMMANDS)
+    for name, (_module, summary) in _SUBCOMMANDS.items():
+        print(f"  {name:<{width}}  {summary}")
+    print()
+    print("experiments (default: all, quick sizes):")
+    print(f"  {', '.join(_QUICK)}")
+    print()
+    print("experiment flags:")
+    print("  --full         paper-sized runs (slower)")
+    print("  --obs-out DIR  export metrics/trace/journal artifacts")
+
+
 def main(argv: list) -> int:
-    """Run the selected (or all) experiment drivers."""
-    if argv and argv[0] == "chaos":
-        # Forward to the chaos engine: `python -m repro chaos --seed 7`
-        # is equivalent to `python -m repro.chaos --seed 7`.
-        from repro.chaos.__main__ import main as chaos_main
+    """Dispatch a tool subcommand or run experiment drivers."""
+    if argv and argv[0] in ("--help", "-h", "help"):
+        _print_help()
+        return 0
+    if argv and argv[0] in _SUBCOMMANDS:
+        # Forward to the tool's own CLI: `python -m repro console ...`
+        # is equivalent to `python -m repro.obs.console ...`, with the
+        # remaining argv (including --help) handed to its parser.
+        import importlib
 
-        return chaos_main(argv[1:])
-    if argv and argv[0] == "lint":
-        # Forward to the static analyzer: `python -m repro lint` is
-        # equivalent to `python -m repro.analysis`.
-        from repro.analysis.__main__ import main as lint_main
-
-        return lint_main(argv[1:])
-    if argv and argv[0] == "obs-audit":
-        # Forward to the forensics auditor: `python -m repro obs-audit`
-        # is equivalent to `python -m repro.obs.forensics`.
-        from repro.obs.forensics.__main__ import main as audit_main
-
-        return audit_main(argv[1:])
+        module_name, _summary = _SUBCOMMANDS[argv[0]]
+        module = importlib.import_module(module_name)
+        return module.main(argv[1:])
     argv, obs_out, error = _parse_obs_out(argv)
     if error:
         print(error)
@@ -124,6 +167,7 @@ def main(argv: list) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"available: {', '.join(table)}")
+        print(f"subcommands: {', '.join(_SUBCOMMANDS)}")
         return 2
     selected = names or list(table)
     obs = None

@@ -225,6 +225,32 @@ def _make_journal_append(seed: int):
     return operation, ops
 
 
+def _make_console_render(seed: int):
+    """Full operator-console pipeline over the canonical 140-event
+    lifecycle journal: fold the hub into a ``repro.console/v1`` bundle
+    (topology recovery + schema check) and render the self-contained
+    HTML replay. The traced run itself happens once in setup, untimed —
+    the benchmark isolates what ``python -m repro console`` adds on top
+    of a finished run."""
+    from repro.obs.console.bundle import build_bundle
+    from repro.obs.console.render import render_html
+    from repro.obs.demo import trace_commit_lifecycle
+    from repro.obs.hub import Observability
+
+    del seed  # the lifecycle demo is deterministic
+    obs = Observability(enabled=True)
+    trace_commit_lifecycle(obs)
+    ops = 20
+
+    def operation():
+        total = 0
+        for _ in range(ops):
+            total += len(render_html(build_bundle(obs)))
+        return {"bytes": total // ops}
+
+    return operation, ops
+
+
 # ----------------------------------------------------------------------
 # Wire
 # ----------------------------------------------------------------------
@@ -274,6 +300,7 @@ BENCHMARKS = [
     Benchmark("micro.proof.check", "micro", _make_proof_check),
     Benchmark("micro.sim.heap_churn", "micro", _make_heap_churn),
     Benchmark("micro.obs.journal_append", "micro", _make_journal_append),
+    Benchmark("micro.obs.console_render", "micro", _make_console_render),
     Benchmark("micro.wire.encode", "micro", _make_wire_encode),
     Benchmark("micro.wire.decode", "micro", _make_wire_decode),
 ]

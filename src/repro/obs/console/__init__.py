@@ -1,0 +1,49 @@
+"""``repro.obs.console`` — the operator console.
+
+Folds a run's observability artifacts (flight-recorder journal, span
+trees, metrics snapshots, auditor findings) into one schema-versioned
+``repro.console/v1`` JSON bundle and renders it as a **single
+self-contained HTML replay**: message flows animated on the site
+topology, per-node swimlane timelines, and an auditor overlay that
+badges suspects and links each finding to its verbatim evidence
+events. Zero runtime dependencies beyond the standard library; the
+optional ``--serve`` mode uses stdlib ``http.server``.
+
+Entry point: ``python -m repro console`` (see
+:mod:`repro.obs.console.__main__`). Documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.console.bundle import (
+    build_bundle,
+    finding_id,
+    load_bundle,
+    spans_from_chrome_trace,
+    write_bundle,
+)
+from repro.obs.console.render import render_html, write_html
+from repro.obs.console.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    SchemaError,
+    check,
+    validate,
+)
+from repro.obs.console.serve import build_server, serve_html
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "build_bundle",
+    "build_server",
+    "check",
+    "finding_id",
+    "load_bundle",
+    "render_html",
+    "serve_html",
+    "spans_from_chrome_trace",
+    "validate",
+    "write_bundle",
+    "write_html",
+]

@@ -1,0 +1,74 @@
+"""Serve a rendered replay page over stdlib ``http.server``.
+
+The console's ``--serve`` mode exists for the common operator loop:
+render on a headless box, then point a browser at it without copying
+files around. The server is deliberately tiny — it holds the rendered
+page in memory and answers every GET with it — and stays inside the
+standard library, matching the console's zero-dependency contract.
+"""
+
+from __future__ import annotations
+
+import http.server
+from typing import Optional, Tuple
+
+
+class _ReplayHandler(http.server.BaseHTTPRequestHandler):
+    """Answers every GET/HEAD with the in-memory replay page."""
+
+    #: Set by :func:`build_server` before the server starts.
+    page: bytes = b""
+    #: Quiet by default; tests flip this to capture access lines.
+    log_lines: Optional[list] = None
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._respond(body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 (stdlib naming)
+        self._respond(body=False)
+
+    def _respond(self, body: bool) -> None:
+        payload = type(self).page
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if body:
+            self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:
+        lines = type(self).log_lines
+        if lines is not None:
+            lines.append(format % args)
+
+
+def build_server(
+    html: str, host: str = "127.0.0.1", port: int = 8000
+) -> http.server.HTTPServer:
+    """Build (but do not start) an HTTP server for the rendered page.
+
+    Callers own the lifecycle: ``serve_forever()`` for the CLI,
+    ``handle_request()`` once for tests. Binding to port 0 picks a free
+    port (``server.server_address`` reports the real one).
+    """
+    handler = type(
+        "BoundReplayHandler",
+        (_ReplayHandler,),
+        {"page": html.encode("utf-8")},
+    )
+    return http.server.HTTPServer((host, port), handler)
+
+
+def serve_html(
+    html: str, host: str = "127.0.0.1", port: int = 8000
+) -> Tuple[str, int]:
+    """Serve the page until interrupted; returns the bound address."""
+    server = build_server(html, host, port)
+    address = server.server_address
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return (address[0], address[1])

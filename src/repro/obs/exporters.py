@@ -240,12 +240,22 @@ def to_chrome_trace(obs: Observability) -> Dict[str, Any]:
 # Journal snapshot
 # ----------------------------------------------------------------------
 def journal_snapshot(obs: Observability) -> Dict[str, Any]:
-    """Snapshot the flight-recorder journal into a JSON-ready dict."""
+    """Snapshot the flight-recorder journal into a JSON-ready dict.
+
+    The header carries the eviction accounting (``dropped`` plus the
+    first/last retained ``event_id``) so a consumer — the operator
+    console in particular — can render an explicit "N events evicted
+    before this window" banner instead of presenting a silently
+    truncated replay as complete.
+    """
+    journal = obs.journal
     return {
-        "recorded": obs.journal.recorded,
-        "retained": len(obs.journal),
-        "dropped": obs.journal.dropped,
-        "events": [event.to_dict() for event in obs.journal],
+        "recorded": journal.recorded,
+        "retained": len(journal),
+        "dropped": journal.dropped,
+        "first_event_id": journal.first_event_id,
+        "last_event_id": journal.last_event_id,
+        "events": [event.to_dict() for event in journal],
     }
 
 

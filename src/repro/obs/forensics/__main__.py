@@ -103,6 +103,30 @@ def main(argv: List[str]) -> int:
                 handle.write(
                     json.dumps(run.score.to_dict(), indent=2) + "\n"
                 )
+            if run.obs is not None:
+                # Console-ready artifacts: the bundle archives the
+                # journal + findings, the HTML is the explorable
+                # replay (see docs/OBSERVABILITY.md, operator console).
+                from repro.obs.console import (
+                    build_bundle,
+                    write_bundle,
+                    write_html,
+                )
+
+                bundle = build_bundle(
+                    run.obs,
+                    audit=run.report,
+                    title=(
+                        f"audit replay: seed {run.plan.seed}, "
+                        f"profile {run.plan.profile}, run {index}"
+                    ),
+                )
+                write_bundle(
+                    bundle, os.path.join(directory, "console.json")
+                )
+                write_html(
+                    bundle, os.path.join(directory, "console.html")
+                )
         if args.json:
             documents.append({
                 "run": index,

@@ -94,6 +94,9 @@ class AuditedRun:
     result: Any  # ChaosResult
     report: AuditReport
     score: DetectionScore
+    #: The run's Observability hub (journal + metrics) — the console
+    #: bundles it together with ``report`` into an explorable replay.
+    obs: Any = None
 
     def summary(self) -> str:
         status = "OK " if self.score.perfect else "FAIL"
@@ -185,7 +188,10 @@ def audited_chaos_run(
         expected=tuple(sorted(expected)),
         detected=tuple(sorted(detected)),
     )
-    return AuditedRun(plan=plan, result=result, report=report, score=score)
+    return AuditedRun(
+        plan=plan, result=result, report=report, score=score,
+        obs=runner.obs,
+    )
 
 
 def fault_free_run(

@@ -152,6 +152,23 @@ class EventJournal:
     # ------------------------------------------------------------------
     # Queries (tests, exporters, offline audits)
     # ------------------------------------------------------------------
+    @property
+    def first_event_id(self) -> Optional[int]:
+        """Id of the oldest *retained* event (None when empty). A value
+        above 1 means the ring evicted everything before it — exporters
+        surface this so a replay can say "N events evicted before this
+        window" instead of silently truncating."""
+        if not self._events:
+            return None
+        return self._events[0].event_id
+
+    @property
+    def last_event_id(self) -> Optional[int]:
+        """Id of the newest retained event (None when empty)."""
+        if not self._events:
+            return None
+        return self._events[-1].event_id
+
     def events(self) -> List[ProtocolEvent]:
         """All retained events in record order."""
         return list(self._events)

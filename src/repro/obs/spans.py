@@ -57,6 +57,21 @@ class Span:
             return 0.0
         return self.end_ms - self.start_ms
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (console bundles, archives)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "participant": self.participant,
+            "node": self.node,
+            "args": dict(self.args),
+        }
+
 
 class SpanLog:
     """Bounded, append-only store of spans plus id allocation.

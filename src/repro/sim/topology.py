@@ -111,6 +111,24 @@ class Topology:
             return self.intra_dc_one_way_ms
         return self._rtt[(a, b)] / 2.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the operator console's topology section).
+
+        The RTT matrix is emitted as a sorted edge list with each
+        unordered pair appearing once, so equal topologies serialize
+        identically regardless of construction order.
+        """
+        edges = sorted(
+            [a, b, self._rtt[(a, b)]]
+            for a, b in self._rtt
+            if a < b
+        )
+        return {
+            "sites": self.site_names,
+            "rtt_ms": edges,
+            "intra_dc_one_way_ms": self.intra_dc_one_way_ms,
+        }
+
     def neighbors_by_distance(self, origin: str) -> List[Tuple[str, float]]:
         """Other sites sorted by ascending RTT from ``origin``.
 

@@ -1,0 +1,182 @@
+"""Golden-journal rendering: the self-contained HTML replay.
+
+The renderer is a pure function of the bundle, so the canonical
+140-event lifecycle journal pins the page exactly: the embedded JSON
+round-trips, the topology node set is complete, every finding id
+survives into the page, and nothing in the document reaches for the
+network.
+"""
+
+import json
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.console import build_bundle, build_server, render_html
+from repro.obs.demo import trace_commit_lifecycle
+from repro.obs.journal import EventJournal
+
+_FAKE_AUDIT = {
+    "suspicion": {"C-2": 1.0, "V-3": 0.6},
+    "accused": ["C-2", "V-3"],
+    "events_seen": 140,
+    "health": {},
+    "findings": [
+        {
+            "kind": "equivocation", "suspect": "C-2",
+            "suspect_kind": "replica", "participant": "C",
+            "score": 1.0, "summary": "two pre-prepares for slot 1",
+            "count": 2, "context": {},
+            "evidence": [{"event_id": 5}, {"event_id": 9}],
+        },
+        {
+            "kind": "silent-replica", "suspect": "V-3",
+            "suspect_kind": "replica", "participant": "V",
+            "score": 0.6, "summary": "no votes after slot 2",
+            "count": 1, "context": {},
+            "evidence": [{"event_id": 100}],
+        },
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def golden_bundle():
+    obs = Observability(enabled=True)
+    trace_commit_lifecycle(obs)
+    return build_bundle(obs, audit=_FAKE_AUDIT, title="golden replay")
+
+
+@pytest.fixture(scope="module")
+def golden_page(golden_bundle) -> str:
+    return render_html(golden_bundle)
+
+
+def _embedded_bundle(page: str) -> dict:
+    match = re.search(
+        r'<script id="bundle" type="application/json">(.*?)</script>',
+        page,
+        re.DOTALL,
+    )
+    assert match, "embedded bundle block missing"
+    return json.loads(match.group(1).replace("<\\/", "</"))
+
+
+# ----------------------------------------------------------------------
+# The golden page, pinned
+# ----------------------------------------------------------------------
+def test_page_embeds_the_exact_bundle(golden_page, golden_bundle):
+    embedded = _embedded_bundle(golden_page)
+    assert embedded == json.loads(json.dumps(golden_bundle))
+    assert len(embedded["journal"]["events"]) == 140
+
+
+def test_page_pins_the_golden_event_count(golden_page):
+    assert "140 events" in golden_page
+    embedded = _embedded_bundle(golden_page)
+    ids = [e["event_id"] for e in embedded["journal"]["events"]]
+    assert ids == list(range(1, 141))
+
+
+def test_page_carries_the_full_topology_node_set(golden_page):
+    embedded = _embedded_bundle(golden_page)
+    assert {node["id"] for node in embedded["topology"]["nodes"]} == {
+        "C-0", "C-1", "C-2", "C-3", "V-0", "V-1", "V-2", "V-3"
+    }
+    assert embedded["topology"]["sites"] == ["C", "O", "V", "I"]
+    # The noscript fallback lists them too.
+    for node_id in ("C-0", "V-3"):
+        assert node_id in golden_page
+
+
+def test_page_carries_every_finding_id(golden_page):
+    embedded = _embedded_bundle(golden_page)
+    ids = [f["id"] for f in embedded["audit"]["findings"]]
+    assert ids == [
+        "finding-000-equivocation", "finding-001-silent-replica"
+    ]
+    for finding_id in ids:
+        assert finding_id in golden_page
+    assert "accused: C-2, V-3" in golden_page
+
+
+def test_page_is_self_contained(golden_page):
+    # One document, no external fetches: every src/href would be a
+    # network dependency breaking offline replay.
+    assert golden_page.startswith("<!DOCTYPE html>")
+    assert " src=" not in golden_page
+    assert "href=" not in golden_page
+    assert "@import" not in golden_page
+    assert "fetch(" not in golden_page
+    assert "XMLHttpRequest" not in golden_page
+    # Inline CSS + JS are present.
+    assert golden_page.count("<style>") == 1
+    assert golden_page.count("<script>") == 1
+
+
+def test_page_escapes_script_terminators():
+    journal = EventJournal(max_events=100)
+    journal.record("log.append", at=1.0, participant="C", node="C-0",
+                   payload="</script><script>alert(1)</script>")
+    page = render_html(build_bundle(journal=journal))
+    assert "</script><script>alert(1)" not in page
+    embedded = _embedded_bundle(page)
+    (event,) = embedded["journal"]["events"]
+    assert event["args"]["payload"] == "</script><script>alert(1)</script>"
+
+
+def test_title_is_html_escaped():
+    page = render_html(
+        build_bundle(title="<img src=x onerror=alert(1)>")
+    )
+    # The raw string may only survive inside the JSON data block — the
+    # markup half must carry the escaped form.
+    markup = re.sub(
+        r'<script id="bundle" type="application/json">.*?</script>',
+        "", page, flags=re.DOTALL,
+    )
+    assert "<img src=x" not in markup
+    assert "&lt;img" in markup
+
+
+# ----------------------------------------------------------------------
+# Eviction banner
+# ----------------------------------------------------------------------
+def test_no_banner_on_a_complete_journal(golden_page):
+    assert "evicted before this window" not in golden_page
+
+
+def test_eviction_banner_names_the_lost_window():
+    journal = EventJournal(max_events=10)
+    for index in range(25):
+        journal.record("pbft.vote", at=float(index), participant="C",
+                       node="C-0", voter="C-1")
+    page = render_html(build_bundle(journal=journal))
+    assert (
+        "15 events evicted before this window "
+        "(first retained event id 16)"
+    ) in page
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+def test_served_page_round_trips(golden_page):
+    server = build_server(golden_page, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.handle_request)
+    thread.start()
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/", timeout=5
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/html")
+            body = response.read().decode("utf-8")
+    finally:
+        thread.join(timeout=5)
+        server.server_close()
+    assert body == golden_page

@@ -1,5 +1,7 @@
 """Tests for the `python -m repro` command-line entry point."""
 
+import pytest
+
 from repro.__main__ import main
 
 
@@ -15,6 +17,26 @@ def test_unknown_experiment_rejected(capsys):
     out = capsys.readouterr().out
     assert "unknown experiment" in out
     assert "fig7" in out  # the available list is shown
+    assert "console" in out  # ...and the subcommand inventory
+
+
+def test_help_lists_subcommands_and_experiments(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for subcommand in ("console", "chaos", "lint", "obs-audit"):
+        assert subcommand in out
+    for experiment in ("table1", "fig4", "ablations"):
+        assert experiment in out
+    assert "--obs-out" in out
+
+
+def test_subcommand_help_is_forwarded(capsys):
+    # `python -m repro console --help` reaches the console's own
+    # argparse parser (which exits 0 after printing usage).
+    with pytest.raises(SystemExit) as excinfo:
+        main(["console", "--help"])
+    assert excinfo.value.code == 0
+    assert "--journal" in capsys.readouterr().out
 
 
 def test_multiple_experiments_separated(capsys):
