@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules chaos audit bench console experiments
+.PHONY: test lint lint-rules chaos audit bench soak console experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,7 +27,16 @@ audit:
 	$(PYTHON) -m repro obs-audit --seed 7 --runs 2 --profile byzantine --fault-free --strict
 
 bench:
-	$(PYTHON) -m repro.bench --repeats 5 --out BENCH_0006.json --disable-caches
+	$(PYTHON) -m repro.bench --repeats 3 --out BENCH_0007.json --disable-caches
+
+# Sustained open-loop soak: checkpoints + log truncation must hold the
+# per-replica retained footprint under the bound for the whole run (the
+# benchmark raises if it does not). ~10k ops keeps it CI-sized; the
+# full 100k-op run is what BENCH_0007.json records.
+soak:
+	$(PYTHON) -m repro.bench --only macro --filter sustained \
+		--repeats 1 --warmup 0 --sustained-ops 9999 --out soak.json
+	$(PYTHON) -m repro.bench --validate soak.json
 
 # Seeded audited chaos run -> schema-checked bundle -> offline replay.
 console:

@@ -57,6 +57,11 @@ def _parser() -> argparse.ArgumentParser:
         help="run only benchmarks whose name contains SUBSTR",
     )
     parser.add_argument(
+        "--sustained-ops", type=int, metavar="N",
+        help="override the sustained soak's offered-operation total "
+        f"(default {macro.SUSTAINED_OPS}; CI smoke uses ~10000)",
+    )
+    parser.add_argument(
         "--disable-caches", action="store_true",
         help="additionally run a cache-disabled control pass and emit "
         "the control/comparison sections",
@@ -109,6 +114,15 @@ def main(argv: List[str] = None) -> int:
     if not benchmarks:
         print("error: no benchmarks match the selection", file=sys.stderr)
         return 2
+    if args.sustained_ops is not None:
+        if args.sustained_ops < len(macro.SITES):
+            print(
+                "error: --sustained-ops must be at least "
+                f"{len(macro.SITES)} (one op per site)",
+                file=sys.stderr,
+            )
+            return 2
+        macro.SUSTAINED_OPS = args.sustained_ops
 
     def progress(line: str) -> None:
         print(line, file=sys.stderr, flush=True)

@@ -66,7 +66,7 @@ class BenchResult:
         return 1e9 * self.ops / self.best_ns
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "name": self.name,
             "kind": self.kind,
             "ops": self.ops,
@@ -76,6 +76,21 @@ class BenchResult:
             "samples_ns": list(self.samples_ns),
             "extra": dict(self.extra),
         }
+        # Sustained-load benchmarks report memory counters in extra;
+        # lift them into the schema-v2 ``memory`` block so validators
+        # and dashboards need not know per-benchmark extra keys.
+        if "retained_high_water" in self.extra:
+            document["memory"] = {
+                "retained_high_water": int(self.extra["retained_high_water"]),
+                "retained_bound": int(self.extra.get("retained_bound", 0)),
+                "by_node": {
+                    str(node): int(value)
+                    for node, value in self.extra.get(
+                        "retained_high_water_by_node", {}
+                    ).items()
+                },
+            }
+        return document
 
 
 def run_benchmark(

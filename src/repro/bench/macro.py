@@ -9,7 +9,15 @@ them costs real time) and report committed operations per wall-second:
 * ``macro.commits.mixed_chaos`` — the same deployment under a seeded
   ``mixed`` chaos profile (site outage, byzantine plant, tamper, loss,
   partitions), proving the caches stay semantically invisible while
-  byzantine machinery is actively exercised.
+  byzantine machinery is actively exercised;
+* ``macro.commits.sustained`` — an open-loop soak: ``SUSTAINED_OPS``
+  arrivals offered on a Poisson schedule with periodic bursts while
+  checkpointing and log truncation garbage-collect state behind the
+  load. Reports committed throughput *and* the per-replica retained
+  high-water (Local Log entries + PBFT slots + executed entries); the
+  run fails if any replica's footprint exceeds
+  ``SUSTAINED_RETAINED_BOUND``, so memory boundedness is an enforced
+  acceptance criterion, not a printed number.
 
 Everything the simulation *does* is a pure function of the seed — the
 operation counts in ``extra`` are identical run-to-run and across the
@@ -27,10 +35,12 @@ from repro.chaos.runner import byzantine_overrides, schedule_plan_actions
 from repro.core.config import BlockplaneConfig
 from repro.core.middleware import BlockplaneDeployment
 from repro.crypto.digest import digest_cache_stats
+from repro.pbft.config import PBFTConfig
 from repro.sim.faults import FaultInjector
 from repro.sim.process import any_of
 from repro.sim.simulator import Simulator
 from repro.sim.topology import symmetric_topology
+from repro.workloads.openloop import OpenLoopWorkload, open_loop_process
 
 #: The benchmark deployment: three symmetric sites, 40 ms RTT.
 SITES = ("A", "B", "C")
@@ -47,6 +57,27 @@ _PAYLOAD_INTS = 2_048
 _PAYLOAD_BYTES = 1_000
 #: Per-attempt commit timeout for the chaos run (virtual ms).
 _SEND_TIMEOUT_MS = 4_000.0
+
+#: Total arrivals the sustained open-loop soak offers across all sites.
+#: ``python -m repro.bench --sustained-ops N`` overrides this (the CI
+#: soak smoke runs ~10k; the published artifact runs the full 100k).
+SUSTAINED_OPS = 100_000
+#: Per-replica retained-footprint ceiling enforced for the whole run:
+#: retained Local Log entries + live PBFT slots + retained executed
+#: entries. Without checkpoint GC and log truncation a replica would
+#: retain every committed entry (~SUSTAINED_OPS / 3 per site, plus
+#: receptions); with them the footprint is a function of the
+#: checkpoint interval and the admission window, independent of run
+#: length.
+SUSTAINED_RETAINED_BOUND = 4_000
+#: Offered arrival rate per site (operations per virtual second).
+_SUSTAINED_RATE_PER_S = 400.0
+#: PBFT checkpoint cadence for the soak (committed slots per unit).
+_SUSTAINED_CHECKPOINT_INTERVAL = 64
+#: Admission-control window per site gateway (in-flight submissions).
+_SUSTAINED_MAX_IN_FLIGHT = 256
+#: Retained-footprint sampling cadence (virtual ms).
+_SUSTAINED_SAMPLE_MS = 200.0
 
 
 def workload_ops(sites: int = len(SITES), batches: int = _BATCHES) -> int:
@@ -273,9 +304,162 @@ def _make_mixed_chaos(seed: int):
     return operation, ops
 
 
+def _retained_footprint(node) -> int:
+    """Entries a replica currently holds in memory for protocol state:
+    Local Log (retained, post-truncation), live PBFT slots, and the
+    executed-entry replay window."""
+    return (
+        node.local_log.retained_count
+        + len(node.slots)
+        + len(node.executed_entries)
+    )
+
+
+def _footprint_sampler(sim: Simulator, deployment, high_water: Dict[str, int]):
+    """Infinite process: track each replica's retained high-water."""
+    while True:
+        for node in deployment.all_nodes():
+            footprint = _retained_footprint(node)
+            if footprint > high_water.get(node.node_id, 0):
+                high_water[node.node_id] = footprint
+        yield sim.sleep(_SUSTAINED_SAMPLE_MS)
+
+
+def _sustained_commit(api, others):
+    """Commit function for the open-loop driver: every fifth operation
+    is a wide-area send (exercising transmission/reception records and
+    their folding under truncation), the rest are local state commits.
+    The mix is keyed off the arrival index baked into the payload
+    header, so retries of a shed arrival re-submit the same kind."""
+
+    def commit(value: str, payload_bytes: int):
+        index = int(value.split(":", 2)[1])
+        if index % 5 == 0:
+            target = others[(index // 5) % len(others)]
+            return api.send(value, to=target, payload_bytes=payload_bytes)
+        return api.log_commit(value, payload_bytes=payload_bytes)
+
+    return commit
+
+
+def _make_sustained(seed: int):
+    total = SUSTAINED_OPS
+    per_site = total // len(SITES)
+    ops = per_site * len(SITES)
+
+    def operation():
+        sim = Simulator(seed=seed)
+        deployment = BlockplaneDeployment(
+            sim,
+            symmetric_topology(SITES, _RTT_MS),
+            BlockplaneConfig(
+                f_independent=1,
+                f_geo=0,
+                pbft=PBFTConfig(
+                    checkpoint_interval=_SUSTAINED_CHECKPOINT_INTERVAL,
+                    gc_executed_log=True,
+                ),
+                admission_max_in_flight=_SUSTAINED_MAX_IN_FLIGHT,
+            ),
+        )
+        high_water: Dict[str, int] = {}
+        sim.spawn(_footprint_sampler(sim, deployment, high_water))
+        site_stats: Dict[str, Dict[str, Any]] = {}
+        drivers = []
+        for site_index, site in enumerate(SITES):
+            others = [other for other in SITES if other != site]
+            stats: Dict[str, Any] = {
+                "offered": 0, "admitted": 0, "shed": 0,
+                "committed": 0, "failed": 0, "dropped": 0,
+                "duration_ms": 0.0,
+            }
+            site_stats[site] = stats
+            workload = OpenLoopWorkload(
+                rate_per_s=_SUSTAINED_RATE_PER_S,
+                total=per_site,
+                batch_bytes=96,
+                seed=seed * 8_191 + site_index,
+                burst_every=500,
+                burst_size=50,
+                clients=8,
+                hot_fraction=0.2,
+            )
+            drivers.append(
+                sim.spawn(
+                    open_loop_process(
+                        sim,
+                        _sustained_commit(deployment.api(site), others),
+                        workload,
+                        stats,
+                        retry_after_ms=2.0,
+                        retry_budget=5_000,
+                        settle_poll_ms=5.0,
+                    )
+                )
+            )
+        # Generous ceiling: 5x the nominal schedule length plus a
+        # minute of settle. Hitting it means the system stopped
+        # draining — fail loudly rather than spin.
+        ceiling_ms = 5.0 * per_site * 1_000.0 / _SUSTAINED_RATE_PER_S
+        ceiling_ms += 60_000.0
+        while not all(driver.resolved for driver in drivers):
+            if sim.now >= ceiling_ms:
+                raise RuntimeError(
+                    "sustained workload failed to settle by "
+                    f"{ceiling_ms:.0f} virtual ms"
+                )
+            sim.run(until=sim.now + 1_000.0)
+        # One final sample so the post-settle footprint is included.
+        for node in deployment.all_nodes():
+            footprint = _retained_footprint(node)
+            if footprint > high_water.get(node.node_id, 0):
+                high_water[node.node_id] = footprint
+        committed = sum(s["committed"] for s in site_stats.values())
+        if committed != ops:
+            raise RuntimeError(
+                f"sustained workload incomplete: {committed}/{ops} commits"
+            )
+        worst = max(high_water.values())
+        if worst > SUSTAINED_RETAINED_BOUND:
+            raise RuntimeError(
+                f"retained high-water {worst} exceeds bound "
+                f"{SUSTAINED_RETAINED_BOUND}: memory is not GC-bounded "
+                "under sustained load"
+            )
+        duration_ms = max(s["duration_ms"] for s in site_stats.values())
+        return {
+            "completed_ops": committed,
+            "virtual_ms": sim.now,
+            "events_processed": sim.events_processed,
+            "messages_sent": deployment.network.messages_sent,
+            "offered": sum(s["offered"] for s in site_stats.values()),
+            "shed": sum(s["shed"] for s in site_stats.values()),
+            "dropped": sum(s["dropped"] for s in site_stats.values()),
+            "virtual_throughput_ops_s": (
+                1_000.0 * committed / duration_ms if duration_ms else 0.0
+            ),
+            "retained_high_water": worst,
+            "retained_high_water_by_node": dict(sorted(high_water.items())),
+            "retained_bound": SUSTAINED_RETAINED_BOUND,
+            "log_truncations": sum(
+                node.local_log.base_position - 1
+                for node in deployment.all_nodes()
+            ),
+            "snapshot_installs": sum(
+                node.snapshot_installs for node in deployment.all_nodes()
+            ),
+            "stable_checkpoints": sum(
+                node.stable_checkpoint for node in deployment.all_nodes()
+            ),
+        }
+
+    return operation, ops
+
+
 #: The registered macro suite.
 BENCHMARKS = [
     Benchmark("macro.commits.3site_f1", "macro", _make_chaos_free),
     Benchmark("macro.commits.recorder_on", "macro", _make_recorder_on),
     Benchmark("macro.commits.mixed_chaos", "macro", _make_mixed_chaos),
+    Benchmark("macro.commits.sustained", "macro", _make_sustained),
 ]

@@ -7,11 +7,20 @@ on. The validator here is what CI's ``bench-smoke`` job runs — schema
 violations fail the build; performance *regressions* do not (thresholds
 are a later PR's concern, once several trajectory points exist).
 
+Version history:
+
+* v1 — initial schema (PR 5).
+* v2 — adds the optional per-result ``memory`` object, reported by
+  sustained-load benchmarks: ``{"retained_high_water": int,
+  "retained_bound": int, "by_node": {node_id: int, ...}}``. v1
+  documents (no ``memory``) remain valid, so the accumulated
+  trajectory keeps validating under one checker.
+
 Top-level document::
 
     {
-      "schema": "repro.bench/v1",
-      "schema_version": 1,
+      "schema": "repro.bench/v2",
+      "schema_version": 2,
       "seed": 7,
       "repeats": 3,
       "warmup": 1,
@@ -32,7 +41,12 @@ the cache-disabled control pass (``--disable-caches``). Each result::
       "ns_per_op": 1234.5,         # best repeat / ops
       "ops_per_sec": 810372.2,     # 1e9 / ns_per_op
       "samples_ns": [...],         # raw per-repeat wall nanoseconds
-      "extra": {...}               # benchmark-specific counters
+      "extra": {...},              # benchmark-specific counters
+      "memory": {                  # optional (v2, sustained soaks)
+        "retained_high_water": 812,
+        "retained_bound": 4000,
+        "by_node": {"A-0": 812, ...}
+      }
     }
 
 The document deliberately records **no timestamps, hostnames, or
@@ -44,8 +58,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-SCHEMA_NAME = "repro.bench/v1"
-SCHEMA_VERSION = 1
+SCHEMA_NAME = "repro.bench/v2"
+SCHEMA_VERSION = 2
+
+#: (schema string, schema_version) pairs the validator accepts. Older
+#: BENCH_*.json artifacts in the repository stay checkable.
+ACCEPTED_SCHEMAS = (("repro.bench/v1", 1), ("repro.bench/v2", 2))
 
 #: Required top-level fields and their types.
 _TOP_FIELDS = {
@@ -89,15 +107,21 @@ def validate(document: Any) -> List[str]:
                 f"field {field!r} must be {expected}, "
                 f"got {type(document[field]).__name__}"
             )
-    if document.get("schema") not in (None, SCHEMA_NAME):
-        errors.append(
-            f"schema must be {SCHEMA_NAME!r}, got {document.get('schema')!r}"
-        )
-    if document.get("schema_version") not in (None, SCHEMA_VERSION):
-        errors.append(
-            f"schema_version must be {SCHEMA_VERSION}, "
-            f"got {document.get('schema_version')!r}"
-        )
+    schema = document.get("schema")
+    version = document.get("schema_version")
+    if schema is not None and version is not None:
+        if (schema, version) not in ACCEPTED_SCHEMAS:
+            accepted = ", ".join(
+                f"{name!r}/{number}" for name, number in ACCEPTED_SCHEMAS
+            )
+            errors.append(
+                f"schema/schema_version pair {schema!r}/{version!r} "
+                f"not accepted (accepted: {accepted})"
+            )
+    elif schema is not None and all(
+        schema != name for name, _ in ACCEPTED_SCHEMAS
+    ):
+        errors.append(f"schema must be one of {ACCEPTED_SCHEMAS}, got {schema!r}")
     results = document.get("results")
     if isinstance(results, list):
         if not results:
@@ -152,6 +176,48 @@ def _validate_result(result: Any, where: str) -> List[str]:
         isinstance(sample, int) and sample >= 0 for sample in samples
     ):
         errors.append(f"{where}.samples_ns must be non-negative integers")
+    memory = result.get("memory")
+    if memory is not None:
+        errors.extend(_validate_memory(memory, f"{where}.memory"))
+    return errors
+
+
+def _validate_memory(memory: Any, where: str) -> List[str]:
+    """The optional v2 ``memory`` block on sustained-load results."""
+    errors: List[str] = []
+    if not isinstance(memory, dict):
+        return [f"{where} must be an object"]
+    for field in ("retained_high_water", "retained_bound"):
+        value = memory.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}.{field} must be a non-negative integer")
+    by_node = memory.get("by_node")
+    if by_node is not None and (
+        not isinstance(by_node, dict)
+        or not all(
+            isinstance(node, str)
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+            and value >= 0
+            for node, value in by_node.items()
+        )
+    ):
+        errors.append(
+            f"{where}.by_node must map node ids to non-negative integers"
+        )
+    high = memory.get("retained_high_water")
+    bound = memory.get("retained_bound")
+    if (
+        isinstance(high, int)
+        and isinstance(bound, int)
+        and not isinstance(high, bool)
+        and not isinstance(bound, bool)
+        and high > bound > 0
+    ):
+        errors.append(
+            f"{where}: retained_high_water {high} exceeds retained_bound "
+            f"{bound} — the run should have failed, not recorded"
+        )
     return errors
 
 

@@ -50,7 +50,8 @@ class Violation:
         invariant: Stable machine-readable name (``budget``,
             ``log-fork``, ``convergence``, ``chain-gap``,
             ``chain-forgery``, ``chain-pointer``, ``duplicate-delivery``,
-            ``mirror-divergence``, ``post-heal``, ``workload-liveness``).
+            ``mirror-divergence``, ``post-heal``, ``workload-liveness``,
+            ``snapshot-divergence``, ``recovery-from-snapshot``).
         detail: Human-readable description of what failed and where.
         site: The participant the violation localises to, when it does.
     """
@@ -244,42 +245,71 @@ def _honest_nodes(unit, exclude: Set[str]):
 def check_local_log_agreement(
     deployment, exclude: Optional[Set[str]] = None
 ) -> List[Violation]:
-    """Lemma 1 within every unit: honest replicas never fork, and after
-    the settle phase they all converge to the same log length."""
+    """Lemma 1 within every unit, truncation-aware: honest replicas
+    never fork over the overlap of their retained windows, the digest
+    chain a truncated replica folded to matches what a deeper-history
+    peer recomputes at the same boundary, and after the settle phase all
+    replicas converge to the same total log length."""
     exclude = exclude or set()
     violations: List[Violation] = []
     for site, unit in deployment.units.items():
-        logs = {
-            node.node_id: [
-                (entry.position, entry.record_type, entry.digest())
-                for entry in node.local_log
-            ]
+        nodes = [
+            node
             for node in _honest_nodes(unit, exclude)
             if not node.crashed
-        }
-        if not logs:
+        ]
+        if not nodes:
             violations.append(
                 Violation("log-fork", "no live honest replicas", site=site)
             )
             continue
-        reference_id = max(logs, key=lambda node_id: len(logs[node_id]))
-        reference = logs[reference_id]
-        for node_id, log in logs.items():
-            if log != reference[: len(log)]:
-                diverged = next(
-                    position
-                    for position, (a, b) in enumerate(zip(log, reference))
-                    if a != b
-                )
-                violations.append(
-                    Violation(
-                        "log-fork",
-                        f"{node_id} diverges from {reference_id} at "
-                        f"position {log[diverged][0]}",
-                        site=site,
+        reference = max(nodes, key=lambda node: len(node.local_log))
+        reference_log = reference.local_log
+        for node in nodes:
+            if node is reference:
+                continue
+            log = node.local_log
+            # Folded-prefix agreement: the chain value this node's base
+            # snapshot folded to must equal the chain a peer holding
+            # that boundary recomputes (and vice versa for the
+            # reference's base against this node's window).
+            for holder, truncated in (
+                (reference_log, log), (log, reference_log),
+            ):
+                boundary = truncated.base_position - 1
+                if boundary < 1:
+                    continue  # nothing folded; genesis always agrees
+                if (
+                    boundary >= holder.base_position - 1
+                    and boundary <= holder.last_position
+                ):
+                    if holder.chain_at(boundary) != truncated.base_chain:
+                        violations.append(
+                            Violation(
+                                "snapshot-divergence",
+                                f"{node.node_id} and {reference.node_id} "
+                                f"disagree on the folded chain at position "
+                                f"{boundary}",
+                                site=site,
+                            )
+                        )
+            # Entry agreement over the overlap of retained windows.
+            start = max(log.base_position, reference_log.base_position)
+            stop = min(log.last_position, reference_log.last_position)
+            for position in range(start, stop + 1):
+                a = log.read(position)
+                b = reference_log.read(position)
+                if (a.record_type, a.digest()) != (b.record_type, b.digest()):
+                    violations.append(
+                        Violation(
+                            "log-fork",
+                            f"{node.node_id} diverges from "
+                            f"{reference.node_id} at position {position}",
+                            site=site,
+                        )
                     )
-                )
-        lengths = {node_id: len(log) for node_id, log in logs.items()}
+                    break
+        lengths = {node.node_id: len(node.local_log) for node in nodes}
         if len(set(lengths.values())) > 1:
             violations.append(
                 Violation(
@@ -307,7 +337,16 @@ def check_transmission_chains(deployment) -> List[Violation]:
     """Algorithm 2 end to end, for every (source, destination) pair:
     everything the source committed for the destination arrived (no
     gaps), nothing else arrived (no forgeries), and the prev-pointers
-    the receiver accepted reconstruct the source's exact chain."""
+    the receiver accepted reconstruct the source's exact chain.
+
+    Truncation-aware: communication records the source folded into its
+    snapshot survive as a per-destination chain head, and receptions the
+    destination folded survive as per-source floors — delivery of a
+    retained source record is checked through the destination's
+    floor-aware ``has_received``, and positions at or below the source's
+    folded head are exempt from the forgery/pointer comparison (their
+    ground truth lives in the certified snapshot, which
+    :func:`check_snapshot_certificates` covers)."""
     violations: List[Violation] = []
     participants = deployment.participants
     for source in participants:
@@ -316,15 +355,17 @@ def check_transmission_chains(deployment) -> List[Violation]:
             if destination == source:
                 continue
             expected = source_log.communication_positions(destination)
+            folded_head = source_log.folded_communication_head(destination)
+            floor = folded_head if folded_head is not None else 0
+            destination_log = deployment.unit(destination).nodes[0].local_log
             records = _received_records(
                 deployment.unit(destination), source
             )
-            got = sorted(record.source_position for record in records)
-            if got != sorted(set(got)):
-                # Duplicates are reported by check_at_most_once; keep
-                # the chain comparison on the deduplicated sequence.
-                got = sorted(set(got))
-            missing = sorted(set(expected) - set(got))
+            missing = sorted(
+                position
+                for position in expected
+                if not destination_log.has_received(source, position)
+            )
             if missing:
                 violations.append(
                     Violation(
@@ -334,7 +375,12 @@ def check_transmission_chains(deployment) -> List[Violation]:
                         site=destination,
                     )
                 )
-            forged = sorted(set(got) - set(expected))
+            got = sorted({record.source_position for record in records})
+            forged = sorted(
+                position
+                for position in got
+                if position > floor and position not in set(expected)
+            )
             if forged:
                 violations.append(
                     Violation(
@@ -346,13 +392,16 @@ def check_transmission_chains(deployment) -> List[Violation]:
                 )
             if missing or forged:
                 continue
-            # Pointer consistency along the reconstructed chain.
+            # Pointer consistency along the reconstructed chain; the
+            # first retained source record points at the folded head.
             predecessor: Dict[int, Optional[int]] = {}
-            previous = None
+            previous = folded_head
             for position in expected:
                 predecessor[position] = previous
                 previous = position
             for record in records:
+                if record.source_position <= floor:
+                    continue  # reception of a source-folded record
                 if record.prev_position != predecessor.get(
                     record.source_position
                 ):
@@ -416,6 +465,11 @@ def check_geo_mirrors(deployment) -> List[Violation]:
                             )
                         )
                         continue
+                    if not source_log.covers(mirror.position):
+                        # Folded by truncation at the source; the entry's
+                        # ground truth now lives in the certified
+                        # snapshot's digest chain, not a readable entry.
+                        continue
                     original = source_log.read(mirror.position)
                     if (mirror.record_type != original.record_type
                             or mirror.value != original.value):
@@ -428,6 +482,85 @@ def check_geo_mirrors(deployment) -> List[Violation]:
                                 site=source,
                             )
                         )
+    return violations
+
+
+def check_snapshot_certificates(
+    deployment, exclude: Optional[Set[str]] = None
+) -> List[Violation]:
+    """Checkpoint-certificate safety within every unit: a node's stable
+    snapshot payload must match what its own certificate certifies, and
+    two honest nodes certifying the same watermark must certify the same
+    (state, snapshot) digests — a mismatch means a byzantine quorum
+    certified a forged fold, the exact attack signed checkpoints exist
+    to prevent."""
+    exclude = exclude or set()
+    violations: List[Violation] = []
+    for site, unit in deployment.units.items():
+        by_seq: Dict[int, Tuple[str, object]] = {}
+        for node in _honest_nodes(unit, exclude):
+            certificate = node.stable_certificate
+            if certificate is None:
+                continue
+            payload = node._stable_snapshot_payload
+            if (
+                payload is not None
+                and payload.digest() != certificate.snapshot_digest
+            ):
+                violations.append(
+                    Violation(
+                        "snapshot-divergence",
+                        f"{node.node_id} holds a snapshot that does not "
+                        f"match its own certificate at seq "
+                        f"{certificate.seq}",
+                        site=site,
+                    )
+                )
+            earlier = by_seq.get(certificate.seq)
+            if earlier is None:
+                by_seq[certificate.seq] = (node.node_id, certificate)
+            else:
+                other_id, other = earlier
+                if (
+                    certificate.state_digest,
+                    certificate.snapshot_digest,
+                ) != (other.state_digest, other.snapshot_digest):
+                    violations.append(
+                        Violation(
+                            "snapshot-divergence",
+                            f"{node.node_id} and {other_id} certify "
+                            f"different snapshots at seq {certificate.seq}",
+                            site=site,
+                        )
+                    )
+    return violations
+
+
+def check_recovery_from_snapshot(
+    deployment, node_ids: Sequence[str]
+) -> List[Violation]:
+    """The named nodes — crashed past their peers' retained history by
+    the plan — must have rejoined through certified snapshot state
+    transfer (``snapshot_installs >= 1``); replaying from position 1 is
+    impossible once peers garbage-collect, so a node that claims to
+    have caught up without an install either never recovered or forged
+    its history."""
+    violations: List[Violation] = []
+    by_id = {node.node_id: node for node in deployment.all_nodes()}
+    for node_id in node_ids:
+        node = by_id.get(node_id)
+        if node is None:
+            continue
+        if node.snapshot_installs < 1:
+            violations.append(
+                Violation(
+                    "recovery-from-snapshot",
+                    f"{node_id} rejoined without snapshot state transfer "
+                    f"(last_executed={node.last_executed}, "
+                    f"low_water={node.low_water})",
+                    site=node.participant,
+                )
+            )
     return violations
 
 
@@ -456,4 +589,5 @@ def check_all(
     violations += check_transmission_chains(deployment)
     violations += check_at_most_once(deployment)
     violations += check_geo_mirrors(deployment)
+    violations += check_snapshot_certificates(deployment, exclude)
     return violations

@@ -38,6 +38,8 @@ from repro.chaos.invariants import (
     check_local_log_agreement,
     check_plan_budget,
     check_post_heal,
+    check_recovery_from_snapshot,
+    check_snapshot_certificates,
     check_transmission_chains,
 )
 from repro.chaos.plan import FaultPlan
@@ -175,6 +177,14 @@ class ChaosRunner:
         obs: Optional :class:`~repro.obs.Observability` hub; when given,
             the deployment records metrics/spans into it (exported via
             :func:`write_artifacts`).
+        checkpoint_interval: Override the unit PBFT groups' checkpoint
+            interval (None keeps the config default). Short chaos runs
+            use a small interval so checkpointing, log truncation, and
+            snapshot state transfer are actually exercised under faults.
+        expect_snapshot_recovery: Node ids the plan deliberately crashed
+            past their peers' retained history; the invariant suite then
+            additionally requires each to have rejoined via certified
+            snapshot install (``recovery-from-snapshot``).
     """
 
     def __init__(
@@ -182,10 +192,14 @@ class ChaosRunner:
         plan: FaultPlan,
         sites: Sequence[str] = DEFAULT_SITES,
         obs=None,
+        checkpoint_interval: Optional[int] = None,
+        expect_snapshot_recovery: Sequence[str] = (),
     ) -> None:
         self.plan = plan
         self.sites = tuple(sites)
         self.obs = obs
+        self.checkpoint_interval = checkpoint_interval
+        self.expect_snapshot_recovery = tuple(expect_snapshot_recovery)
         self.deployment: Optional[BlockplaneDeployment] = None
 
     # ------------------------------------------------------------------
@@ -197,6 +211,14 @@ class ChaosRunner:
 
         sim = Simulator(seed=plan.seed)
         overrides = byzantine_overrides(plan)
+        config_kwargs: Dict[str, Any] = {}
+        if self.checkpoint_interval is not None:
+            from repro.pbft.config import PBFTConfig
+
+            config_kwargs["pbft"] = PBFTConfig(
+                checkpoint_interval=self.checkpoint_interval,
+                gc_executed_log=True,
+            )
         config = BlockplaneConfig(
             f_independent=plan.budget.f_independent,
             f_geo=plan.budget.f_geo,
@@ -205,6 +227,7 @@ class ChaosRunner:
             # the settle phase.
             reserve_poll_interval_ms=150.0,
             reserve_gap_threshold=0,
+            **config_kwargs,
         )
         kwargs: Dict[str, Any] = {}
         if self.obs is not None:
@@ -365,6 +388,11 @@ class ChaosRunner:
         violations += check_transmission_chains(deployment)
         violations += check_at_most_once(deployment)
         violations += check_geo_mirrors(deployment)
+        violations += check_snapshot_certificates(deployment, exclude)
+        if self.expect_snapshot_recovery:
+            violations += check_recovery_from_snapshot(
+                deployment, self.expect_snapshot_recovery
+            )
         return violations
 
     def _stats(
@@ -381,6 +409,14 @@ class ChaosRunner:
             "events": sim.events_processed,
             "communications_committed": communications,
             "actions": len(self.plan.actions),
+            "snapshot_installs": sum(
+                node.snapshot_installs for node in deployment.all_nodes()
+            ),
+            "log_truncations": {
+                site: unit.nodes[0].local_log.base_position - 1
+                for site, unit in deployment.units.items()
+                if unit.nodes[0].local_log.base_position > 1
+            },
         }
 
 

@@ -28,12 +28,18 @@ from repro.core.records import (
     RECORD_COMMUNICATION,
     RECORD_LOG_COMMIT,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, Overloaded
 from repro.sim.process import Future
 
 
 class BlockplaneAPI:
     """A participant's handle to its Blockplane unit.
+
+    Commits are admission-controlled: when the deployment configures
+    ``admission_max_in_flight``, at most that many ``log_commit``/
+    ``send`` calls may be outstanding at once; further submissions are
+    shed immediately with :class:`~repro.errors.Overloaded` instead of
+    queueing without bound (open-loop backpressure).
 
     Args:
         unit: The participant's :class:`~repro.core.unit.BlockplaneUnit`.
@@ -42,6 +48,10 @@ class BlockplaneAPI:
     def __init__(self, unit) -> None:
         self.unit = unit
         self.sim = unit.sim
+        #: Commits currently outstanding (admission-control window).
+        self.in_flight = 0
+        #: Submissions shed by admission control since construction.
+        self.shed_total = 0
 
     @property
     def participant(self) -> str:
@@ -66,7 +76,8 @@ class BlockplaneAPI:
         PBFT commitment in the local unit, plus ``fg`` remote mirror
         proofs when geo tolerance is enabled.
         """
-        return self.sim.spawn(
+        self._admit()
+        return self._tracked(
             self._commit_process(value, RECORD_LOG_COMMIT, None, payload_bytes)
         )
 
@@ -84,9 +95,37 @@ class BlockplaneAPI:
         if to not in self.unit.directory.participants:
             raise ConfigurationError(f"unknown destination participant {to!r}")
         meta = {"destination": to}
-        return self.sim.spawn(
+        self._admit()
+        return self._tracked(
             self._commit_process(message, RECORD_COMMUNICATION, meta, payload_bytes)
         )
+
+    def _admit(self) -> None:
+        """Admission gate: shed the submission (raise) at the window."""
+        limit = self.unit.config.admission_max_in_flight
+        if limit and self.in_flight >= limit:
+            self.shed_total += 1
+            obs = self.unit.obs
+            if obs.enabled:
+                obs.counter(
+                    "bp_admission_shed_total", participant=self.participant
+                ).inc()
+            raise Overloaded(
+                f"{self.participant}: {self.in_flight} commits in flight "
+                f"(admission_max_in_flight={limit})"
+            )
+
+    def _tracked(self, process) -> Future:
+        """Spawn a commit process and hold an admission slot until it
+        settles (success, rejection, or timeout all release it)."""
+        self.in_flight += 1
+        future = self.sim.spawn(process)
+
+        def _release(_completed: Future) -> None:
+            self.in_flight -= 1
+
+        future.add_done_callback(_release)
+        return future
 
     def _commit_process(
         self,

@@ -42,6 +42,18 @@ class BlockplaneConfig:
         transmission_retry_limit: Maximum re-ships per transmission
             record; once exhausted the reserve-daemon path is the only
             remaining recovery mechanism. 0 disables retransmission.
+        transmission_retry_max_delay_ms: Ceiling on the exponential
+            retransmission backoff (0 = uncapped). Keeps the retry
+            cadence responsive through long destination outages instead
+            of letting the delay grow without bound; a deterministic
+            per-(node, destination, attempt) jitter of up to 10% is
+            added on top so daemons do not retry in lockstep.
+        admission_max_in_flight: Maximum concurrently outstanding
+            ``log_commit``/``send`` calls per participant API before new
+            submissions are shed with
+            :class:`~repro.errors.Overloaded` (0 = unlimited). This is
+            the open-loop backpressure valve: arrivals beyond what the
+            unit can drain fail fast instead of queueing unboundedly.
         geo_request_timeout_ms: Extra slack (beyond the RTT estimate) a
             primary waits for a mirror proof before failing over to the
             next-closest secondary.
@@ -58,7 +70,13 @@ class BlockplaneConfig:
 
     f_independent: int = 1
     f_geo: int = 0
-    pbft: PBFTConfig = dataclasses.field(default_factory=PBFTConfig)
+    # Blockplane units run signed checkpoints (the node layer overrides
+    # the certificate hooks), so the executed-entry log is GC'd below
+    # each stable checkpoint by default — recovery past the retained
+    # suffix goes through certified snapshot state transfer.
+    pbft: PBFTConfig = dataclasses.field(
+        default_factory=lambda: PBFTConfig(gc_executed_log=True)
+    )
     sign_timeout_ms: float = 10.0
     transmission_fanout: int = 2
     reserve_poll_interval_ms: float = 500.0
@@ -66,6 +84,8 @@ class BlockplaneConfig:
     transmission_retry_timeout_ms: float = 250.0
     transmission_retry_backoff: float = 2.0
     transmission_retry_limit: int = 3
+    transmission_retry_max_delay_ms: float = 4_000.0
+    admission_max_in_flight: int = 0
     geo_request_timeout_ms: float = 60.0
     geo_suspicion_ttl_ms: float = 5_000.0
     heartbeat_interval_ms: float = 50.0
@@ -90,6 +110,14 @@ class BlockplaneConfig:
         if self.transmission_retry_limit < 0:
             raise ConfigurationError(
                 "transmission_retry_limit cannot be negative"
+            )
+        if self.transmission_retry_max_delay_ms < 0:
+            raise ConfigurationError(
+                "transmission_retry_max_delay_ms cannot be negative"
+            )
+        if self.admission_max_in_flight < 0:
+            raise ConfigurationError(
+                "admission_max_in_flight cannot be negative"
             )
 
     @property

@@ -33,6 +33,31 @@ from repro.core.records import (
 from repro.pbft.quorums import commit_quorum
 
 
+def retry_delay(
+    base_ms: float,
+    backoff: float,
+    attempts: int,
+    max_delay_ms: float,
+    node_id: str,
+    destination: str,
+) -> float:
+    """Exponential retransmission backoff, capped and jittered.
+
+    The exponential delay is clamped to ``max_delay_ms`` (0 disables the
+    cap), then stretched by a deterministic jitter of up to 10% derived
+    from the (node, destination, attempt) identity — daemons retrying
+    the same outage do not thunder in lockstep, yet runs stay exactly
+    reproducible.
+    """
+    delay = base_ms * (backoff ** attempts)
+    if max_delay_ms > 0:
+        delay = min(delay, max_delay_ms)
+    jitter = (
+        zlib.crc32(f"{node_id}:{destination}:{attempts}".encode()) % 997
+    ) / 997.0
+    return delay * (1.0 + 0.1 * jitter)
+
+
 class CommunicationDaemon:
     """Ships communication records from one node to one destination.
 
@@ -55,6 +80,10 @@ class CommunicationDaemon:
         #: source position -> re-ship attempts already used (present
         #: while a transport ack from the destination is outstanding).
         self._awaiting_ack: Dict[int, int] = {}
+        #: Source positions the destination has acknowledged receiving
+        #: (transport-level). Bounds Local Log truncation: the gateway
+        #: never folds a shipped-but-unacked communication record.
+        self._acked_positions: set = set()
         node.on_log_append.append(self._on_append)
         node.comm_daemons.append(self)
 
@@ -145,8 +174,13 @@ class CommunicationDaemon:
             node.send(target, message)
         if node.bp_config.transmission_retry_limit > 0:
             attempts = self._awaiting_ack.setdefault(entry.position, 0)
-            delay = node.bp_config.transmission_retry_timeout_ms * (
-                node.bp_config.transmission_retry_backoff ** attempts
+            delay = retry_delay(
+                node.bp_config.transmission_retry_timeout_ms,
+                node.bp_config.transmission_retry_backoff,
+                attempts,
+                node.bp_config.transmission_retry_max_delay_ms,
+                node.node_id,
+                self.destination,
             )
             node.set_timer(
                 delay, self._retransmit_if_unacked, entry.position, attempts
@@ -173,6 +207,28 @@ class CommunicationDaemon:
         if msg.receiver_participant != self.destination:
             return
         self._awaiting_ack.pop(msg.source_position, None)
+        self._acked_positions.add(msg.source_position)
+
+    def delivery_floor(self) -> Optional[int]:
+        """Oldest retained communication record to this destination not
+        yet transport-acknowledged, or None when everything retained was
+        acked. Local Log truncation never folds past this: a record the
+        destination may still be missing must stay re-shippable."""
+        base = self.node.local_log.base_position
+        if self._acked_positions:
+            # Positions folded by a past truncation can never be asked
+            # about again; drop them so the set tracks the window.
+            self._acked_positions = {
+                position
+                for position in self._acked_positions
+                if position >= base
+            }
+        for position in self.node.local_log.communication_positions(
+            self.destination
+        ):
+            if position not in self._acked_positions:
+                return position
+        return None
 
     def _retransmit_if_unacked(self, position: int, attempts_at_send: int) -> None:
         """Re-ship a transmission whose transport ack never arrived."""
@@ -181,6 +237,11 @@ class CommunicationDaemon:
         if attempts is None or attempts != attempts_at_send:
             return  # acked, or a newer attempt owns the timer
         if not self.active or node.crashed:
+            return
+        if not node.local_log.covers(position):
+            # Folded by truncation — only possible once acked (the
+            # delivery floor holds truncation back), so nothing to do.
+            self._awaiting_ack.pop(position, None)
             return
         if attempts >= node.bp_config.transmission_retry_limit:
             # Out of budget: leave recovery to the reserve-daemon path.

@@ -1,7 +1,7 @@
 """The Local Log — one participant's ordered, replicated event log.
 
-Every Blockplane node keeps a full copy (``L_i`` in the paper); entries
-are appended only through PBFT execution, so all honest copies agree
+Every Blockplane node keeps a copy (``L_i`` in the paper); entries are
+appended only through PBFT execution, so all honest copies agree
 (Lemma 1). On top of the raw sequence the log maintains the two indexes
 the middleware needs constantly:
 
@@ -9,6 +9,18 @@ the middleware needs constantly:
   communication daemons walk), and
 * per-source reception state (the last received source position, used
   by the receive verification routine to reject duplicates and gaps).
+
+The paper treats the log as append-only forever; this implementation
+adds the production machinery that keeps memory bounded under
+sustained load. Positions stay global and 1-based for the log's whole
+lifetime, but the *retained* window starts at :attr:`base_position`:
+:meth:`truncate_before` folds everything below a stable checkpoint's
+watermark into a :class:`~repro.core.records.LogSnapshot` (digest
+chain head + communication chain heads + reception floors), and
+:meth:`restore` installs such a snapshot on a recovering replica so it
+can catch up from the retained suffix instead of replaying from
+position 1. All chain-pointer and duplicate/gap questions keep
+answering identically across the truncation boundary.
 """
 
 from __future__ import annotations
@@ -17,16 +29,22 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.records import (
     LogEntry,
+    LogSnapshot,
     RECORD_COMMUNICATION,
     RECORD_RECEIVED,
     SealedTransmission,
 )
+from repro.crypto.digest import stable_digest
 from repro.errors import LogError
 from repro.obs.hub import DISABLED
 
+#: Chain value "before the first entry" — shared by every honest log.
+GENESIS_CHAIN = stable_digest(("local-log-genesis",))
+
 
 class LocalLog:
-    """An append-only log of :class:`LogEntry` with Blockplane indexes.
+    """A log of :class:`LogEntry` with Blockplane indexes and a
+    truncatable retained window.
 
     Args:
         participant: Name of the owning participant (for errors/traces).
@@ -40,9 +58,23 @@ class LocalLog:
         self.obs = obs if obs is not None else DISABLED
         self.node_id = node_id
         self.entries: List[LogEntry] = []
+        #: First retained position; entries below it are folded into
+        #: the snapshot state (1 = nothing folded yet).
+        self.base_position = 1
+        #: Digest chain head over the folded prefix.
+        self.base_chain = GENESIS_CHAIN
+        # Chain value *after* each retained entry (parallel to entries).
+        self._chain_values: List[str] = []
         self._comm_by_destination: Dict[str, List[int]] = {}
+        # Last *folded* communication position per destination: the
+        # chain predecessor of the first retained comm record.
+        self._comm_heads: Dict[str, int] = {}
         self._last_received_from: Dict[str, int] = {}
         self._received_positions: Dict[str, set] = {}
+        # Highest folded received source position per source; folded
+        # receptions all sit at or below it (receptions commit in
+        # source order), so membership below the floor means "received".
+        self._reception_floors: Dict[str, int] = {}
         # Metric handles resolved once per record type instead of per
         # append (a registry lookup canonicalizes the label set every
         # time; appends are the hottest metric site after the network).
@@ -50,15 +82,54 @@ class LocalLog:
         self._length_gauge = None
 
     def __len__(self) -> int:
-        return len(self.entries)
+        """Total positions ever written (folded + retained)."""
+        return self.base_position - 1 + len(self.entries)
 
     def __iter__(self) -> Iterator[LogEntry]:
+        """Iterate the *retained* entries."""
         return iter(self.entries)
 
     @property
     def next_position(self) -> int:
         """Position the next appended entry will take (1-based)."""
-        return len(self.entries) + 1
+        return self.base_position + len(self.entries)
+
+    @property
+    def last_position(self) -> int:
+        """Highest position ever written (0 for an empty log)."""
+        return len(self)
+
+    @property
+    def retained_count(self) -> int:
+        """How many entries are currently held in memory."""
+        return len(self.entries)
+
+    @property
+    def entry_chain(self) -> str:
+        """Digest chain head over every entry ever appended."""
+        return self._chain_values[-1] if self._chain_values else self.base_chain
+
+    def covers(self, position: int) -> bool:
+        """Whether the entry at ``position`` is retained (readable)."""
+        return self.base_position <= position <= len(self)
+
+    def chain_at(self, position: int) -> str:
+        """Chain value after applying entries ``1 .. position``.
+
+        ``position == base_position - 1`` answers the folded boundary;
+        anything below that is gone.
+
+        Raises:
+            LogError: If the chain value is not available.
+        """
+        if position == self.base_position - 1:
+            return self.base_chain
+        if not self.covers(position):
+            raise LogError(
+                f"{self.participant}: no chain value at {position} "
+                f"(retained window {self.base_position}..{len(self)})"
+            )
+        return self._chain_values[position - self.base_position]
 
     def append(
         self,
@@ -75,7 +146,13 @@ class LocalLog:
             meta=meta,
             payload_bytes=payload_bytes,
         )
+        previous_chain = (
+            self._chain_values[-1] if self._chain_values else self.base_chain
+        )
         self.entries.append(entry)
+        self._chain_values.append(
+            stable_digest((previous_chain, entry.digest()))
+        )
         if record_type == RECORD_COMMUNICATION:
             destination = entry.destination
             if destination is None:
@@ -136,39 +213,176 @@ class LocalLog:
         """Return the entry at a 1-based position.
 
         Raises:
-            LogError: If the position has not been written yet.
+            LogError: If the position was never written, or has been
+                folded into a snapshot by :meth:`truncate_before`.
         """
-        if not 1 <= position <= len(self.entries):
+        if position < self.base_position:
+            raise LogError(
+                f"{self.participant}: position {position} folded into "
+                f"snapshot (retained from {self.base_position})"
+            )
+        if not 1 <= position <= len(self):
             raise LogError(
                 f"{self.participant}: position {position} not in log "
-                f"(length {len(self.entries)})"
+                f"(length {len(self)})"
             )
-        return self.entries[position - 1]
+        return self.entries[position - self.base_position]
 
     def read_from(self, position: int) -> List[LogEntry]:
-        """All entries at or above a position (for recovery reads)."""
-        if position < 1:
-            position = 1
-        return self.entries[position - 1 :]
+        """All *retained* entries at or above a position (recovery
+        reads; positions below the snapshot boundary are represented by
+        the snapshot, not replayable entries)."""
+        if position < self.base_position:
+            position = self.base_position
+        return self.entries[position - self.base_position :]
+
+    # ------------------------------------------------------------------
+    # Snapshots and truncation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> LogSnapshot:
+        """The snapshot that would result from folding *everything*
+        written so far (what a checkpoint at the current watermark
+        certifies)."""
+        comm_heads = dict(self._comm_heads)
+        for destination, positions in self._comm_by_destination.items():
+            if positions:
+                comm_heads[destination] = positions[-1]
+        floors = dict(self._reception_floors)
+        for source, received in self._received_positions.items():
+            if received:
+                floors[source] = max(floors.get(source, 0), max(received))
+        return LogSnapshot(
+            participant=self.participant,
+            base_position=self.next_position,
+            entry_chain=self.entry_chain,
+            comm_heads=tuple(sorted(comm_heads.items())),
+            reception_floors=tuple(sorted(floors.items())),
+        )
+
+    def truncate_before(self, position: int) -> LogSnapshot:
+        """Fold every entry below ``position`` into the base snapshot.
+
+        Communication records fold into per-destination chain heads,
+        received records into per-source reception floors; the digest
+        chain head advances so honest logs remain comparable. Returns
+        the snapshot describing the new base.
+
+        Raises:
+            LogError: If ``position`` lies beyond the next position
+                (cannot truncate what was never written).
+        """
+        if position > self.next_position:
+            raise LogError(
+                f"{self.participant}: cannot truncate before {position}, "
+                f"next position is {self.next_position}"
+            )
+        if position <= self.base_position:
+            return self.base_snapshot()
+        drop = position - self.base_position
+        for entry in self.entries[:drop]:
+            if entry.record_type == RECORD_COMMUNICATION:
+                destination = entry.destination
+                self._comm_heads[destination] = entry.position
+                positions = self._comm_by_destination.get(destination)
+                if positions and positions[0] == entry.position:
+                    positions.pop(0)
+            elif entry.record_type == RECORD_RECEIVED and isinstance(
+                entry.value, SealedTransmission
+            ):
+                source = entry.value.record.source
+                source_position = entry.value.record.source_position
+                self._reception_floors[source] = max(
+                    self._reception_floors.get(source, 0), source_position
+                )
+                received = self._received_positions.get(source)
+                if received is not None:
+                    received.discard(source_position)
+        self.base_chain = self._chain_values[drop - 1]
+        del self.entries[:drop]
+        del self._chain_values[:drop]
+        self.base_position = position
+        if self.obs.enabled:
+            gauge = self._length_gauge
+            if gauge is None:
+                gauge = self._length_gauge = self.obs.gauge(
+                    "log_length", participant=self.participant
+                )
+            gauge.value = float(len(self.entries))
+            if self.obs.forensics:
+                self.obs.event(
+                    "log.truncate", participant=self.participant,
+                    node=self.node_id, base_position=self.base_position,
+                    retained=len(self.entries),
+                )
+        return self.base_snapshot()
+
+    def base_snapshot(self) -> LogSnapshot:
+        """The snapshot describing the current folded prefix."""
+        return LogSnapshot(
+            participant=self.participant,
+            base_position=self.base_position,
+            entry_chain=self.base_chain,
+            comm_heads=tuple(sorted(self._comm_heads.items())),
+            reception_floors=tuple(sorted(self._reception_floors.items())),
+        )
+
+    def restore(self, snapshot: LogSnapshot) -> None:
+        """Install a certified snapshot as this log's entire history
+        (recovering replica state transfer). Discards any retained
+        entries — the caller re-applies the suffix through PBFT
+        catch-up afterwards."""
+        if snapshot.participant != self.participant:
+            raise LogError(
+                f"snapshot for {snapshot.participant!r} offered to "
+                f"{self.participant!r}"
+            )
+        self.entries = []
+        self._chain_values = []
+        self.base_position = snapshot.base_position
+        self.base_chain = snapshot.entry_chain
+        self._comm_by_destination = {}
+        self._comm_heads = dict(snapshot.comm_heads)
+        self._reception_floors = dict(snapshot.reception_floors)
+        self._received_positions = {}
+        self._last_received_from = {
+            source: floor for source, floor in snapshot.reception_floors
+        }
+        if self.obs.enabled and self.obs.forensics:
+            self.obs.event(
+                "log.restore", participant=self.participant,
+                node=self.node_id, base_position=self.base_position,
+            )
 
     # ------------------------------------------------------------------
     # Communication-record chain (used by daemons)
     # ------------------------------------------------------------------
     def communication_positions(self, destination: str) -> List[int]:
-        """Positions of all communication records to ``destination``."""
+        """Positions of the *retained* communication records to
+        ``destination`` (folded ones live on as
+        :meth:`folded_communication_head`)."""
         return list(self._comm_by_destination.get(destination, []))
+
+    def folded_communication_head(self, destination: str) -> Optional[int]:
+        """Position of the last communication record to ``destination``
+        folded into the snapshot, or None."""
+        return self._comm_heads.get(destination)
 
     def previous_communication_position(
         self, destination: str, position: int
     ) -> Optional[int]:
         """Position of the communication record to ``destination``
         immediately before ``position`` (the chain pointer of
-        Algorithm 2), or None if it is the first."""
+        Algorithm 2), or None if it is the first. Survives truncation:
+        the first retained record points at the folded chain head."""
         previous = None
         for comm_position in self._comm_by_destination.get(destination, []):
             if comm_position >= position:
                 break
             previous = comm_position
+        if previous is None:
+            head = self._comm_heads.get(destination)
+            if head is not None and head < position:
+                return head
         return previous
 
     # ------------------------------------------------------------------
@@ -177,9 +391,17 @@ class LocalLog:
     def last_received_from(self, source: str) -> int:
         """Highest source-log position received from ``source`` (0 if
         nothing yet). This is what nodes report to remote reserves."""
-        return self._last_received_from.get(source, 0)
+        return max(
+            self._last_received_from.get(source, 0),
+            self._reception_floors.get(source, 0),
+        )
 
     def has_received(self, source: str, source_position: int) -> bool:
         """Whether a transmission at that source position was already
-        committed here (duplicate detection)."""
+        committed here (duplicate detection). Positions at or below the
+        reception floor were folded by truncation; everything folded
+        from a source sits below its floor, so the floor check is exact
+        for any position a well-formed transmission can carry."""
+        if source_position <= self._reception_floors.get(source, 0):
+            return True
         return source_position in self._received_positions.get(source, set())

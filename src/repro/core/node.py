@@ -35,17 +35,23 @@ from repro.core.messages import (
 )
 from repro.core.records import (
     LogEntry,
+    LogSnapshot,
     MirrorEntry,
     RECORD_COMMUNICATION,
     RECORD_LOG_COMMIT,
     RECORD_MIRROR,
     RECORD_RECEIVED,
+    RECORD_TRUNCATE,
     SealedTransmission,
 )
 from repro.core.verification import VerificationRoutines
 from repro.crypto.signatures import QuorumProof, sign, verify
-from repro.pbft.messages import ClientRequest, CommittedEntry
-from repro.pbft.replica import NOOP_RECORD_TYPE, PBFTReplica
+from repro.pbft.messages import (
+    CheckpointCertificate,
+    ClientRequest,
+    CommittedEntry,
+)
+from repro.pbft.replica import NOOP_RECORD_TYPE, PBFTReplica, checkpoint_digest
 from repro.sim.process import Future
 
 
@@ -144,6 +150,8 @@ class BlockplaneNode(PBFTReplica):
         self._position_waiters: Dict[int, List[Future]] = {}
         self._read_counter = 0
         self._read_collectors: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        #: Gateway-only guard: a truncation proposal is outstanding.
+        self._truncate_inflight = False
         self.on_executed.append(self._apply_entry)
 
     # ------------------------------------------------------------------
@@ -184,6 +192,8 @@ class BlockplaneNode(PBFTReplica):
             return self._verify_reception(value)
         if record_type == RECORD_MIRROR:
             return self._verify_mirror(value)
+        if record_type == RECORD_TRUNCATE:
+            return self._verify_truncate(value, meta)
         return False
 
     def _verify_reception(self, sealed: Any) -> Optional[bool]:
@@ -265,6 +275,33 @@ class BlockplaneNode(PBFTReplica):
             return False
         self._reception_heads[record.source] = record.source_position
         self._voted_receptions[key] = digest
+        return True
+
+    def _verify_truncate(
+        self, value: Any, meta: Optional[Dict[str, Any]]
+    ) -> Optional[bool]:
+        """Validate a gateway's truncation proposal against our *own*
+        checkpoint certificate (never trust the proposer's bound).
+
+        Defers (None) while our stable checkpoint lags the cited one —
+        deferred slots are retried on every stabilization — and rejects
+        proposals that would fold positions beyond what our certificate
+        covers: our stable watermark is at least the cited one, and
+        snapshot bases grow monotonically with the watermark, so an
+        honest proposer's bound can never exceed our certified base.
+        """
+        if not isinstance(value, int) or value < 1:
+            return False
+        checkpoint_seq = (meta or {}).get("checkpoint_seq")
+        if not isinstance(checkpoint_seq, int) or checkpoint_seq < 1:
+            return False
+        certified = self._stable_snapshot_payload
+        if self.stable_checkpoint < checkpoint_seq or not isinstance(
+            certified, LogSnapshot
+        ):
+            return None
+        if value > certified.base_position:
+            return False
         return True
 
     def _verify_mirror(self, value: Any) -> bool:
@@ -366,9 +403,31 @@ class BlockplaneNode(PBFTReplica):
                 waiter.resolve(entry.position)
         if committed.record_type == RECORD_RECEIVED:
             self._apply_reception(entry)
+        elif committed.record_type == RECORD_TRUNCATE:
+            self._apply_truncate(committed)
         for callback in list(self.on_log_append):
             callback(entry)
         self._retry_deferred_sign_requests()
+
+    def _apply_truncate(self, committed: CommittedEntry) -> None:
+        """Fold the Local Log prefix below the committed bound. The
+        marker entry itself always survives: the bound never exceeds a
+        certified snapshot base, which precedes the marker's position."""
+        self._truncate_inflight = False
+        before = self.local_log.retained_count
+        self.local_log.truncate_before(committed.value)
+        dropped = before - self.local_log.retained_count
+        if self.obs.enabled:
+            self.obs.counter(
+                "bp_log_truncations_total", participant=self.participant
+            ).inc()
+            self.obs.counter(
+                "bp_log_entries_folded_total", participant=self.participant
+            ).inc(float(dropped))
+        self.sim.trace.record(
+            "bp.truncate", self.sim.now, node=self.node_id,
+            base=self.local_log.base_position, dropped=dropped,
+        )
 
     def _record_apply_obs(
         self, committed: CommittedEntry, entry: LogEntry, trace
@@ -396,6 +455,101 @@ class BlockplaneNode(PBFTReplica):
             participant=self.participant, node=self.node_id,
             position=entry.position, record_type=committed.record_type,
         )
+
+    # ------------------------------------------------------------------
+    # Signed checkpoints & snapshot state transfer (PBFT hook overrides)
+    # ------------------------------------------------------------------
+    def _checkpoint_payload(self, seq: int) -> LogSnapshot:
+        """The middleware state a checkpoint at ``seq`` certifies: a
+        snapshot folding the entire Local Log as of executing ``seq``
+        (deterministic across honest replicas by Lemma 1)."""
+        return self.local_log.snapshot()
+
+    def _sign_checkpoint(self, digest: str) -> Any:
+        return sign(self.directory.registry, self.node_id, digest)
+
+    def _checkpoint_vote_valid(self, msg) -> bool:
+        """Accept only votes whose signature verifies over the vote's
+        own (seq, state, snapshot) digest — unsigned or spoofed votes
+        never count toward a certificate."""
+        signature = msg.signature
+        if signature is None or signature.signer != msg.replica:
+            return False
+        return verify(
+            self.directory.registry,
+            signature,
+            checkpoint_digest(msg.seq, msg.state_digest, msg.snapshot_digest),
+        )
+
+    def _certificate_valid(self, certificate: Any) -> bool:
+        """A transferred certificate convinces us with ``fi + 1`` valid
+        member signatures (at least one honest voter stands behind it)."""
+        if not isinstance(certificate, CheckpointCertificate):
+            return False
+        digest = checkpoint_digest(
+            certificate.seq,
+            certificate.state_digest,
+            certificate.snapshot_digest,
+        )
+        valid: set = set()
+        for replica, signature in certificate.signatures:
+            if replica in valid or replica not in self.peers:
+                continue
+            if signature is None or signature.signer != replica:
+                continue
+            if verify(self.directory.registry, signature, digest):
+                valid.add(replica)
+        return len(valid) >= self.bp_config.proof_size
+
+    def _install_snapshot_payload(self, payload: Any, seq: int) -> bool:
+        """Adopt a certified Local Log snapshot (state transfer). The
+        caller has already matched ``payload`` against the certificate's
+        snapshot digest."""
+        if not isinstance(payload, LogSnapshot):
+            return False
+        if payload.participant != self.participant:
+            return False
+        self.local_log.restore(payload)
+        # Reception machinery resumes at the snapshot's floors: chain
+        # delivery and vote heads continue from the last folded source
+        # position of each remote participant.
+        floors = dict(payload.reception_floors)
+        self._reception_heads = dict(floors)
+        self._delivered_heads = dict(floors)
+        self._reception_reorder.clear()
+        return True
+
+    def _on_stable_checkpoint(
+        self, seq: int, certificate: Any, payload: Any
+    ) -> None:
+        """Gateway: propose folding the Local Log below the certified
+        snapshot base (held back to the oldest still-unacknowledged
+        shipped transmission, so retransmission never needs a folded
+        entry). The bound is committed through PBFT and re-validated by
+        every member against its own certificate before voting."""
+        if not isinstance(payload, LogSnapshot):
+            return
+        if self.node_id != self.directory.gateway(self.participant):
+            return
+        if self._truncate_inflight or self.crashed:
+            return
+        bound = payload.base_position
+        for daemon in self.comm_daemons:
+            floor = daemon.delivery_floor()
+            if floor is not None:
+                bound = min(bound, floor)
+        if bound <= self.local_log.base_position:
+            return
+        self._truncate_inflight = True
+        future = self.local_commit(
+            bound, RECORD_TRUNCATE, meta={"checkpoint_seq": seq}
+        )
+
+        def _done(completed: Future) -> None:
+            if completed.exception is not None:
+                self._truncate_inflight = False
+
+        future.add_done_callback(_done)
 
     # ------------------------------------------------------------------
     # View-change hygiene
@@ -712,14 +866,17 @@ class BlockplaneNode(PBFTReplica):
         deferred, self._deferred_sign_requests = (
             self._deferred_sign_requests, []
         )
+        base = self.local_log.base_position
         for src, msg in deferred:
+            if msg.purpose != "mirror-held" and 0 < msg.position < base:
+                continue  # folded by truncation; never attestable again
             self.handle_sign_request(msg, src)
 
     def _attest(self, msg: SignRequest) -> bool:
         """Check the digest against our own Local Log copy."""
         if msg.purpose == "mirror-held":
             return self._attest_mirror_held(msg)
-        if not 1 <= msg.position <= len(self.local_log):
+        if not self.local_log.covers(msg.position):
             return False
         entry = self.local_log.read(msg.position)
         if msg.purpose == "transmission":
@@ -940,7 +1097,7 @@ class BlockplaneNode(PBFTReplica):
     def handle_read_request(self, msg: ReadRequest, src: str) -> None:
         """Serve a Local Log read from this node's copy."""
         entry = None
-        if 1 <= msg.position <= len(self.local_log):
+        if self.local_log.covers(msg.position):
             entry = self.local_log.read(msg.position)
         response = ReadResponse(
             position=msg.position,

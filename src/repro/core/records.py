@@ -35,6 +35,11 @@ RECORD_LOG_COMMIT = "log-commit"
 RECORD_COMMUNICATION = "communication"
 RECORD_RECEIVED = "received"
 RECORD_MIRROR = "mirror"
+#: A committed truncation marker: fold every Local Log entry below the
+#: carried position into the unit's stable snapshot. Proposed by the
+#: gateway once a checkpoint certificate is stable, verified by every
+#: unit member against its *own* certificate before it votes.
+RECORD_TRUNCATE = "truncate"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,6 +141,45 @@ class SealedTransmission:
 
 
 @dataclasses.dataclass(frozen=True)
+class LogSnapshot:
+    """The folded prefix of a Local Log (everything below a stable
+    checkpoint's watermark), compressed to what the middleware still
+    needs from those entries:
+
+    * the digest chain head over the folded entries (so two snapshots
+      of the same prefix are comparable without the entries), and
+    * the per-destination communication chain heads plus per-source
+      reception floors that keep ``previous_communication_position`` /
+      ``has_received`` / ``last_received_from`` answering identically
+      across the truncation boundary.
+
+    Attributes:
+        participant: Owning participant.
+        base_position: First position *not* folded (entries at
+            ``position < base_position`` are covered by this snapshot).
+        entry_chain: Digest chain head after folding positions
+            ``1 .. base_position - 1``.
+        comm_heads: Per destination, the position of the last folded
+            communication record (sorted tuple of pairs).
+        reception_floors: Per source, the highest folded received
+            source position (sorted tuple of pairs). Receptions commit
+            in source order, so every folded reception from a source
+            sits at or below its floor.
+    """
+
+    participant: str
+    base_position: int
+    entry_chain: str
+    comm_heads: Tuple[Tuple[str, int], ...] = ()
+    reception_floors: Tuple[Tuple[str, int], ...] = ()
+
+    def digest(self) -> str:
+        """Canonical digest (identity-memoized); this is what a
+        checkpoint certificate certifies as ``snapshot_digest``."""
+        return cached_digest(self, _log_snapshot_digest)
+
+
+@dataclasses.dataclass(frozen=True)
 class MirrorEntry:
     """A source participant's entry as shipped to a mirror.
 
@@ -183,6 +227,18 @@ def _transmission_digest(record: "TransmissionRecord") -> str:
             cached_digest(record.message),
             record.source_position,
             record.prev_position,
+        )
+    )
+
+
+def _log_snapshot_digest(snapshot: "LogSnapshot") -> str:
+    return stable_digest(
+        (
+            snapshot.participant,
+            snapshot.base_position,
+            snapshot.entry_chain,
+            snapshot.comm_heads,
+            snapshot.reception_floors,
         )
     )
 

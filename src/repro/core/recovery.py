@@ -61,11 +61,41 @@ def force_view_change(unit: BlockplaneUnit) -> None:
         node._start_view_change(target)
 
 
-def resync_node(node) -> None:
-    """Ask peers for the committed suffix this node is missing."""
+def resync_node(node, patience: int = 3) -> Future:
+    """Ask peers for the state this node is missing, re-asking until it
+    converges.
+
+    Peers answer with either the committed suffix or — when the node
+    fell below their garbage-collected history — a certified snapshot
+    plus the retained suffix (state transfer). A single request can be
+    lost or arrive while peers are mid-view-change, so this keeps
+    re-broadcasting on the catch-up timeout cadence until ``patience``
+    consecutive rounds pass without execution progress.
+
+    Returns a future resolving with the node's final ``last_executed``
+    (callers may ignore it; the process needs no supervision).
+    """
     if node.obs.forensics:
         node.obs.event(
             "recovery.resync", participant=node.site, node=node.node_id,
             from_seq=node.last_executed + 1,
         )
-    node._request_catch_up()
+    sim = node.sim
+
+    def _resync():
+        silent = 0
+        last_seen = node.last_executed
+        node._request_catch_up()
+        while silent < patience:
+            yield sim.sleep(node.config.catch_up_timeout_ms)
+            if node.crashed:
+                return node.last_executed
+            if node.last_executed > last_seen:
+                last_seen = node.last_executed
+                silent = 0
+            else:
+                silent += 1
+            node._request_catch_up()
+        return node.last_executed
+
+    return sim.spawn(_resync())

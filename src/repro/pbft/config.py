@@ -23,6 +23,13 @@ class PBFTConfig:
             catch-up responses before asking again.
         max_log_gap: A replica that sees commitment running this far
             ahead of its execution point proactively requests catch-up.
+        gc_executed_log: Garbage-collect the executed-entry log below
+            each stable checkpoint. Requires signed checkpoints (a
+            subclass overriding the certificate hooks, e.g. Blockplane
+            nodes): replicas that fell below every peer's retained
+            suffix can then only rejoin by certified snapshot state
+            transfer. Off by default so plain PBFT groups keep the full
+            replay log.
     """
 
     request_timeout_ms: float = 50.0
@@ -30,3 +37,4 @@ class PBFTConfig:
     checkpoint_interval: int = 64
     catch_up_timeout_ms: float = 20.0
     max_log_gap: int = 256
+    gc_executed_log: bool = False

@@ -128,11 +128,52 @@ class RejectRequest(Message):
 
 @dataclasses.dataclass(slots=True)
 class Checkpoint(Message):
-    """Periodic state summary enabling log truncation (replica → all)."""
+    """Periodic state summary enabling log truncation (replica → all).
+
+    Attributes:
+        seq: Watermark sequence number (a multiple of the group's
+            checkpoint interval).
+        state_digest: Execution chain head after executing ``seq``.
+        snapshot_digest: Digest of the middleware snapshot the watermark
+            folds to (Blockplane: the Local Log's
+            :class:`~repro.core.records.LogSnapshot`; "" for plain PBFT
+            groups with no snapshot payload).
+        signature: Signature over
+            :func:`~repro.pbft.replica.checkpoint_digest`, so a quorum
+            of matching votes forms a *transferable* certificate (None
+            for unsigned plain-PBFT groups).
+        replica: Voting replica.
+    """
 
     seq: int = 0
     state_digest: str = ""
+    snapshot_digest: str = ""
+    signature: Any = None
     replica: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointCertificate:
+    """A stable checkpoint: a quorum of matching checkpoint votes.
+
+    With signed votes this is transferable evidence — a recovering
+    replica can trust a certificate carrying ``f + 1`` valid signatures
+    from group members (at least one honest) and install the certified
+    snapshot instead of replaying the log from position 1.
+
+    Attributes:
+        seq: The certified watermark.
+        state_digest: The agreed execution chain head at ``seq``.
+        snapshot_digest: The agreed snapshot digest at ``seq``.
+        signatures: ``(replica, signature)`` pairs from the matching
+            votes (empty for unsigned groups — such certificates are
+            local book-keeping only and never convince a peer).
+    """
+
+    seq: int
+    state_digest: str
+    snapshot_digest: str
+    signatures: Tuple[Tuple[str, Any], ...] = ()
 
 
 @dataclasses.dataclass(slots=True)
@@ -183,5 +224,18 @@ class CatchUpRequest(Message):
 class CatchUpResponse(Message):
     """Committed entries above the requester's execution point."""
 
+    entries: List[CommittedEntry] = dataclasses.field(default_factory=list)
+    replica: str = ""
+
+
+@dataclasses.dataclass(slots=True)
+class SnapshotResponse(Message):
+    """State transfer for a replica behind the responder's retained log:
+    the responder's stable checkpoint certificate, its snapshot payload
+    (Blockplane: a :class:`~repro.core.records.LogSnapshot`), and the
+    retained committed suffix above the watermark."""
+
+    certificate: Optional[CheckpointCertificate] = None
+    snapshot: Any = None
     entries: List[CommittedEntry] = dataclasses.field(default_factory=list)
     replica: str = ""

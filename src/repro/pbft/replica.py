@@ -35,6 +35,7 @@ from repro.pbft.messages import (
     CatchUpRequest,
     CatchUpResponse,
     Checkpoint,
+    CheckpointCertificate,
     ClientRequest,
     Commit,
     CommittedEntry,
@@ -44,6 +45,7 @@ from repro.pbft.messages import (
     PreparedCertificate,
     RejectRequest,
     Reply,
+    SnapshotResponse,
     ViewChange,
 )
 from repro.pbft.quorums import (
@@ -86,6 +88,13 @@ def catch_up_digest(value: Any, record_type: str, seq: int) -> str:
     """Digest peers vote on when vouching a caught-up entry for a slot
     (same value-folding rationale as :func:`request_digest`)."""
     return stable_digest((cached_digest(value), record_type, seq))
+
+
+def checkpoint_digest(seq: int, state_digest: str, snapshot_digest: str) -> str:
+    """The digest a signed checkpoint vote covers: the watermark, the
+    execution chain head, and the middleware snapshot digest together.
+    Both sides of a vote/certificate check use this one formula."""
+    return stable_digest((seq, state_digest, snapshot_digest))
 
 
 #: Digest of the hole-filler proposal. It is a constant of the protocol
@@ -204,7 +213,25 @@ class PBFTReplica(Node):
         self._highest_vote: Dict[str, int] = {}
         self._last_view_change_vote: Optional[ViewChange] = None
         self._escalations = 0
-        self._checkpoints: Dict[int, Dict[str, str]] = {}
+        # seq → replica → its Checkpoint vote (digests + signature).
+        self._checkpoints: Dict[int, Dict[str, Checkpoint]] = {}
+        #: Certificate of the latest stable checkpoint (None until the
+        #: first one stabilizes).
+        self.stable_certificate: Optional[CheckpointCertificate] = None
+        # Snapshot payloads taken at our own checkpoint broadcasts,
+        # kept until their watermark stabilizes (then only the stable
+        # one survives).
+        self._checkpoint_payloads: Dict[int, Any] = {}
+        self._stable_snapshot_payload: Any = None
+        # Highest seq garbage-collected out of ``executed_entries``
+        # (0 = full log retained). Catch-up requests at or below it are
+        # served by snapshot state transfer instead of entry replay.
+        self._executed_gc_seq = 0
+        #: Diagnostics for the state-transfer path.
+        self.snapshot_installs = 0
+        self.snapshot_install_seq = 0
+        self.snapshots_served = 0
+        self.snapshot_offers_rejected = 0
         #: seq → trace context of a just-executed traced slot; consumed
         #: by subclasses that attach further spans (Blockplane's Local
         #: Log apply pops entries as it handles them).
@@ -854,37 +881,177 @@ class PBFTReplica(Node):
     # ------------------------------------------------------------------
     # Checkpoints
     # ------------------------------------------------------------------
+    @property
+    def low_water(self) -> int:
+        """The low-water mark: the latest stable checkpoint's seq."""
+        return self.stable_checkpoint
+
+    # --- hooks overridden by middleware subclasses (Blockplane nodes
+    # attach a Local Log snapshot and HMAC signatures; plain PBFT
+    # groups checkpoint unsigned execution digests only) ---
+    def _checkpoint_payload(self, seq: int) -> Any:
+        """Middleware snapshot taken at a checkpoint broadcast (None
+        for plain PBFT)."""
+        return None
+
+    def _snapshot_digest_of(self, payload: Any) -> str:
+        """Digest of a checkpoint's snapshot payload ("" for None)."""
+        if payload is None:
+            return ""
+        return payload.digest()
+
+    def _sign_checkpoint(self, digest: str) -> Any:
+        """Sign our checkpoint vote (None = unsigned)."""
+        return None
+
+    def _checkpoint_vote_valid(self, msg: Checkpoint) -> bool:
+        """Whether a peer's checkpoint vote is admissible (subclasses
+        verify the signature before the vote can count)."""
+        return True
+
+    def _certificate_valid(self, certificate: CheckpointCertificate) -> bool:
+        """Whether a *fetched* certificate proves its watermark. Plain
+        PBFT votes are unsigned, so nothing transferable can be proved
+        — subclasses with signing keys override this."""
+        return False
+
+    def _install_snapshot_payload(self, payload: Any, seq: int) -> bool:
+        """Install a certified snapshot's middleware state (Blockplane
+        restores its Local Log here). Returns False to refuse."""
+        return payload is None
+
+    def _on_stable_checkpoint(
+        self,
+        seq: int,
+        certificate: CheckpointCertificate,
+        payload: Any,
+    ) -> None:
+        """Subclass hook fired after a checkpoint stabilizes locally
+        (Blockplane's gateway proposes Local Log truncation here)."""
+
     def _broadcast_checkpoint(self, seq: int) -> None:
+        if seq <= self.stable_checkpoint:
+            # A quorum already certified this watermark (we learned the
+            # certificate before executing the slot ourselves); voting
+            # again would only leak a payload nobody can count.
+            return
+        payload = self._checkpoint_payload(seq)
+        snapshot_digest = self._snapshot_digest_of(payload)
+        if payload is not None:
+            self._checkpoint_payloads[seq] = payload
         checkpoint = Checkpoint(
-            seq=seq, state_digest=self._exec_chain, replica=self.node_id
+            seq=seq,
+            state_digest=self._exec_chain,
+            snapshot_digest=snapshot_digest,
+            signature=self._sign_checkpoint(
+                checkpoint_digest(seq, self._exec_chain, snapshot_digest)
+            ),
+            replica=self.node_id,
         )
         self.broadcast(self.peers, checkpoint)
         self.handle_checkpoint(checkpoint, self.node_id)
 
     def handle_checkpoint(self, msg: Checkpoint, src: str) -> None:
-        """Gather checkpoint votes; truncate the slot log when stable."""
+        """Gather checkpoint votes; stabilize on a quorum of matching
+        (state, snapshot) digests."""
         if msg.replica != src or msg.seq <= self.stable_checkpoint:
             return
+        if not self._checkpoint_vote_valid(msg):
+            return
         votes = self._checkpoints.setdefault(msg.seq, {})
-        votes[src] = msg.state_digest
-        digests = list(votes.values())
-        for digest in set(digests):
-            if digests.count(digest) >= commit_quorum(self.f):
-                self.stable_checkpoint = msg.seq
-                for seq in [s for s in self.slots if s <= msg.seq]:
-                    if self.slots[seq].executed:
-                        del self.slots[seq]
-                for seq in [s for s in self._checkpoints if s <= msg.seq]:
-                    del self._checkpoints[seq]
-                self.sim.trace.record(
-                    "pbft.stable_checkpoint", self.sim.now,
-                    node=self.node_id, seq=msg.seq,
+        votes[src] = msg
+        tally: Dict[Tuple[str, str], int] = {}
+        for vote in votes.values():
+            key = (vote.state_digest, vote.snapshot_digest)
+            tally[key] = tally.get(key, 0) + 1
+        for (state_digest, snapshot_digest), count in tally.items():
+            if count >= commit_quorum(self.f):
+                self._stabilize_checkpoint(
+                    msg.seq, state_digest, snapshot_digest, votes
                 )
-                if msg.seq > self.last_executed:
-                    # 2f+1 replicas checkpointed state we have not even
-                    # executed: proof we are behind — state-transfer.
-                    self._request_catch_up()
                 return
+
+    def _stabilize_checkpoint(
+        self,
+        seq: int,
+        state_digest: str,
+        snapshot_digest: str,
+        votes: Dict[str, Checkpoint],
+    ) -> None:
+        signatures = tuple(
+            (replica, vote.signature)
+            for replica, vote in sorted(votes.items())
+            if vote.signature is not None
+            and (vote.state_digest, vote.snapshot_digest)
+            == (state_digest, snapshot_digest)
+        )
+        certificate = CheckpointCertificate(
+            seq=seq,
+            state_digest=state_digest,
+            snapshot_digest=snapshot_digest,
+            signatures=signatures,
+        )
+        self.stable_checkpoint = seq
+        self.stable_certificate = certificate
+        # Our own payload for this watermark becomes the served stable
+        # snapshot — but only if it matches what the quorum certified
+        # (a divergent local state must never be served as certified).
+        payload = None
+        for pending_seq in [s for s in self._checkpoint_payloads if s <= seq]:
+            stored = self._checkpoint_payloads.pop(pending_seq)
+            if pending_seq == seq:
+                payload = stored
+        if (
+            payload is not None
+            and self._snapshot_digest_of(payload) == snapshot_digest
+        ):
+            self._stable_snapshot_payload = payload
+        for slot_seq in [s for s in self.slots if s <= seq]:
+            if self.slots[slot_seq].executed:
+                del self.slots[slot_seq]
+        for vote_seq in [s for s in self._checkpoints if s <= seq]:
+            del self._checkpoints[vote_seq]
+        dead = min(seq, self.last_executed)
+        for tally_seq in [s for s in self._catch_up_tally if s <= dead]:
+            del self._catch_up_tally[tally_seq]
+        for key in [k for k in self._catch_up_values if k[0] <= dead]:
+            del self._catch_up_values[key]
+        if self.config.gc_executed_log:
+            self._truncate_executed_entries(min(seq, self.last_executed))
+        self.sim.trace.record(
+            "pbft.stable_checkpoint", self.sim.now,
+            node=self.node_id, seq=seq,
+        )
+        if self.obs.forensics:
+            self.obs.event(
+                "pbft.stable_checkpoint", participant=self.site,
+                node=self.node_id, seq=seq,
+                snapshot_digest=snapshot_digest,
+            )
+        if seq <= self.last_executed:
+            self._on_stable_checkpoint(
+                seq, certificate, self._stable_snapshot_payload
+            )
+            # Verifications deferred on checkpoint lag (e.g. Blockplane
+            # truncation proposals) may be decidable now.
+            self._retry_deferred_verification()
+        else:
+            # 2f+1 replicas checkpointed state we have not even
+            # executed: proof we are behind — state-transfer.
+            self._request_catch_up()
+
+    def _truncate_executed_entries(self, seq: int) -> None:
+        """Drop executed entries at or below ``seq`` (the retained
+        suffix stays served by catch-up; anything lower is reachable
+        only through snapshot state transfer)."""
+        if seq <= self._executed_gc_seq:
+            return
+        self._executed_gc_seq = seq
+        cut = bisect.bisect_right(
+            self.executed_entries, seq, key=lambda entry: entry.seq
+        )
+        if cut:
+            del self.executed_entries[:cut]
 
     # ------------------------------------------------------------------
     # View changes
@@ -1137,7 +1304,45 @@ class PBFTReplica(Node):
         self.broadcast(self.peers, request)
 
     def handle_catch_up_request(self, msg: CatchUpRequest, src: str) -> None:
-        """Serve committed entries above the requester's watermark."""
+        """Serve committed entries above the requester's watermark —
+        or, when the requester needs history we garbage-collected,
+        the stable certificate + snapshot + retained suffix."""
+        if msg.from_seq <= self._executed_gc_seq:
+            certificate = self.stable_certificate
+            payload = self._stable_snapshot_payload
+            if (
+                certificate is not None
+                and self._snapshot_digest_of(payload)
+                == certificate.snapshot_digest
+            ):
+                start = bisect.bisect_left(
+                    self.executed_entries,
+                    certificate.seq + 1,
+                    key=lambda entry: entry.seq,
+                )
+                entries = self.executed_entries[start:]
+                self.snapshots_served += 1
+                self.sim.trace.record(
+                    "pbft.snapshot_serve", self.sim.now,
+                    node=self.node_id, to=src, seq=certificate.seq,
+                )
+                self.send(
+                    src,
+                    SnapshotResponse(
+                        payload_bytes=sum(
+                            entry.payload_bytes for entry in entries
+                        ),
+                        certificate=certificate,
+                        snapshot=payload,
+                        entries=entries,
+                        replica=self.node_id,
+                    ),
+                )
+                return
+            # No servable certificate (e.g. we just caught up ourselves
+            # and our payload predates the quorum's): fall through and
+            # serve whatever suffix we still retain — another peer's
+            # snapshot offer completes the transfer.
         # ``executed_entries`` is append-only in execution order, so the
         # suffix starts at a binary-searchable index — a full scan here
         # made every catch-up O(total log).
@@ -1158,7 +1363,12 @@ class PBFTReplica(Node):
         """Adopt entries vouched for by f+1 distinct peers."""
         if msg.replica != src:
             return
-        for entry in msg.entries:
+        self._tally_catch_up_entries(msg.entries, src)
+
+    def _tally_catch_up_entries(
+        self, entries: List[CommittedEntry], src: str
+    ) -> None:
+        for entry in entries:
             if entry.seq <= self.last_executed:
                 continue
             digest = catch_up_digest(entry.value, entry.record_type, entry.seq)
@@ -1166,6 +1376,82 @@ class PBFTReplica(Node):
             tally.setdefault(digest, set()).add(src)
             self._catch_up_values[(entry.seq, digest)] = entry
         self._apply_caught_up()
+
+    def handle_snapshot_response(self, msg: SnapshotResponse, src: str) -> None:
+        """State transfer: install a certified snapshot if it beats our
+        watermark, then tally the accompanying suffix like any other
+        catch-up response."""
+        if msg.replica != src:
+            return
+        certificate = msg.certificate
+        if certificate is not None and certificate.seq > self.last_executed:
+            if (
+                self._certificate_valid(certificate)
+                and self._snapshot_digest_of(msg.snapshot)
+                == certificate.snapshot_digest
+                and self._install_snapshot_payload(msg.snapshot, certificate.seq)
+            ):
+                self._adopt_snapshot(certificate, msg.snapshot)
+            else:
+                self.snapshot_offers_rejected += 1
+                self.sim.trace.record(
+                    "pbft.snapshot_reject", self.sim.now,
+                    node=self.node_id, src=src, seq=certificate.seq,
+                )
+                if self.obs.forensics:
+                    self.obs.event(
+                        "pbft.snapshot_reject", participant=self.site,
+                        node=self.node_id, src=src, seq=certificate.seq,
+                        snapshot_digest=certificate.snapshot_digest,
+                    )
+                return  # a lying offer taints the whole response
+        self._tally_catch_up_entries(msg.entries, src)
+
+    def _adopt_snapshot(
+        self, certificate: CheckpointCertificate, payload: Any
+    ) -> None:
+        """Jump execution state to a certified watermark (the snapshot
+        payload was already installed by the subclass hook)."""
+        seq = certificate.seq
+        self.snapshot_installs += 1
+        self.snapshot_install_seq = seq
+        self.last_executed = seq
+        self._exec_chain = certificate.state_digest
+        self.stable_checkpoint = seq
+        self.stable_certificate = certificate
+        self._stable_snapshot_payload = payload
+        self._executed_gc_seq = max(self._executed_gc_seq, seq)
+        # Everything we retained is below the watermark (install only
+        # happens for certificates beyond our execution point).
+        cut = bisect.bisect_right(
+            self.executed_entries, seq, key=lambda entry: entry.seq
+        )
+        del self.executed_entries[:cut]
+        for slot_seq in [s for s in self.slots if s <= seq]:
+            del self.slots[slot_seq]
+        for vote_seq in [s for s in self._checkpoints if s <= seq]:
+            del self._checkpoints[vote_seq]
+        for tally_seq in [s for s in self._catch_up_tally if s <= seq]:
+            del self._catch_up_tally[tally_seq]
+        for key in [k for k in self._catch_up_values if k[0] <= seq]:
+            del self._catch_up_values[key]
+        self.sim.trace.record(
+            "pbft.snapshot_install", self.sim.now,
+            node=self.node_id, seq=seq,
+        )
+        if self.obs.forensics:
+            self.obs.event(
+                "pbft.snapshot_install", participant=self.site,
+                node=self.node_id, seq=seq,
+                snapshot_digest=certificate.snapshot_digest,
+            )
+        if self.in_view_change:
+            # Same rationale as in ``_apply_caught_up``: the group is
+            # provably live beyond our old watermark.
+            self.in_view_change = False
+            self._escalations = 0
+        self._execute_ready()
+        self._retry_deferred_verification()
 
     def _apply_caught_up(self) -> None:
         advanced = False

@@ -1,6 +1,11 @@
 """Workload generation and experiment-running helpers."""
 
 from repro.workloads.generator import BatchWorkload, make_batch
+from repro.workloads.openloop import (
+    OpenLoopWorkload,
+    open_loop_process,
+    run_open_loop,
+)
 from repro.workloads.runner import (
     sequential_commit_latency,
     sequential_process,
@@ -8,7 +13,10 @@ from repro.workloads.runner import (
 
 __all__ = [
     "BatchWorkload",
+    "OpenLoopWorkload",
     "make_batch",
+    "open_loop_process",
+    "run_open_loop",
     "sequential_commit_latency",
     "sequential_process",
 ]

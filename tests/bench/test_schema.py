@@ -133,3 +133,82 @@ class TestViolations:
             check(document)
         message = str(excinfo.value)
         assert "ops" in message and "kind" in message
+
+
+class TestVersioning:
+    """v2 accepts archived v1 documents; mismatched pairs fail."""
+
+    def test_current_schema_is_v2(self):
+        assert SCHEMA_NAME == "repro.bench/v2"
+        assert SCHEMA_VERSION == 2
+
+    def test_v1_document_still_validates(self):
+        document = _document(schema="repro.bench/v1", schema_version=1)
+        assert validate(document) == []
+
+    def test_mismatched_name_version_pair_rejected(self):
+        errors = validate(
+            _document(schema="repro.bench/v1", schema_version=2)
+        )
+        assert any("schema_version" in error for error in errors)
+
+
+def _memory(**overrides):
+    memory = {
+        "retained_high_water": 812,
+        "retained_bound": 4_000,
+        "by_node": {"A-0": 812, "B-0": 640},
+    }
+    memory.update(overrides)
+    return memory
+
+
+class TestMemoryBlock:
+    """The optional v2 ``memory`` block on sustained-load results."""
+
+    def test_result_with_memory_validates(self):
+        document = _document(results=[_result(memory=_memory())])
+        assert validate(document) == []
+
+    def test_memory_is_optional(self):
+        assert validate(_document()) == []
+
+    def test_non_object_memory(self):
+        errors = validate(_document(results=[_result(memory=[1])]))
+        assert any("memory" in error for error in errors)
+
+    def test_negative_high_water(self):
+        errors = validate(
+            _document(
+                results=[_result(memory=_memory(retained_high_water=-1))]
+            )
+        )
+        assert any("retained_high_water" in error for error in errors)
+
+    def test_bool_is_not_an_int_bound(self):
+        errors = validate(
+            _document(results=[_result(memory=_memory(retained_bound=True))])
+        )
+        assert any("retained_bound" in error for error in errors)
+
+    def test_by_node_values_must_be_counts(self):
+        errors = validate(
+            _document(
+                results=[_result(memory=_memory(by_node={"A-0": "many"}))]
+            )
+        )
+        assert any("by_node" in error for error in errors)
+
+    def test_high_water_over_bound_rejected(self):
+        errors = validate(
+            _document(
+                results=[
+                    _result(
+                        memory=_memory(
+                            retained_high_water=5_000, retained_bound=4_000
+                        )
+                    )
+                ]
+            )
+        )
+        assert any("exceeds" in error for error in errors)

@@ -207,3 +207,156 @@ def test_duplicate_delivery_is_detected(sim):
     log_b.append(RECORD_RECEIVED, _sealed("A", "B", entry.position, None))
     violations = check_at_most_once(deployment)
     assert invariants_of(violations) == ["duplicate-delivery"]
+
+
+# ----------------------------------------------------------------------
+# Truncation-aware invariants
+# ----------------------------------------------------------------------
+def test_truncated_and_full_logs_still_agree(sim):
+    deployment = build_pair(sim)
+    logs = [node.local_log for node in deployment.unit("A").nodes]
+    for log in logs:
+        for value in ("a", "b", "c", "d"):
+            log.append(RECORD_LOG_COMMIT, value)
+    logs[1].truncate_before(3)
+    assert check_local_log_agreement(deployment) == []
+
+
+def test_snapshot_divergence_across_the_truncation_boundary(sim):
+    deployment = build_pair(sim)
+    full, truncated = (
+        deployment.unit("A").nodes[0].local_log,
+        deployment.unit("A").nodes[1].local_log,
+    )
+    for value in ("a", "b", "c", "d"):
+        full.append(RECORD_LOG_COMMIT, value)
+    for value in ("a", "EVIL", "c", "d"):
+        truncated.append(RECORD_LOG_COMMIT, value)
+    truncated.truncate_before(3)
+    # The forged entry is hidden inside the folded prefix; only the
+    # base-chain cross-check can see it.
+    violations = check_local_log_agreement(deployment)
+    assert "snapshot-divergence" in invariants_of(violations)
+
+
+def test_fork_in_the_retained_overlap_still_reported(sim):
+    deployment = build_pair(sim)
+    full, truncated = (
+        deployment.unit("A").nodes[0].local_log,
+        deployment.unit("A").nodes[1].local_log,
+    )
+    for value in ("a", "b", "c", "d"):
+        full.append(RECORD_LOG_COMMIT, value)
+    for value in ("a", "b", "c", "EVIL"):
+        truncated.append(RECORD_LOG_COMMIT, value)
+    truncated.truncate_before(3)
+    assert "log-fork" in invariants_of(
+        check_local_log_agreement(deployment)
+    )
+
+
+def test_folded_receptions_do_not_read_as_chain_gaps(sim):
+    deployment = build_pair(sim)
+    log_a = deployment.unit("A").nodes[0].local_log
+    log_b = deployment.unit("B").nodes[0].local_log
+    first = log_a.append(
+        RECORD_COMMUNICATION, "m1", meta={"destination": "B"}
+    )
+    second = log_a.append(
+        RECORD_COMMUNICATION, "m2", meta={"destination": "B"}
+    )
+    log_b.append(RECORD_RECEIVED, _sealed("A", "B", first.position, None))
+    log_b.append(
+        RECORD_RECEIVED, _sealed("A", "B", second.position, first.position)
+    )
+    assert check_transmission_chains(deployment) == []
+    # Receiver folds both receptions; the source folds the first comm
+    # record. Neither side may now read as a gap or a forgery.
+    log_b.truncate_before(log_b.next_position)
+    log_a.truncate_before(first.position + 1)
+    assert check_transmission_chains(deployment) == []
+    assert check_at_most_once(deployment) == []
+
+
+def test_real_gap_behind_the_source_fold_is_still_a_gap(sim):
+    deployment = build_pair(sim)
+    log_a = deployment.unit("A").nodes[0].local_log
+    log_a.append(RECORD_COMMUNICATION, "m1", meta={"destination": "B"})
+    second = log_a.append(
+        RECORD_COMMUNICATION, "m2", meta={"destination": "B"}
+    )
+    # B received nothing at all; both records retained at the source.
+    violations = check_transmission_chains(deployment)
+    assert invariants_of(violations).count("chain-gap") == 1
+    assert second is not None
+
+
+def test_snapshot_certificates_clean_on_honest_run(sim):
+    from repro.chaos.invariants import check_snapshot_certificates
+    from repro.core import BlockplaneConfig
+    from repro.pbft.config import PBFTConfig
+    from tests.conftest import build_single_dc
+
+    deployment = build_single_dc(
+        sim,
+        config=BlockplaneConfig(
+            f_independent=1,
+            pbft=PBFTConfig(checkpoint_interval=2, gc_executed_log=True),
+        ),
+    )
+    api = deployment.api("DC")
+
+    def work():
+        for index in range(6):
+            yield api.log_commit(f"v{index}")
+
+    sim.run_until_resolved(sim.spawn(work()), max_events=5_000_000)
+    sim.run(until=sim.now + 200.0)
+    nodes = deployment.unit("DC").nodes
+    assert all(node.stable_certificate is not None for node in nodes)
+    assert check_snapshot_certificates(deployment) == []
+
+
+def test_snapshot_payload_certificate_mismatch_detected(sim):
+    import dataclasses
+
+    from repro.chaos.invariants import check_snapshot_certificates
+    from repro.core import BlockplaneConfig
+    from repro.pbft.config import PBFTConfig
+    from tests.conftest import build_single_dc
+
+    deployment = build_single_dc(
+        sim,
+        config=BlockplaneConfig(
+            f_independent=1,
+            pbft=PBFTConfig(checkpoint_interval=2, gc_executed_log=True),
+        ),
+    )
+    api = deployment.api("DC")
+
+    def work():
+        for index in range(6):
+            yield api.log_commit(f"v{index}")
+
+    sim.run_until_resolved(sim.spawn(work()), max_events=5_000_000)
+    sim.run(until=sim.now + 200.0)
+    node = deployment.unit("DC").nodes[0]
+    node._stable_snapshot_payload = dataclasses.replace(
+        node._stable_snapshot_payload, entry_chain="forged"
+    )
+    violations = check_snapshot_certificates(deployment)
+    assert invariants_of(violations) == ["snapshot-divergence"]
+
+
+def test_recovery_from_snapshot_flags_nodes_without_installs(sim):
+    from repro.chaos.invariants import check_recovery_from_snapshot
+
+    deployment = build_pair(sim)
+    node = deployment.unit("A").nodes[0]
+    violations = check_recovery_from_snapshot(deployment, [node.node_id])
+    assert invariants_of(violations) == ["recovery-from-snapshot"]
+    node.snapshot_installs = 1
+    assert check_recovery_from_snapshot(deployment, [node.node_id]) == []
+    # Unknown ids are ignored (the plan may name a node that was
+    # removed by shrinking).
+    assert check_recovery_from_snapshot(deployment, ["ghost"]) == []

@@ -142,3 +142,56 @@ def test_default_payload_bytes_config():
     position = sim.run_until_resolved(api.log_commit("x"))
     entry = deployment.unit("DC").gateway_node().local_log.read(position)
     assert entry.payload_bytes == 5000
+
+
+class TestAdmissionControl:
+    def _deployment(self, sim, limit):
+        return build_single_dc(
+            sim, config=BlockplaneConfig(admission_max_in_flight=limit)
+        )
+
+    def test_window_sheds_excess_submissions(self, sim):
+        from repro.errors import Overloaded
+
+        api = self._deployment(sim, 1).api("DC")
+        first = api.log_commit("a")
+        with pytest.raises(Overloaded):
+            api.log_commit("b")
+        assert api.shed_total == 1
+        assert api.in_flight == 1
+        # Shedding happens before proposal: only the admitted value
+        # commits.
+        position = sim.run_until_resolved(first)
+        assert position == 1
+        assert api.log_length() == 1
+
+    def test_window_reopens_as_commits_settle(self, sim):
+        api = self._deployment(sim, 1).api("DC")
+        sim.run_until_resolved(api.log_commit("a"))
+        assert api.in_flight == 0
+        sim.run_until_resolved(api.log_commit("b"))
+        assert api.log_length() == 2
+
+    def test_sends_count_against_the_same_window(self, sim):
+        from repro.errors import Overloaded
+
+        deployment = build_pair(
+            sim, config=BlockplaneConfig(admission_max_in_flight=1)
+        )
+        api = deployment.api("A")
+        pending = api.send("m1", to="B")
+        with pytest.raises(Overloaded):
+            api.log_commit("state")
+        sim.run_until_resolved(pending)
+
+    def test_zero_limit_means_unlimited(self, sim):
+        api = self._deployment(sim, 0).api("DC")
+        futures = [api.log_commit(f"v{i}") for i in range(32)]
+        for future in futures:
+            sim.run_until_resolved(future)
+        assert api.shed_total == 0
+        assert api.log_length() == 32
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockplaneConfig(admission_max_in_flight=-1)

@@ -318,3 +318,97 @@ def test_reserve_ignores_gap_claims_from_other_units(sim):
     member = GapResponse(source_participant="A", last_source_position=2)
     reserve.handle_gap_response(member, "B-1")
     assert reserve._responses == {"B-1": 2}
+
+
+def test_retry_delay_grows_then_caps():
+    from repro.core.daemon import retry_delay
+
+    delays = [
+        retry_delay(250.0, 2.0, attempts, 4_000.0, "A-0", "B")
+        for attempt_count in [range(8)]
+        for attempts in attempt_count
+    ]
+    # Strip jitter to compare the underlying schedule: each delay is
+    # base*backoff^n stretched by at most 10%.
+    for attempts, delay in enumerate(delays):
+        uncapped = 250.0 * 2.0 ** attempts
+        expected = min(uncapped, 4_000.0)
+        assert expected <= delay <= expected * 1.1
+    # The tail is capped: attempts 4.. all sit within 10% of the cap.
+    assert all(delay <= 4_000.0 * 1.1 for delay in delays[4:])
+    assert delays[1] > delays[0]
+
+
+def test_retry_delay_zero_cap_disables_ceiling():
+    from repro.core.daemon import retry_delay
+
+    delay = retry_delay(250.0, 2.0, 10, 0.0, "A-0", "B")
+    assert delay >= 250.0 * 2.0 ** 10
+
+
+def test_retry_delay_jitter_is_deterministic_and_desynchronized():
+    from repro.core.daemon import retry_delay
+
+    again = [
+        retry_delay(250.0, 2.0, 3, 4_000.0, "A-0", "B") for _ in range(3)
+    ]
+    assert len(set(again)) == 1
+    spread = {
+        retry_delay(250.0, 2.0, 3, 4_000.0, node, "B")
+        for node in ("A-0", "A-1", "A-2", "A-3")
+    }
+    assert len(spread) > 1
+
+
+def test_retry_cap_bounds_the_worst_case_gap(sim):
+    # With an aggressive backoff and no cap, the third re-ship would
+    # wait 250 * 8^3 = 128s; the cap keeps every retry under ~1.1s so
+    # a long outage cannot push the next attempt past the horizon.
+    config = BlockplaneConfig(
+        transmission_retry_backoff=8.0,
+        transmission_retry_max_delay_ms=1_000.0,
+        transmission_retry_limit=4,
+    )
+    deployment = build_pair(sim, config=config)
+    from repro.sim.faults import FaultInjector
+
+    injector = FaultInjector(sim, deployment.network)
+    injector.partition(
+        deployment.directory.unit_members("A"),
+        deployment.directory.unit_members("B"),
+        start=0.0,
+        end=3_000.0,
+    )
+    deployment.api("A").send("stranded", to="B")
+    sim.run(until=8_000.0)
+    log_b = deployment.unit("B").gateway_node().local_log
+    assert any(entry.record_type == "received" for entry in log_b)
+
+
+def test_delivery_floor_tracks_unacked_communication(sim):
+    deployment = build_pair(sim)
+    daemon = deployment.unit("A").daemons["B"]
+    assert daemon.delivery_floor() is None
+    sim.run_until_resolved(deployment.api("A").send("m1", to="B"))
+    sim.run(until=1_000.0)
+    # Delivered and acked: nothing blocks truncation.
+    assert daemon.delivery_floor() is None
+
+    from repro.sim.faults import FaultInjector
+
+    injector = FaultInjector(sim, deployment.network)
+    injector.partition(
+        deployment.directory.unit_members("A"),
+        deployment.directory.unit_members("B"),
+        start=sim.now,
+        end=sim.now + 500.0,
+    )
+    future = deployment.api("A").send("m2", to="B")
+    sim.run(until=sim.now + 400.0)
+    floor = daemon.delivery_floor()
+    assert floor is not None
+    log_a = deployment.unit("A").gateway_node().local_log
+    assert log_a.read(floor).record_type == "communication"
+    sim.run_until_resolved(future)
+    sim.run(until=sim.now + 2_000.0)
+    assert daemon.delivery_floor() is None
