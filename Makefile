@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules chaos audit bench soak console experiments
+.PHONY: test lint lint-rules lint-baseline chaos audit bench soak console experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,10 +14,16 @@ lint:
 	else \
 		echo "ruff not installed; skipping generic hygiene checks"; \
 	fi
-	$(PYTHON) -m repro.analysis src tests
+	$(PYTHON) -m repro.analysis src tests --interproc
 
 lint-rules:
 	$(PYTHON) -m repro.analysis --list-rules
+
+# Record the current findings as accepted; `--baseline` runs then fail
+# only on *new* findings (BP012 keeps the backlog from fossilising).
+lint-baseline:
+	$(PYTHON) -m repro.analysis src tests --interproc \
+		--write-baseline lint-baseline.json
 
 chaos:
 	$(PYTHON) -m repro.chaos --seed 7 --runs 5 --profile mixed --shrink

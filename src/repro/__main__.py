@@ -57,7 +57,7 @@ _SUBCOMMANDS = {
     ),
     "lint": (
         "repro.analysis.__main__",
-        "protocol-aware static analysis (BP001-BP008)",
+        "protocol-aware static analysis (BP001-BP012)",
     ),
     "obs-audit": (
         "repro.obs.forensics.__main__",

@@ -5,8 +5,10 @@ invariants generic linters cannot see: determinism of the seeded
 simulation (BP001/BP007), quorum thresholds derived from the
 configured fault model (BP002), signature/proof discipline on the
 receive path (BP003/BP005), handler exhaustiveness and purity
-(BP004), exception discipline (BP006), and hot-message ``__slots__``
-(BP008).
+(BP004), exception discipline (BP006), hot-message ``__slots__``
+(BP008), interprocedural wire-taint and trust laundering
+(BP009/BP010), per-layer dispatch exhaustiveness (BP011), and the
+stale-suppression audit (BP012).
 
 Run it as ``python -m repro.analysis [paths]`` (or
 ``python -m repro lint``); see ``docs/STATIC_ANALYSIS.md`` for the
@@ -17,11 +19,14 @@ from repro.analysis.findings import Finding, PARSE_ERROR_RULE
 from repro.analysis.framework import (
     Checker,
     ModuleContext,
+    Project,
+    Report,
     Suppressions,
     analyze_source,
     register,
     registered_checkers,
     run_analysis,
+    run_report,
 )
 
 __all__ = [
@@ -29,9 +34,12 @@ __all__ = [
     "Finding",
     "ModuleContext",
     "PARSE_ERROR_RULE",
+    "Project",
+    "Report",
     "Suppressions",
     "analyze_source",
     "register",
     "registered_checkers",
     "run_analysis",
+    "run_report",
 ]

@@ -1,16 +1,30 @@
-"""CLI: ``python -m repro.analysis [paths] [--format json] [--rules ..]``.
+"""CLI: ``python -m repro.analysis [paths] [--interproc] [--format ..]``.
 
-Exit codes: 0 clean, 1 findings reported, 2 usage error.
+Exit codes: 0 clean, 1 findings reported, 2 usage error. With
+``--baseline FILE`` only findings absent from the baseline fail the
+run (the full set is still reported).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.framework import registered_checkers, run_analysis
-from repro.analysis.reporters import render_json, render_rules, render_text
+from repro.analysis.baseline import (
+    load_baseline,
+    new_findings,
+    render_baseline,
+)
+from repro.analysis.framework import registered_checkers, run_report
+from repro.analysis.reporters import (
+    render_json,
+    render_rules,
+    render_sarif,
+    render_text,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -18,8 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Protocol-aware static analysis for the Blockplane "
-            "reproduction (determinism, quorum, and proof-discipline "
-            "lints)."
+            "reproduction (determinism, quorum, proof-discipline, and "
+            "interprocedural taint lints)."
         ),
     )
     parser.add_argument(
@@ -30,13 +44,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--rules",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--interproc",
+        action="store_true",
+        help=(
+            "run the interprocedural pass (call graph + taint "
+            "fixpoint) enabling BP009-BP011"
+        ),
+    )
+    parser.add_argument(
+        "--callgraph-out",
+        metavar="FILE",
+        help=(
+            "write the resolved call graph (stats, edges, unresolved "
+            "and dynamic sites) as JSON; implies --interproc"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="fail only on findings not fingerprinted in FILE",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as the accepted baseline and exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -55,16 +95,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     rules = None
     if options.rules:
         rules = [rule.strip().upper() for rule in options.rules.split(",")]
+    interproc = options.interproc or bool(options.callgraph_out)
     try:
-        findings = run_analysis(options.paths, rules=rules)
+        report = run_report(options.paths, rules=rules, interproc=interproc)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    findings = report.findings
+    if options.callgraph_out and report.graph is not None:
+        Path(options.callgraph_out).write_text(
+            json.dumps(report.graph.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+    if options.write_baseline:
+        Path(options.write_baseline).write_text(render_baseline(findings))
+        print(
+            f"baseline: {len(findings)} finding(s) recorded to "
+            f"{options.write_baseline}"
+        )
+        return 0
+    blocking = findings
+    if options.baseline:
+        try:
+            accepted = load_baseline(options.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        blocking = new_findings(findings, accepted)
     if options.format == "json":
-        print(render_json(findings))
+        stats = report.graph.stats() if report.graph is not None else None
+        print(render_json(findings, interproc=stats))
+    elif options.format == "sarif":
+        print(render_sarif(findings, registered_checkers()))
     else:
         print(render_text(findings))
-    return 1 if findings else 0
+        if options.baseline and findings:
+            print(
+                f"baseline: {len(findings) - len(blocking)} accepted, "
+                f"{len(blocking)} new"
+            )
+    return 1 if blocking else 0
 
 
 if __name__ == "__main__":

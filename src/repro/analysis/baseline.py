@@ -1,0 +1,66 @@
+"""Finding baselines: land new rules blocking without freezing history.
+
+A baseline file records a fingerprint per accepted finding; a
+``--baseline`` run fails only on findings *not* in the file, so
+BP009–BP012 can gate CI immediately while the legacy backlog is burned
+down deliberately (and the stale-suppression audit keeps the burndown
+honest).
+
+Fingerprints hash ``rule:path:message`` — deliberately **not** the
+line number, so reflowing a file does not resurrect an accepted
+finding. Two identical findings in one file collapse into one
+fingerprint; that is the accepted imprecision of every baseline
+scheme, and the reason baselines are a migration tool rather than a
+suppression mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Sequence, Set
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    payload = f"{finding.rule}:{finding.path}:{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """The baseline file body for ``--write-baseline``."""
+    document = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({fingerprint(f) for f in findings}),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Accepted fingerprints from a baseline file.
+
+    Raises ``ValueError`` on unreadable/malformed files — a silently
+    empty baseline would flip every legacy finding to blocking.
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("fingerprints"), list)
+    ):
+        raise ValueError(f"malformed baseline {path}")
+    return {str(fp) for fp in document["fingerprints"]}
+
+
+def new_findings(
+    findings: Sequence[Finding], accepted: Set[str]
+) -> List[Finding]:
+    """The findings whose fingerprints are not in the baseline."""
+    return [f for f in findings if fingerprint(f) not in accepted]

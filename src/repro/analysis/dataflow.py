@@ -47,6 +47,8 @@ def header_exprs(stmt: ast.stmt) -> List[ast.AST]:
         return [item.context_expr for item in stmt.items]
     if isinstance(stmt, ast.Try):
         return []  # entering a try proves nothing about its body
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]  # guards/bodies run on some paths only
     return [stmt]
 
 
@@ -135,6 +137,21 @@ class FunctionCFG:
                     )
                 else:
                     current = merged
+            elif isinstance(stmt, ast.Match):
+                # The subject evaluates once (the Match node), then
+                # exactly one case body runs — or none, when no pattern
+                # matches and there is no irrefutable wildcard case.
+                case_exits: List[object] = []
+                irrefutable = False
+                for case in stmt.cases:
+                    case_exits.extend(
+                        self._build_block(case.body, [stmt], loop_heads)
+                    )
+                    if self._is_wildcard(case):
+                        irrefutable = True
+                if not irrefutable:
+                    case_exits.append(stmt)
+                current = case_exits
             elif isinstance(stmt, (ast.With, ast.AsyncWith)):
                 current = self._build_block(stmt.body, [stmt], loop_heads)
             elif isinstance(stmt, (ast.Return, ast.Raise)):
@@ -150,6 +167,15 @@ class FunctionCFG:
             if not current:
                 break
         return current
+
+    @staticmethod
+    def _is_wildcard(case: "ast.match_case") -> bool:
+        """A guardless ``case _:`` / ``case name:`` catches everything."""
+        return (
+            case.guard is None
+            and isinstance(case.pattern, ast.MatchAs)
+            and case.pattern.pattern is None
+        )
 
     # ------------------------------------------------------------------
     # Dominators

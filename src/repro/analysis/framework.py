@@ -6,15 +6,20 @@ registered checkers once per run, feeds every analyzed module to
 :meth:`Checker.finalize` so cross-module rules (e.g. handler
 exhaustiveness) can emit findings after seeing the whole tree.
 
-Suppressions use ``# bp-lint: disable=RULE[,RULE...]`` comments:
+Suppressions use ``# bp-lint: disable=RULE[,RULE...] -- rationale``
+comments:
 
 * trailing after code, the listed rules are suppressed on that line;
 * on a line of its own, the listed rules are suppressed for the whole
   file (conventionally placed at the top);
-* ``disable=all`` suppresses every rule.
+* ``disable=all`` suppresses every rule;
+* everything after ``--`` is the rationale — required by the BP012
+  audit, which also fails suppressions that no longer match any
+  finding of a rule that actually ran.
 
 Suppression is applied *after* checkers run, so a checker never needs
-to know about it.
+to know about it. BP012's own findings are exempt from suppression:
+the audit of the suppression mechanism cannot be silenced by it.
 """
 
 from __future__ import annotations
@@ -38,8 +43,13 @@ PROTOCOL_PACKAGES = (
 )
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*bp-lint:\s*disable=([A-Za-z0-9_,\s]+)"
+    r"#\s*bp-lint:\s*disable=([A-Za-z0-9_,\s]+)(?:--\s*(.+?)\s*$)?"
 )
+
+#: Rule id of the stale-suppression audit (emitted by :func:`run_report`
+#: itself rather than a per-module checker — it needs the post-filter
+#: "which suppressions matched something" state).
+SUPPRESSION_AUDIT_RULE = "BP012"
 
 
 class ModuleContext:
@@ -106,9 +116,22 @@ class Checker:
     rule: str = "BP???"
     summary: str = ""
     rationale: str = ""
+    #: Interprocedural rules need the call graph / taint engine; they
+    #: only run when :func:`run_report` is invoked with
+    #: ``interproc=True`` (or the rule is selected explicitly).
+    requires_interproc: bool = False
 
     def visit_module(self, ctx: ModuleContext) -> List[Finding]:
         """Analyze one module; return its findings."""
+        return []
+
+    def analyze_project(self, project: "Project") -> List[Finding]:
+        """Whole-program analysis over the call graph / taint engine.
+
+        Only called when the interprocedural pass ran; ``project``
+        carries the parsed contexts, the :class:`~repro.analysis.
+        callgraph.CallGraph`, and the converged ``TaintEngine``.
+        """
         return []
 
     def finalize(self) -> List[Finding]:
@@ -139,13 +162,49 @@ def _ensure_rules_loaded() -> None:
     from repro.analysis import rules  # noqa: F401
 
 
+class SuppressionEntry:
+    """One ``# bp-lint: disable=...`` comment, with audit state."""
+
+    __slots__ = ("line", "rules", "rationale", "file_level", "used")
+
+    def __init__(
+        self,
+        line: int,
+        rules: Set[str],
+        rationale: Optional[str],
+        file_level: bool,
+    ) -> None:
+        self.line = line
+        self.rules = rules
+        self.rationale = rationale
+        self.file_level = file_level
+        #: Set by :meth:`Suppressions.allows` when the entry actually
+        #: silences a finding — the BP012 staleness signal.
+        self.used = False
+
+
 class Suppressions:
     """Parsed ``# bp-lint: disable=...`` comments for one file."""
 
     def __init__(self, source: str) -> None:
-        self.file_rules: Set[str] = set()
-        self.line_rules: Dict[int, Set[str]] = {}
+        self.entries: List[SuppressionEntry] = []
         self._parse(source)
+
+    @property
+    def file_rules(self) -> Set[str]:
+        rules: Set[str] = set()
+        for entry in self.entries:
+            if entry.file_level:
+                rules |= entry.rules
+        return rules
+
+    @property
+    def line_rules(self) -> Dict[int, Set[str]]:
+        by_line: Dict[int, Set[str]] = {}
+        for entry in self.entries:
+            if not entry.file_level:
+                by_line.setdefault(entry.line, set()).update(entry.rules)
+        return by_line
 
     def _parse(self, source: str) -> None:
         code_lines: Set[int] = set()
@@ -176,20 +235,73 @@ class Suppressions:
                 for rule in match.group(1).split(",")
                 if rule.strip()
             }
-            if line in code_lines:
-                self.line_rules.setdefault(line, set()).update(rules)
-            else:
-                self.file_rules.update(rules)
+            if not rules:
+                continue
+            self.entries.append(
+                SuppressionEntry(
+                    line, rules, match.group(2), line not in code_lines
+                )
+            )
 
     def allows(self, finding: Finding) -> bool:
-        """Whether ``finding`` survives this file's suppressions."""
-        for rules in (
-            self.file_rules,
-            self.line_rules.get(finding.line, set()),
-        ):
-            if "ALL" in rules or finding.rule in rules:
-                return False
-        return True
+        """Whether ``finding`` survives this file's suppressions.
+
+        Matching entries are marked *used*, which is what the BP012
+        staleness audit keys on. BP012 findings themselves are never
+        suppressible — the audit of the mechanism must not be silenced
+        by the mechanism.
+        """
+        if finding.rule == SUPPRESSION_AUDIT_RULE:
+            return True
+        allowed = True
+        for entry in self.entries:
+            if not entry.file_level and entry.line != finding.line:
+                continue
+            if "ALL" in entry.rules or finding.rule in entry.rules:
+                entry.used = True
+                allowed = False
+        return allowed
+
+    def audit(
+        self,
+        path: str,
+        active_rules: Set[str],
+        all_rules: Set[str],
+    ) -> List[Finding]:
+        """BP012: stale or rationale-less suppressions in this file.
+
+        A suppression is *stale* when every rule it names actually ran
+        this pass and none of them produced a finding it silenced; an
+        entry naming rules outside ``active_rules`` is not judgeable
+        (the evidence wasn't gathered) and is left alone. ``disable=
+        all`` entries are judgeable only on a full-rule run.
+        """
+        findings: List[Finding] = []
+        for entry in self.entries:
+            listed = ", ".join(sorted(entry.rules))
+            if entry.rationale is None:
+                findings.append(
+                    Finding(
+                        SUPPRESSION_AUDIT_RULE, path, entry.line, 0,
+                        f"suppression of {listed} carries no rationale; "
+                        "append ` -- <why this is safe>` to the "
+                        "bp-lint comment",
+                    )
+                )
+            if "ALL" in entry.rules:
+                judgeable = active_rules >= all_rules
+            else:
+                judgeable = entry.rules <= active_rules
+            if judgeable and not entry.used:
+                findings.append(
+                    Finding(
+                        SUPPRESSION_AUDIT_RULE, path, entry.line, 0,
+                        f"stale suppression: {listed} produced no "
+                        "finding here this run — delete the bp-lint "
+                        "comment or narrow it",
+                    )
+                )
+        return findings
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
@@ -235,25 +347,67 @@ def analyze_source(
     return [f for f in findings if suppressions.allows(f)]
 
 
-def run_analysis(
+class Project:
+    """What the interprocedural pass hands to ``analyze_project``."""
+
+    def __init__(self, contexts, graph, engine) -> None:
+        #: Every parsed :class:`ModuleContext` in the run.
+        self.contexts = contexts
+        #: The resolved :class:`~repro.analysis.callgraph.CallGraph`.
+        self.graph = graph
+        #: The converged :class:`~repro.analysis.interproc.TaintEngine`.
+        self.engine = engine
+
+
+class Report:
+    """Result of one analysis run: findings plus interproc artifacts."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        graph=None,
+        interproc: bool = False,
+    ) -> None:
+        self.findings = findings
+        self.graph = graph
+        self.interproc = interproc
+
+
+def run_report(
     paths: Sequence[str],
     rules: Optional[Iterable[str]] = None,
-) -> List[Finding]:
-    """Analyze every Python file under ``paths`` with the registered
-    checkers (optionally narrowed to ``rules``); returns all surviving
-    findings sorted by location.
+    interproc: bool = False,
+) -> Report:
+    """Analyze every Python file under ``paths``; return a
+    :class:`Report` with findings sorted by location.
+
+    With ``rules=None`` the run covers every registered rule except
+    the interprocedural ones, which join when ``interproc=True``.
+    Explicitly selecting an interprocedural rule enables the pass.
 
     Note: file-level suppressions silence a rule's *per-module*
-    findings in that file, and cross-module findings (``finalize``)
-    whose location falls in that file.
+    findings in that file, and cross-module findings (``finalize`` /
+    ``analyze_project``) whose location falls in that file.
     """
     registry = registered_checkers()
-    selected = set(rules) if rules is not None else set(registry)
-    unknown = selected - set(registry)
-    if unknown:
-        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    if rules is not None:
+        selected = set(rules)
+        unknown = selected - set(registry)
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}"
+            )
+        if any(registry[rule].requires_interproc for rule in selected):
+            interproc = True
+    else:
+        selected = {
+            rule
+            for rule, cls in registry.items()
+            if interproc or not cls.requires_interproc
+        }
     checkers = [registry[rule]() for rule in sorted(selected)]
     findings: List[Finding] = []
+    contexts: List[ModuleContext] = []
     suppressions_by_path: Dict[str, Suppressions] = {}
     for path in iter_python_files(paths):
         try:
@@ -264,11 +418,52 @@ def run_analysis(
             )
             continue
         suppressions_by_path[path] = Suppressions(source)
-        findings.extend(analyze_source(source, path, checkers))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        ctx = ModuleContext(path, source, tree)
+        contexts.append(ctx)
+        for checker in checkers:
+            findings.extend(checker.visit_module(ctx))
+    graph = None
+    if interproc:
+        from repro.analysis.interproc import run_taint_engine
+
+        graph, engine = run_taint_engine(contexts)
+        project = Project(contexts, graph, engine)
+        for checker in checkers:
+            findings.extend(checker.analyze_project(project))
     for checker in checkers:
-        for finding in checker.finalize():
-            suppressions = suppressions_by_path.get(finding.path)
-            if suppressions is None or suppressions.allows(finding):
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+        findings.extend(checker.finalize())
+    kept: List[Finding] = []
+    for finding in findings:
+        suppressions = suppressions_by_path.get(finding.path)
+        if suppressions is None or suppressions.allows(finding):
+            kept.append(finding)
+    if SUPPRESSION_AUDIT_RULE in selected:
+        all_rules = set(registry)
+        for path in sorted(suppressions_by_path):
+            kept.extend(
+                suppressions_by_path[path].audit(path, selected, all_rules)
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return Report(kept, graph=graph, interproc=interproc)
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+    interproc: bool = False,
+) -> List[Finding]:
+    """Back-compat wrapper over :func:`run_report`: findings only."""
+    return run_report(paths, rules=rules, interproc=interproc).findings

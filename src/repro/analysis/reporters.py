@@ -1,9 +1,9 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: text, JSON, and SARIF for code scanning."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 from repro.analysis.findings import Finding
 
@@ -25,11 +25,72 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    """Stable JSON document (for the CI artifact and tooling)."""
-    document = {
+def render_json(
+    findings: Sequence[Finding],
+    interproc: Optional[Dict[str, object]] = None,
+) -> str:
+    """Stable JSON document (for the CI artifact and tooling).
+
+    ``interproc`` (the call-graph ``stats()`` dict) adds an
+    ``interproc`` section when the interprocedural pass ran.
+    """
+    document: Dict[str, object] = {
         "findings": [finding.to_dict() for finding in findings],
         "count": len(findings),
+    }
+    if interproc is not None:
+        document["interproc"] = interproc
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    registry: Optional[Dict[str, Type]] = None,
+) -> str:
+    """SARIF 2.1.0 — GitHub code-scanning annotations from lint runs."""
+    rule_ids = sorted({f.rule for f in findings})
+    rules = []
+    for rule_id in rule_ids:
+        checker = (registry or {}).get(rule_id)
+        descriptor: Dict[str, object] = {"id": rule_id}
+        if checker is not None:
+            descriptor["shortDescription"] = {"text": checker.summary}
+            if checker.rationale:
+                descriptor["fullDescription"] = {"text": checker.rationale}
+        rules.append(descriptor)
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "bp-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)
 

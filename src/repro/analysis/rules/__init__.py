@@ -7,8 +7,11 @@ rule.
 
 from repro.analysis.rules import (  # noqa: F401
     determinism,
+    dispatch,
     handlers,
     hygiene,
     proofs,
     quorum,
+    suppressions,
+    taint,
 )

@@ -1,0 +1,39 @@
+"""BP012 — stale-suppression audit (registry shell).
+
+The emission logic lives in :meth:`repro.analysis.framework.
+Suppressions.audit`, driven by :func:`~repro.analysis.framework.
+run_report` after suppression filtering — the audit needs to know
+which ``# bp-lint: disable=`` entries actually silenced a finding
+*this run*, which no per-module checker can see. This class exists so
+the rule appears in the registry (``--list-rules``, ``--rules``
+selection, the docs) with the same metadata contract as every other
+rule.
+
+Two findings: a suppression whose rules all ran yet silenced nothing
+is *stale* and fails the build (delete it or narrow it); a suppression
+without an inline `` -- rationale`` fails too (a silenced protocol
+lint with no recorded justification is a trust decision nobody can
+review). BP012 findings are themselves exempt from suppression.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import SUPPRESSION_AUDIT_RULE, Checker, register
+
+
+@register
+class SuppressionAuditChecker(Checker):
+    """BP012 — suppressions must be live and carry a rationale."""
+
+    rule = SUPPRESSION_AUDIT_RULE
+    summary = (
+        "every bp-lint suppression still silences a finding of a rule "
+        "that ran, and carries an inline ` -- rationale`"
+    )
+    rationale = (
+        "Suppressions are accepted risk. One that no longer matches "
+        "anything is a stale exemption waiting to hide the next real "
+        "finding on that line; one without a rationale is an "
+        "unreviewable trust decision. Both rot the whole lint's "
+        "credibility, so both fail the build."
+    )

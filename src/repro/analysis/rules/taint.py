@@ -1,0 +1,74 @@
+"""BP009/BP010 — interprocedural byzantine-taint rules.
+
+Both rules read the converged taint summaries produced by
+:mod:`repro.analysis.interproc`; the heavy lifting (call graph, local
+transfer functions, fixpoint) lives there so the checkers stay thin.
+
+BP009 is the interprocedural completion of BP003/BP005: a wire-decoded
+value (or a handler's wire parameter) must not reach a replicated-state
+sink — Local Log append/restore, executed-state mutation, digest
+folding, vote tallies — without a dominating sanitizer *somewhere on
+the path*, even when the receive point and the sink live in different
+functions or modules.
+
+BP010 catches trust laundering: a function whose name claims
+verification but whose return value is still tainted (callers will
+treat the result as clean), and sanitizer calls whose verdict is
+discarded (the check ran, nothing consumed its answer).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, Project, register
+from repro.analysis.interproc import bp009_findings, bp010_findings
+
+
+@register
+class WireTaintChecker(Checker):
+    """BP009 — untrusted wire data reaches a state sink."""
+
+    rule = "BP009"
+    summary = (
+        "wire-decoded data never reaches Local Log / executed-state / "
+        "tally sinks without a dominating sanitizer, across calls"
+    )
+    rationale = (
+        "Blockplane's safety argument assumes nothing received over "
+        "the network influences replicated state before its "
+        "signatures and quorum proofs check out. BP003/BP005 enforce "
+        "that inside one function; once helpers decode, stage, and "
+        "apply in separate functions the laundering gap is "
+        "interprocedural — this rule walks the call graph so a "
+        "helper's return value cannot silently become 'verified'."
+    )
+    requires_interproc = True
+
+    def analyze_project(self, project: Project) -> List[Finding]:
+        return bp009_findings(project.engine)
+
+
+@register
+class TrustLaunderingChecker(Checker):
+    """BP010 — verification claimed but taint returned, or verdict
+    discarded."""
+
+    rule = "BP010"
+    summary = (
+        "verification-named functions must not return tainted data; "
+        "sanitizer verdicts must not be discarded"
+    )
+    rationale = (
+        "A function called verify_*/check_* is an API promise: "
+        "callers stop checking after it. If it hands back the same "
+        "untrusted bytes it was given, every caller inherits a false "
+        "sense of safety; a sanitizer whose boolean verdict is thrown "
+        "away is the same bug in the other direction — the check ran "
+        "and protected nothing."
+    )
+    requires_interproc = True
+
+    def analyze_project(self, project: Project) -> List[Finding]:
+        return bp010_findings(project.engine)

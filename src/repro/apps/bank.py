@@ -17,11 +17,14 @@ counterparty's unit collectively signed).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.core.records import LogEntry, RECORD_COMMUNICATION, RECORD_LOG_COMMIT
 from repro.core.verification import VerificationRoutines
 from repro.sim.process import Future
+
+if TYPE_CHECKING:
+    from repro.core.api import BlockplaneAPI
 
 
 class BankVerification(VerificationRoutines):
@@ -114,7 +117,7 @@ class BankParticipant:
             at deployment time; use :meth:`open_account` for new ones).
     """
 
-    def __init__(self, api, initial_accounts: Dict[str, int]) -> None:
+    def __init__(self, api: BlockplaneAPI, initial_accounts: Dict[str, int]) -> None:
         self.api = api
         self.name = api.participant
         self.balances: Dict[str, int] = dict(initial_accounts)

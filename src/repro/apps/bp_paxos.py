@@ -17,7 +17,7 @@ The participant state mirrors the paper's Algorithm 3:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core.records import (
     LogEntry,
@@ -27,6 +27,10 @@ from repro.core.records import (
 from repro.core.verification import VerificationRoutines
 from repro.pbft.quorums import majority
 from repro.sim.process import Future
+
+if TYPE_CHECKING:
+    from repro.core.api import BlockplaneAPI
+
 
 #: Ballot: (round, participant) — lexicographic order, globally unique.
 Ballot = Tuple[int, str]
@@ -127,7 +131,7 @@ class BlockplanePaxosParticipant:
         participants: All participant names (including this one).
     """
 
-    def __init__(self, api, participants: List[str]) -> None:
+    def __init__(self, api: BlockplaneAPI, participants: List[str]) -> None:
         self.api = api
         self.name = api.participant
         self.participants = list(participants)

@@ -25,7 +25,7 @@ the counter value, so:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from repro.core.records import (
     LogEntry,
@@ -34,6 +34,10 @@ from repro.core.records import (
     RECORD_RECEIVED,
 )
 from repro.core.verification import VerificationRoutines
+
+if TYPE_CHECKING:
+    from repro.core.api import BlockplaneAPI
+
 
 #: Users the demo deployment trusts (the paper's routine #1 checks the
 #: request is "from a trusted user/source").
@@ -107,7 +111,7 @@ class CounterParticipant:
             message, recoverable from the Local Log.
     """
 
-    def __init__(self, api) -> None:
+    def __init__(self, api: BlockplaneAPI) -> None:
         self.api = api
         self.counter = 0
         self._request_counter = 0

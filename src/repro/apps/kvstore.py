@@ -12,11 +12,15 @@ where no single node is trusted.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core.records import LogEntry, RECORD_COMMUNICATION, RECORD_LOG_COMMIT
 from repro.core.verification import VerificationRoutines
 from repro.sim.process import Future
+
+if TYPE_CHECKING:
+    from repro.core.api import BlockplaneAPI
+
 
 _OPS = {"put", "get", "delete"}
 
@@ -92,7 +96,7 @@ class KVStoreParticipant:
         participants: All participant names (partitioning universe).
     """
 
-    def __init__(self, api, participants: List[str]) -> None:
+    def __init__(self, api: BlockplaneAPI, participants: List[str]) -> None:
         self.api = api
         self.name = api.participant
         self.participants = list(participants)

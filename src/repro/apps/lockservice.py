@@ -15,11 +15,15 @@ genuinely stateful checks).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core.records import LogEntry, RECORD_COMMUNICATION, RECORD_LOG_COMMIT
 from repro.core.verification import VerificationRoutines
 from repro.sim.process import Future
+
+if TYPE_CHECKING:
+    from repro.core.api import BlockplaneAPI
+
 
 #: State-changing operations; "query" records are state-neutral and
 #: exist to warrant denial replies.
@@ -125,7 +129,7 @@ class LockServiceParticipant:
         participants: All participant names.
     """
 
-    def __init__(self, api, participants: List[str]) -> None:
+    def __init__(self, api: BlockplaneAPI, participants: List[str]) -> None:
         self.api = api
         self.name = api.participant
         self.participants = list(participants)

@@ -27,7 +27,7 @@ cache-on / cache-off passes; only wall nanoseconds differ.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from repro.bench.harness import Benchmark
 from repro.chaos.generator import ScheduleGenerator
@@ -41,6 +41,9 @@ from repro.sim.process import any_of
 from repro.sim.simulator import Simulator
 from repro.sim.topology import symmetric_topology
 from repro.workloads.openloop import OpenLoopWorkload, open_loop_process
+
+if TYPE_CHECKING:
+    from repro.core.api import BlockplaneAPI
 
 #: The benchmark deployment: three symmetric sites, 40 ms RTT.
 SITES = ("A", "B", "C")
@@ -95,7 +98,7 @@ def _payload(rng: random.Random, site: str, index: int) -> Any:
 
 def _sender(
     sim: Simulator,
-    deployment,
+    deployment: BlockplaneDeployment,
     seed: int,
     site: str,
     site_index: int,
@@ -123,7 +126,7 @@ def _sender(
 
 def _hardened_sender(
     sim: Simulator,
-    deployment,
+    deployment: BlockplaneDeployment,
     seed: int,
     site: str,
     site_index: int,
@@ -325,7 +328,7 @@ def _footprint_sampler(sim: Simulator, deployment, high_water: Dict[str, int]):
         yield sim.sleep(_SUSTAINED_SAMPLE_MS)
 
 
-def _sustained_commit(api, others):
+def _sustained_commit(api: "BlockplaneAPI", others: List[str]):
     """Commit function for the open-loop driver: every fifth operation
     is a wide-area send (exercising transmission/reception records and
     their folding under truncation), the rest are local state commits.

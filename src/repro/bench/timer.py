@@ -1,8 +1,8 @@
-# bp-lint: disable=BP001
 """The harness's wall-clock boundary.
 
 This is the **only** module in the repository allowed to read a wall
-clock (hence the file-level BP001 suppression above): benchmarks
+clock (BP001 scopes to the protocol packages, so the harness needs no
+suppression — the rule simply does not apply here): benchmarks
 measure real CPU time by definition. Everything *measured* stays
 BP001-clean — the workloads under test are seeded simulations whose
 event counts and committed-operation counts are pure functions of their

@@ -27,7 +27,7 @@ plan) is clean.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.chaos.plan import (
     ACTION_KINDS,
@@ -37,6 +37,9 @@ from repro.chaos.plan import (
 )
 from repro.core.records import RECORD_RECEIVED
 from repro.pbft.quorums import unit_size
+
+if TYPE_CHECKING:
+    from repro.core.node import BlockplaneNode
 
 #: Sites of the default chaos deployment (the paper's 4-DC topology).
 DEFAULT_SITES: Tuple[str, ...] = ("C", "O", "V", "I")
@@ -238,7 +241,7 @@ def byzantine_node_ids(plan: FaultPlan) -> Set[str]:
     }
 
 
-def _honest_nodes(unit, exclude: Set[str]):
+def _honest_nodes(unit, exclude: Set[str]) -> List["BlockplaneNode"]:
     return [node for node in unit.nodes if node.node_id not in exclude]
 
 

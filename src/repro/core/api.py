@@ -21,7 +21,7 @@ the value of a ``receive`` is the application message.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.reads import ReadStrategy, required_responses
 from repro.core.records import (
@@ -30,6 +30,9 @@ from repro.core.records import (
 )
 from repro.errors import ConfigurationError, Overloaded
 from repro.sim.process import Future
+
+if TYPE_CHECKING:
+    from repro.core.unit import BlockplaneUnit
 
 
 class BlockplaneAPI:
@@ -45,7 +48,7 @@ class BlockplaneAPI:
         unit: The participant's :class:`~repro.core.unit.BlockplaneUnit`.
     """
 
-    def __init__(self, unit) -> None:
+    def __init__(self, unit: BlockplaneUnit) -> None:
         self.unit = unit
         self.sim = unit.sim
         #: Commits currently outstanding (admission-control window).

@@ -21,7 +21,7 @@ the receive verification routine drops duplicates.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.messages import GapQuery, GapResponse, TransmissionMessage
 from repro.core.records import (
@@ -31,6 +31,10 @@ from repro.core.records import (
     TransmissionRecord,
 )
 from repro.pbft.quorums import commit_quorum
+
+if TYPE_CHECKING:
+    from repro.core.geo import GeoCoordinator
+    from repro.core.node import BlockplaneNode
 
 
 def retry_delay(
@@ -71,7 +75,13 @@ class CommunicationDaemon:
             promotion.
     """
 
-    def __init__(self, node, destination: str, geo=None, active: bool = True):
+    def __init__(
+        self,
+        node: "BlockplaneNode",
+        destination: str,
+        geo: Optional["GeoCoordinator"] = None,
+        active: bool = True,
+    ):
         self.node = node
         self.destination = destination
         self.geo = geo
@@ -286,7 +296,12 @@ class ReserveDaemon:
         destination: The participant whose reception it audits.
     """
 
-    def __init__(self, node, destination: str, geo=None):
+    def __init__(
+        self,
+        node: "BlockplaneNode",
+        destination: str,
+        geo: Optional["GeoCoordinator"] = None,
+    ):
         self.node = node
         self.destination = destination
         self.promoted: Optional[CommunicationDaemon] = None

@@ -22,7 +22,7 @@ Blockplane node (:mod:`repro.core.node`).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.messages import Heartbeat, MirrorRequest, MirrorResponse, TakeOver
 from repro.core.records import (
@@ -32,6 +32,9 @@ from repro.core.records import (
     RECORD_LOG_COMMIT,
 )
 from repro.sim.process import Future, any_of
+
+if TYPE_CHECKING:
+    from repro.core.node import BlockplaneNode
 
 
 class GeoCoordinator:
@@ -46,7 +49,10 @@ class GeoCoordinator:
     """
 
     def __init__(
-        self, node, replication_set: List[str], passive: bool = False
+        self,
+        node: "BlockplaneNode",
+        replication_set: List[str],
+        passive: bool = False,
     ) -> None:
         """``passive=True`` builds a proof-gathering-only coordinator
         (no heartbeats, no takeover, no eager gathering) — used by

@@ -27,8 +27,8 @@ from typing import Any, Dict, List
 
 from repro.obs.hub import Observability
 
-_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
-_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_INVALID_METRIC_CHARS: "re.Pattern" = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS: "re.Pattern" = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _metric_name(name: str) -> str:

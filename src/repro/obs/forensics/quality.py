@@ -24,10 +24,13 @@ Chaos imports are deliberately local to the run functions so importing
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Set, Tuple
 
 from repro.obs.forensics.auditor import OnlineAuditor
 from repro.obs.forensics.findings import AuditReport, DEFAULT_THRESHOLD
+
+if TYPE_CHECKING:
+    from repro.chaos.runner import ChaosRunner
 
 
 @dataclasses.dataclass(frozen=True)
@@ -106,7 +109,7 @@ class AuditedRun:
         )
 
 
-def build_audited_runner(plan, probes: bool = True, obs=None):
+def build_audited_runner(plan, probes: bool = True, obs=None) -> "ChaosRunner":
     """A :class:`~repro.chaos.runner.ChaosRunner` wired for forensics:
     flight recorder on, auditor subscribed to the journal, canary
     probes armed right after the deployment is built. Returns the

@@ -1,4 +1,4 @@
-# bp-lint: disable=BP002
+# bp-lint: disable=BP002 -- the one module allowed to spell the raw formulas
 """Quorum arithmetic for the PBFT / Blockplane fault model.
 
 This module is the *only* place the ``3f + 1`` / ``2f + 1`` / ``f + 1``

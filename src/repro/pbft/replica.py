@@ -238,7 +238,7 @@ class PBFTReplica(Node):
         self._slot_traces: Dict[int, Tuple[int, int]] = {}
         # Metric handles for the per-slot phase metrics, resolved once
         # instead of per executed slot.
-        self._phase_histograms = None
+        self._phase_histograms: Optional[Tuple[Histogram, Histogram]] = None
         self._commit_counters: Dict[str, Any] = {}
         self._deferred_verification: set = set()
         self._catch_up_tally: Dict[int, Dict[str, set]] = {}
@@ -1374,7 +1374,11 @@ class PBFTReplica(Node):
             digest = catch_up_digest(entry.value, entry.record_type, entry.seq)
             tally = self._catch_up_tally.setdefault(entry.seq, {})
             tally.setdefault(digest, set()).add(src)
-            self._catch_up_values[(entry.seq, digest)] = entry
+            # Staging, not state: _apply_caught_up installs an entry
+            # only once reply_quorum(f) sources vouch for its digest.
+            self._catch_up_values[  # bp-lint: disable=BP009 -- pre-quorum staging
+                (entry.seq, digest)
+            ] = entry
         self._apply_caught_up()
 
     def handle_snapshot_response(self, msg: SnapshotResponse, src: str) -> None:

@@ -26,6 +26,7 @@ from repro.errors import UnknownNodeError
 from repro.sim.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.hub import Observability
     from repro.sim.node import Message, Node
     from repro.sim.simulator import Simulator
 
@@ -87,7 +88,7 @@ class Network:
         sim: "Simulator",
         topology: Topology,
         options: Optional[NetworkOptions] = None,
-        obs=None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology

@@ -19,6 +19,7 @@ import random
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import Overloaded
+from repro.sim.process import Future
 from repro.sim.simulator import Simulator
 
 
@@ -101,7 +102,7 @@ def open_loop_process(
     def _submit(value: str) -> bool:
         """One admission attempt; True when the commit was accepted."""
         try:
-            future = commit(value, workload.batch_bytes)
+            future: Future = commit(value, workload.batch_bytes)
         except Overloaded:
             stats["shed"] += 1
             return False

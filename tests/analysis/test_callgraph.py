@@ -1,0 +1,342 @@
+"""Call-graph builder: resolution goldens and the honesty budget."""
+
+import ast
+import pathlib
+import textwrap
+
+from repro.analysis.callgraph import (
+    AMBIGUOUS_KIND,
+    DYNAMIC_KIND,
+    UNRESOLVED_KIND,
+    build_call_graph,
+)
+from repro.analysis.framework import ModuleContext
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def ctx(module, source):
+    path = "src/" + module.replace(".", "/") + ".py"
+    return ModuleContext(
+        path, source, ast.parse(textwrap.dedent(source)), module=module
+    )
+
+
+def graph_of(*pairs):
+    return build_call_graph([ctx(m, s) for m, s in pairs])
+
+
+def kinds_of(graph, caller):
+    return {
+        (site.name, site.kind) for site in graph.calls.get(caller, [])
+    }
+
+
+def test_direct_and_cross_module_resolution():
+    graph = graph_of(
+        (
+            "repro.core.util",
+            """
+            def helper():
+                return 1
+            """,
+        ),
+        (
+            "repro.core.main",
+            """
+            from repro.core.util import helper
+
+            def run():
+                return helper() + local()
+
+            def local():
+                return 2
+            """,
+        ),
+    )
+    assert graph.edges["repro.core.main.run"] == {
+        "repro.core.util.helper",
+        "repro.core.main.local",
+    }
+
+
+def test_method_resolution_through_mro():
+    graph = graph_of(
+        (
+            "repro.core.layers",
+            """
+            class Base:
+                def helper(self):
+                    return 0
+
+            class Sub(Base):
+                def run(self):
+                    return self.helper()
+            """,
+        ),
+    )
+    assert (
+        "repro.core.layers.Base.helper"
+        in graph.edges["repro.core.layers.Sub.run"]
+    )
+
+
+def test_typed_attribute_receiver_resolution():
+    # self.log = LocalLog() types the attribute; calls through it
+    # resolve to the class method, the backbone of sink detection.
+    graph = graph_of(
+        (
+            "repro.core.store",
+            """
+            class LocalLog:
+                def append(self, entry):
+                    pass
+
+            class Node:
+                def __init__(self):
+                    self.log = LocalLog()
+
+                def run(self, entry):
+                    self.log.append(entry)
+            """,
+        ),
+    )
+    assert (
+        "repro.core.store.LocalLog.append"
+        in graph.edges["repro.core.store.Node.run"]
+    )
+
+
+def test_decorator_wrapped_handler_still_resolves():
+    graph = graph_of(
+        (
+            "repro.core.wrapped",
+            """
+            import functools
+
+            def traced(fn):
+                @functools.wraps(fn)
+                def inner(*args, **kwargs):
+                    return fn(*args, **kwargs)
+                return inner
+
+            class Node:
+                @traced
+                def handle_ping(self, msg, src):
+                    return msg
+
+                def poke(self, msg):
+                    self.handle_ping(msg, "n0")
+            """,
+        ),
+    )
+    # The decorated method is still indexed under its def name and the
+    # self-call resolves to it — decoration must not hide handlers.
+    assert (
+        "repro.core.wrapped.Node.handle_ping"
+        in graph.edges["repro.core.wrapped.Node.poke"]
+    )
+
+
+def test_constructor_sites_track_instantiation():
+    graph = graph_of(
+        (
+            "repro.core.mk",
+            """
+            class Widget:
+                pass
+
+            def make():
+                return Widget()
+            """,
+        ),
+    )
+    assert "repro.core.mk.Widget" in graph.instantiated
+
+
+def test_unresolved_and_dynamic_are_tracked_not_dropped():
+    graph = graph_of(
+        (
+            "repro.core.dark",
+            """
+            def run(callback):
+                callback()        # function-valued param: dynamic
+                mystery()         # no such name anywhere: unresolved
+            """,
+        ),
+    )
+    kinds = kinds_of(graph, "repro.core.dark.run")
+    assert ("callback", DYNAMIC_KIND) in kinds
+    assert ("mystery", UNRESOLVED_KIND) in kinds
+    assert {s.name for s in graph.unresolved_sites()} == {"mystery"}
+    assert {s.name for s in graph.dynamic_sites()} == {"callback"}
+
+
+def test_ambiguous_methods_get_no_edges():
+    # Two unrelated classes define `fold`; an untyped receiver must
+    # not guess — the site is reported ambiguous with no edge.
+    graph = graph_of(
+        (
+            "repro.core.amb",
+            """
+            class A:
+                def fold(self):
+                    pass
+
+            class B:
+                def fold(self):
+                    pass
+
+            def run(thing):
+                thing.fold()
+            """,
+        ),
+    )
+    kinds = kinds_of(graph, "repro.core.amb.run")
+    assert ("fold", AMBIGUOUS_KIND) in kinds
+    assert not graph.edges.get("repro.core.amb.run")
+
+
+def test_real_tree_unresolved_fraction_within_budget():
+    # ISSUE 8 honesty budget: ≤10% of intra-src/repro call sites may
+    # remain unresolved/ambiguous — and they are reported, not
+    # silently dropped.
+    contexts = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        source = path.read_text()
+        contexts.append(
+            ModuleContext(str(path), source, ast.parse(source))
+        )
+    graph = build_call_graph(contexts)
+    stats = graph.stats()
+    assert stats["internal_sites"] > 1000  # the tree is non-trivial
+    assert stats["unresolved_fraction"] <= 0.10, stats
+    reported = len(graph.unresolved_sites())
+    assert reported == stats["unresolved_sites"]
+
+
+def test_staticmethod_first_param_is_not_self():
+    # A @staticmethod's first parameter is an ordinary argument: its
+    # annotation types it, and it must not be bound to the class.
+    graph = graph_of(
+        (
+            "repro.core.clockmod",
+            """
+            class Clock:
+                def tick(self):
+                    return 1
+
+            class Runner:
+                @staticmethod
+                def drive(clock: Clock):
+                    return clock.tick()
+            """,
+        ),
+    )
+    assert graph.edges["repro.core.clockmod.Runner.drive"] == {
+        "repro.core.clockmod.Clock.tick"
+    }
+
+
+def test_closure_inherits_enclosing_types():
+    # A nested def reads names it does not bind with the enclosing
+    # function's types — including chains through the closed-over
+    # receiver — while names it rebinds stay untyped.
+    graph = graph_of(
+        (
+            "repro.core.closures",
+            """
+            class Store:
+                def put(self, value):
+                    return value
+
+            def outer():
+                store = Store()
+
+                def flush():
+                    return store.put(1)
+
+                def shadow():
+                    store = object()
+                    return store.put(2)
+
+                return flush, shadow
+            """,
+        ),
+    )
+    assert graph.edges["repro.core.closures.outer.<locals>.flush"] == {
+        "repro.core.closures.Store.put"
+    }
+    # The rebinding scope must not see the enclosing Store type (its
+    # `put` site falls back to the untyped unique-definer heuristic).
+    (shadow_put,) = [
+        s
+        for s in graph.calls["repro.core.closures.outer.<locals>.shadow"]
+        if s.name == "put"
+    ]
+    assert shadow_put.kind == "unique"
+
+
+def test_classmethod_called_on_class_name():
+    graph = graph_of(
+        (
+            "repro.core.plans",
+            """
+            class Plan:
+                @classmethod
+                def from_dict(cls, data):
+                    return cls()
+
+            def load(data):
+                return Plan.from_dict(data)
+            """,
+        ),
+    )
+    assert graph.edges["repro.core.plans.load"] == {
+        "repro.core.plans.Plan.from_dict"
+    }
+
+
+def test_sorted_preserves_element_type():
+    graph = graph_of(
+        (
+            "repro.core.sortmod",
+            """
+            from typing import List
+
+            class Action:
+                def describe(self):
+                    return ""
+
+            def describe_all(actions: List[Action]):
+                return [a.describe() for a in sorted(actions)]
+            """,
+        ),
+    )
+    assert graph.edges["repro.core.sortmod.describe_all"] == {
+        "repro.core.sortmod.Action.describe"
+    }
+
+
+def test_annotated_module_global_types_foreign_receiver():
+    # A module-level global annotated with a foreign class makes
+    # method calls on it external, not unresolved debt.
+    graph = graph_of(
+        (
+            "repro.core.regexmod",
+            """
+            import re
+
+            _PATTERN: "re.Pattern" = re.compile(r"x")
+
+            def scrub(name: str) -> str:
+                return _PATTERN.sub("_", name)
+            """,
+        ),
+    )
+    (site,) = [
+        s
+        for s in graph.calls["repro.core.regexmod.scrub"]
+        if s.name == "sub"
+    ]
+    assert site.kind == "external"

@@ -123,3 +123,92 @@ def test_statement_of_outside_function_is_none():
             return x
     """)
     assert cfg.statement_of(ast.parse("y = 1").body[0]) is None
+
+
+def test_match_case_does_not_dominate_join():
+    # check() inside one case arm must not vouch for the join point.
+    func, cfg = build("""
+        def f(msg, x):
+            match msg:
+                case 1:
+                    check(x)
+                case 2:
+                    pass
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert not cfg.dominated_by(use, is_check)
+
+
+def test_match_subject_dominates_case_bodies():
+    # The subject expression runs before any case, so a check in the
+    # subject (header_exprs) dominates every arm.
+    func, cfg = build("""
+        def f(msg, x):
+            match check(x):
+                case 1:
+                    use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert cfg.dominated_by(use, is_check)
+
+
+def test_match_without_wildcard_falls_through():
+    # No irrefutable case: control may skip every arm, so per-arm
+    # checks cannot dominate the statement after the match.
+    func, cfg = build("""
+        def f(msg, x):
+            match msg:
+                case 1:
+                    check(x)
+                case 2:
+                    check(x)
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert not cfg.dominated_by(use, is_check)
+
+
+def test_per_arm_checks_do_not_dominate_join():
+    # Even with every arm checking and an irrefutable wildcard, no
+    # *single* check statement dominates the join — dominance is per
+    # node, so this stays conservatively unproven (sound for a lint:
+    # missed dominance is flagged, never invented). Hoisting the check
+    # above the match is the fix the rules push toward.
+    func, cfg = build("""
+        def f(msg, x):
+            match msg:
+                case 1:
+                    check(x)
+                case _:
+                    check(x)
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert not cfg.dominated_by(use, is_check)
+
+
+def test_check_before_match_dominates_all_arms():
+    func, cfg = build("""
+        def f(msg, x):
+            check(x)
+            match msg:
+                case 1:
+                    use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert cfg.dominated_by(use, is_check)
+
+
+def test_match_guarded_wildcard_is_refutable():
+    # `case _ if cond:` can still fail; the match must keep its
+    # fall-through edge.
+    func, cfg = build("""
+        def f(msg, x):
+            match msg:
+                case _ if msg > 0:
+                    check(x)
+            use(x)
+    """)
+    use = cfg.statement_of(find_call(func, "use"))
+    assert not cfg.dominated_by(use, is_check)

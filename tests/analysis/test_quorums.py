@@ -3,7 +3,7 @@
 This file asserts the raw formulas against the helpers, which is the
 one legitimate place to write them outside quorums.py itself.
 """
-# bp-lint: disable=BP002
+# bp-lint: disable=BP002 -- asserts the raw formulas against the helpers
 
 from repro.pbft import quorums
 from repro.baselines.hierarchical_pbft import HierarchicalPBFTDeployment

@@ -20,6 +20,16 @@ def test_tests_are_clean():
     assert findings == [], "\n".join(str(f) for f in findings)
 
 
+def test_interprocedural_pass_is_clean():
+    # The full BP001-BP012 run (call graph + taint fixpoint) over the
+    # whole repository, src and tests in one graph — the CI gate.
+    findings = run_analysis(
+        [str(REPO_ROOT / "src" / "repro"), str(REPO_ROOT / "tests")],
+        interproc=True,
+    )
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
 def test_cli_exit_zero_on_clean_tree(capsys):
     code = main([str(REPO_ROOT / "src" / "repro" / "pbft" / "quorums.py")])
     assert code == 0
@@ -58,5 +68,12 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in ("BP001", "BP002", "BP003", "BP004",
-                 "BP005", "BP006", "BP007", "BP008"):
+                 "BP005", "BP006", "BP007", "BP008",
+                 "BP009", "BP010", "BP011", "BP012"):
         assert rule in out
+
+
+def test_cli_interproc_exit_zero_on_clean_tree(capsys):
+    code = main(["--interproc", str(REPO_ROOT / "src" / "repro")])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
