@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules lint-baseline chaos audit bench soak console experiments
+.PHONY: test lint lint-rules lint-baseline chaos audit bench bench-smoke soak console experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,7 +33,16 @@ audit:
 	$(PYTHON) -m repro obs-audit --seed 7 --runs 2 --profile byzantine --fault-free --strict
 
 bench:
-	$(PYTHON) -m repro.bench --repeats 3 --out BENCH_0007.json --disable-caches
+	$(PYTHON) -m repro.bench --repeats 3 --out BENCH_0008.json \
+		--disable-caches --disable-codec
+
+# CI gate on the generated wire codecs: the precompiled encode/decode
+# micros must beat the legacy dict-walking path by ≥3× (full runs land
+# well above; 3× leaves headroom for throttled CI machines).
+bench-smoke:
+	$(PYTHON) -m repro.bench --only micro --filter wire --repeats 3 \
+		--gate-wire-codec 3.0 --out bench-smoke.json
+	$(PYTHON) -m repro.bench --validate bench-smoke.json
 
 # Sustained open-loop soak: checkpoints + log truncation must hold the
 # per-replica retained footprint under the bound for the whole run (the

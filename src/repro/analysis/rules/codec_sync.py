@@ -1,0 +1,107 @@
+"""BP013 — wire classes and the generated codec stay in lockstep.
+
+The data plane serializes every cross-site transmission through the
+precompiled codecs in :mod:`repro.core.codec`. A wire message class
+that is missing from the codec MANIFEST falls back to nothing at all —
+``encode_wire`` raises on first use, under exactly the fault schedule
+that first emits the message. A MANIFEST whose field list has drifted
+from the dataclass it describes is worse: positional arrays would
+silently bind payloads to the wrong fields.
+
+The codec module hard-fails at import on field drift; this rule turns
+both failure modes into lint findings at the class definition site, so
+``make lint`` catches them before any deployment runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, ModuleContext, register
+from repro.analysis.rules.handlers import _is_message_subclass
+
+
+@register
+class CodecSyncChecker(Checker):
+    """BP013 — every */messages.py Message class has a generated codec
+    whose field list matches the dataclass."""
+
+    rule = "BP013"
+    summary = (
+        "*/messages.py Message dataclasses are in the codec MANIFEST "
+        "with an undrifted field list"
+    )
+    rationale = (
+        "Cross-site transmissions are serialized by precompiled "
+        "positional codecs. A message class absent from the MANIFEST "
+        "makes encode_wire raise at runtime — under exactly the fault "
+        "schedule that first emits it. A drifted field list would bind "
+        "positional payloads to the wrong fields; the codec refuses to "
+        "import in that state, so the deployment tooling goes down "
+        "with it. Both must surface at lint time, at the class "
+        "definition, not at first transmission."
+    )
+
+    def __init__(self) -> None:
+        #: class name -> (path, line, col) for every wire message class
+        #: seen in a protocol */messages.py module this run.
+        self._wire_classes: Dict[str, Tuple[str, int, int]] = {}
+
+    def visit_module(self, ctx: ModuleContext) -> List[Finding]:
+        if not (ctx.is_protocol and ctx.is_messages_module):
+            return []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_message_subclass(node):
+                self._wire_classes.setdefault(
+                    node.name, (ctx.path, node.lineno, node.col_offset)
+                )
+        return []
+
+    def finalize(self) -> List[Finding]:
+        if not self._wire_classes:
+            return []
+        try:
+            from repro.core import codec
+        except RuntimeError as exc:
+            # The codec generator refused to compile (MANIFEST drift).
+            # Anchor the finding at every collected class: the drifted
+            # one is among them and the report must not be empty.
+            return [
+                Finding(
+                    self.rule, path, line, col,
+                    f"wire codec failed to generate: {exc}",
+                )
+                for path, line, col in sorted(self._wire_classes.values())
+            ]
+        manifest_names = {cls.__name__: cls for cls in codec.MANIFEST}
+        findings: List[Finding] = []
+        for name, (path, line, col) in sorted(self._wire_classes.items()):
+            cls = manifest_names.get(name)
+            if cls is None:
+                findings.append(
+                    Finding(
+                        self.rule, path, line, col,
+                        f"wire message class `{name}` has no generated "
+                        "codec; add it to the MANIFEST in "
+                        "repro/core/codec.py",
+                    )
+                )
+                continue
+            _tag, manifest_fields = codec.MANIFEST[cls]
+            live_fields = tuple(
+                field.name for field in dataclasses.fields(cls)
+            )
+            if tuple(manifest_fields) != live_fields:
+                findings.append(
+                    Finding(
+                        self.rule, path, line, col,
+                        f"codec MANIFEST for `{name}` lists fields "
+                        f"{tuple(manifest_fields)} but the dataclass "
+                        f"declares {live_fields}; update the MANIFEST "
+                        "entry to match",
+                    )
+                )
+        return findings

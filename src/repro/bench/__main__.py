@@ -25,6 +25,7 @@ from typing import List
 from repro.bench import macro, micro
 from repro.bench.harness import Benchmark, build_document, run_suite
 from repro.bench.schema import check, validate
+from repro.sim.network import set_wire_fidelity
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -67,6 +68,24 @@ def _parser() -> argparse.ArgumentParser:
         "the control/comparison sections",
     )
     parser.add_argument(
+        "--disable-codec", action="store_true",
+        help="additionally run a codec-disabled control pass (legacy "
+        "data plane: no generated codecs, no digest expanders, legacy "
+        "scheduler) and emit the codec_control/codec_comparison sections",
+    )
+    parser.add_argument(
+        "--wire-fidelity", action="store_true",
+        help="route every cross-site delivery through encode->bytes->"
+        "decode in all passes (virtual time is unaffected; the "
+        "serialization work becomes real)",
+    )
+    parser.add_argument(
+        "--gate-wire-codec", type=float, metavar="X",
+        help="fail (exit 1) unless micro.wire.encode/decode run at "
+        "least X times faster than their _legacy counterparts — the "
+        "CI smoke gate on the generated codecs",
+    )
+    parser.add_argument(
         "--validate", metavar="FILE",
         help="validate an existing BENCH record and exit",
     )
@@ -86,6 +105,41 @@ def _selected(args: argparse.Namespace) -> List[Benchmark]:
             if args.filter in benchmark.name
         ]
     return benchmarks
+
+
+#: The codec/legacy benchmark pairs the ``--gate-wire-codec`` smoke
+#: gate compares. Both sides run in the same suite invocation, so the
+#: interleaved-repeat schedule absorbs machine drift out of the ratio.
+_WIRE_GATE_PAIRS = (
+    ("micro.wire.encode", "micro.wire.encode_legacy"),
+    ("micro.wire.decode", "micro.wire.decode_legacy"),
+)
+
+
+def _gate_wire_codec(results, minimum: float, progress) -> int:
+    """Exit code for the codec smoke gate: 0 iff every generated codec
+    micro beats its legacy counterpart by at least ``minimum``×."""
+    by_name = {result.name: result for result in results}
+    failed = False
+    for fast_name, legacy_name in _WIRE_GATE_PAIRS:
+        fast = by_name.get(fast_name)
+        legacy = by_name.get(legacy_name)
+        if fast is None or legacy is None:
+            progress(
+                f"gate: {fast_name} vs {legacy_name}: benchmark missing "
+                "from the selection"
+            )
+            failed = True
+            continue
+        ratio = fast.ops_per_sec / legacy.ops_per_sec
+        verdict = "ok" if ratio >= minimum else "FAIL"
+        progress(
+            f"gate: {fast_name} ×{ratio:.2f} vs legacy "
+            f"(minimum ×{minimum:g}) {verdict}"
+        )
+        if ratio < minimum:
+            failed = True
+    return 1 if failed else 0
 
 
 def _validate_file(path: str) -> int:
@@ -130,21 +184,34 @@ def main(argv: List[str] = None) -> int:
     progress(
         f"running {len(benchmarks)} benchmark(s): "
         f"seed={args.seed} repeats={args.repeats} warmup={args.warmup}"
+        + (" wire-fidelity" if args.wire_fidelity else "")
     )
-    results = run_suite(
-        benchmarks, args.seed, args.repeats, args.warmup,
-        caches=True, progress=progress,
-    )
-    control = None
-    if args.disable_caches:
-        progress("control pass (caches disabled):")
-        control = run_suite(
+    previous_fidelity = set_wire_fidelity(args.wire_fidelity)
+    try:
+        results = run_suite(
             benchmarks, args.seed, args.repeats, args.warmup,
-            caches=False, progress=progress,
+            caches=True, progress=progress,
         )
+        control = None
+        if args.disable_caches:
+            progress("control pass (caches disabled):")
+            control = run_suite(
+                benchmarks, args.seed, args.repeats, args.warmup,
+                caches=False, progress=progress,
+            )
+        codec_control = None
+        if args.disable_codec:
+            progress("control pass (codec disabled):")
+            codec_control = run_suite(
+                benchmarks, args.seed, args.repeats, args.warmup,
+                caches=True, codec=False, progress=progress,
+            )
+    finally:
+        set_wire_fidelity(previous_fidelity)
 
     document = build_document(
-        args.seed, args.repeats, args.warmup, results, control
+        args.seed, args.repeats, args.warmup, results, control,
+        codec_control=codec_control, wire_fidelity=args.wire_fidelity,
     )
     check(document)
 
@@ -165,6 +232,15 @@ def main(argv: List[str] = None) -> int:
         comparison = document.get("comparison", {})
         for name, numbers in comparison.items():
             progress(f"  {name}: speedup ×{numbers['speedup']:.2f}")
+    if codec_control is not None:
+        codec_comparison = document.get("codec_comparison", {})
+        for name, numbers in codec_comparison.items():
+            work = "" if numbers["work_identical"] else " WORK DIVERGED"
+            progress(
+                f"  {name}: codec speedup ×{numbers['speedup']:.2f}{work}"
+            )
+    if args.gate_wire_codec is not None:
+        return _gate_wire_codec(results, args.gate_wire_codec, progress)
     return 0
 
 

@@ -444,6 +444,8 @@ def _make_sustained(seed: int):
             "retained_high_water": worst,
             "retained_high_water_by_node": dict(sorted(high_water.items())),
             "retained_bound": SUSTAINED_RETAINED_BOUND,
+            "heap_compactions": sim.compactions,
+            "timers_cancelled": sim.events_cancelled,
             "log_truncations": sum(
                 node.local_log.base_position - 1
                 for node in deployment.all_nodes()

@@ -13,6 +13,7 @@ import random
 from typing import List
 
 from repro.bench.harness import Benchmark
+from repro.core.codec import decode_wire, encode_wire
 from repro.core.records import TransmissionRecord
 from repro.core.wire import (
     decode_sealed,
@@ -267,6 +268,41 @@ def _sealed(seed: int) -> List[SealedTransmission]:
 
 
 def _make_wire_encode(seed: int):
+    """The production wire seam: generated positional codec with the
+    identity-keyed encode memo (the broadcast fan-out hot path — the
+    same frozen ``SealedTransmission`` is serialized once per
+    destination). The ``--disable-caches`` control pass measures the
+    same seam cold; ``micro.wire.encode_legacy`` is the hand-written
+    dict-walking baseline this replaced."""
+    sealed = _sealed(seed)
+    ops = 1_000
+
+    def operation():
+        total = 0
+        for index in range(ops):
+            total += len(encode_wire(sealed[index % len(sealed)]))
+        return {"bytes": total}
+
+    return operation, ops
+
+
+def _make_wire_decode(seed: int):
+    sealed = _sealed(seed)
+    encoded = [encode_wire(item) for item in sealed]
+    ops = 1_000
+
+    def operation():
+        for index in range(ops):
+            decode_wire(encoded[index % len(encoded)])
+        return {"documents": len(encoded)}
+
+    return operation, ops
+
+
+def _make_wire_legacy_encode(seed: int):
+    """The pre-codec reference path (``core/wire.py``), kept benchmarked
+    so the codec speedup is measured inside one run — the CI bench-smoke
+    gate asserts ``micro.wire.encode`` ≥3× this."""
     sealed = _sealed(seed)
     ops = 1_000
 
@@ -279,7 +315,7 @@ def _make_wire_encode(seed: int):
     return operation, ops
 
 
-def _make_wire_decode(seed: int):
+def _make_wire_legacy_decode(seed: int):
     encoded = [to_json(encode_sealed(item)) for item in _sealed(seed)]
     ops = 1_000
 
@@ -303,4 +339,6 @@ BENCHMARKS = [
     Benchmark("micro.obs.console_render", "micro", _make_console_render),
     Benchmark("micro.wire.encode", "micro", _make_wire_encode),
     Benchmark("micro.wire.decode", "micro", _make_wire_decode),
+    Benchmark("micro.wire.encode_legacy", "micro", _make_wire_legacy_encode),
+    Benchmark("micro.wire.decode_legacy", "micro", _make_wire_legacy_decode),
 ]

@@ -15,23 +15,47 @@ Version history:
   "retained_bound": int, "by_node": {node_id: int, ...}}``. v1
   documents (no ``memory``) remain valid, so the accumulated
   trajectory keeps validating under one checker.
+* v3 — adds the data-plane fields: top-level ``codec_enabled`` and
+  ``wire_fidelity`` booleans, plus the optional ``codec_control`` /
+  ``codec_comparison`` sections emitted by ``--disable-codec``. The
+  codec control pass reverts the generated wire codecs, the canonical
+  digest expanders, and the fast-path scheduler — the pre-codec data
+  plane — while keeping caches on, so its speedups isolate this PR's
+  changes from the older cache machinery. Each ``codec_comparison``
+  entry carries ``work_identical``: whether the seeded deterministic
+  work counters (completed ops, events processed, virtual time,
+  messages sent) matched between the two passes, which is what makes
+  the wall-clock ratio a like-for-like comparison.
 
 Top-level document::
 
     {
-      "schema": "repro.bench/v2",
-      "schema_version": 2,
+      "schema": "repro.bench/v3",
+      "schema_version": 3,
       "seed": 7,
       "repeats": 3,
       "warmup": 1,
       "caches_enabled": true,
+      "codec_enabled": true,
+      "wire_fidelity": false,
       "results": [<result>, ...],
       "control": {"caches_enabled": false, "results": [<result>, ...]},
-      "comparison": {"<macro name>": {"speedup": 1.42, ...}, ...}
+      "comparison": {"<macro name>": {"speedup": 1.42, ...}, ...},
+      "codec_control": {"codec_enabled": false, "results": [<result>, ...]},
+      "codec_comparison": {
+        "<name>": {
+          "codec_ops_per_sec": 123.4,
+          "control_ops_per_sec": 78.9,
+          "speedup": 1.56,
+          "work_identical": true
+        }, ...
+      }
     }
 
 ``control`` and ``comparison`` appear only when the invocation also ran
-the cache-disabled control pass (``--disable-caches``). Each result::
+the cache-disabled control pass (``--disable-caches``);
+``codec_control`` and ``codec_comparison`` only with the codec-disabled
+control pass (``--disable-codec``). Each result::
 
     {
       "name": "micro.digest.stable",
@@ -58,12 +82,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-SCHEMA_NAME = "repro.bench/v2"
-SCHEMA_VERSION = 2
+SCHEMA_NAME = "repro.bench/v3"
+SCHEMA_VERSION = 3
 
 #: (schema string, schema_version) pairs the validator accepts. Older
 #: BENCH_*.json artifacts in the repository stay checkable.
-ACCEPTED_SCHEMAS = (("repro.bench/v1", 1), ("repro.bench/v2", 2))
+ACCEPTED_SCHEMAS = (
+    ("repro.bench/v1", 1),
+    ("repro.bench/v2", 2),
+    ("repro.bench/v3", 3),
+)
 
 #: Required top-level fields and their types.
 _TOP_FIELDS = {
@@ -145,6 +173,41 @@ def validate(document: Any) -> List[str]:
     comparison = document.get("comparison")
     if comparison is not None and not isinstance(comparison, dict):
         errors.append("comparison must be an object")
+    for field in ("codec_enabled", "wire_fidelity"):
+        value = document.get(field)
+        if value is not None and not isinstance(value, bool):
+            errors.append(f"{field} must be a boolean")
+    codec_control = document.get("codec_control")
+    if codec_control is not None:
+        if not isinstance(codec_control, dict):
+            errors.append("codec_control must be an object")
+        else:
+            if codec_control.get("codec_enabled") is not False:
+                errors.append("codec_control.codec_enabled must be false")
+            for index, result in enumerate(codec_control.get("results", [])):
+                errors.extend(
+                    _validate_result(result, f"codec_control.results[{index}]")
+                )
+    codec_comparison = document.get("codec_comparison")
+    if codec_comparison is not None:
+        if not isinstance(codec_comparison, dict):
+            errors.append("codec_comparison must be an object")
+        else:
+            for name, entry in codec_comparison.items():
+                where = f"codec_comparison[{name!r}]"
+                if not isinstance(entry, dict):
+                    errors.append(f"{where} must be an object")
+                    continue
+                for rate_field in ("codec_ops_per_sec", "control_ops_per_sec"):
+                    rate = entry.get(rate_field)
+                    if not isinstance(rate, (int, float)) or isinstance(
+                        rate, bool
+                    ):
+                        errors.append(f"{where}.{rate_field} must be a number")
+                if not isinstance(entry.get("speedup"), (int, float)):
+                    errors.append(f"{where}.speedup must be a number")
+                if not isinstance(entry.get("work_identical"), bool):
+                    errors.append(f"{where}.work_identical must be a boolean")
     return errors
 
 

@@ -94,6 +94,12 @@ class CommunicationDaemon:
         #: (transport-level). Bounds Local Log truncation: the gateway
         #: never folds a shipped-but-unacked communication record.
         self._acked_positions: set = set()
+        #: position → the armed retransmission timer. Acks cancel it —
+        #: in the healthy path every transmission is acked within one
+        #: RTT while the timer is dated a full retry timeout out, so
+        #: without cancellation the heap carries one dead timer per
+        #: transmission ever sent.
+        self._retry_timers: Dict[int, object] = {}
         node.on_log_append.append(self._on_append)
         node.comm_daemons.append(self)
 
@@ -192,7 +198,10 @@ class CommunicationDaemon:
                 node.node_id,
                 self.destination,
             )
-            node.set_timer(
+            stale = self._retry_timers.get(entry.position)
+            if stale is not None:
+                stale.cancel()  # superseded by this attempt's timer
+            self._retry_timers[entry.position] = node.set_timer(
                 delay, self._retransmit_if_unacked, entry.position, attempts
             )
         if obs.enabled:
@@ -218,6 +227,9 @@ class CommunicationDaemon:
             return
         self._awaiting_ack.pop(msg.source_position, None)
         self._acked_positions.add(msg.source_position)
+        timer = self._retry_timers.pop(msg.source_position, None)
+        if timer is not None:
+            timer.cancel()
 
     def delivery_floor(self) -> Optional[int]:
         """Oldest retained communication record to this destination not
@@ -246,6 +258,7 @@ class CommunicationDaemon:
         attempts = self._awaiting_ack.get(position)
         if attempts is None or attempts != attempts_at_send:
             return  # acked, or a newer attempt owns the timer
+        self._retry_timers.pop(position, None)  # this firing consumed it
         if not self.active or node.crashed:
             return
         if not node.local_log.covers(position):

@@ -63,6 +63,10 @@ class _SignatureCollector:
         self.required = required
         self.digest = digest
         self.signatures: Dict[str, Any] = {}
+        #: The armed re-broadcast timer; cancelled when the quorum
+        #: completes (in the healthy path that happens within one local
+        #: round-trip, a tiny fraction of the sign timeout).
+        self.timer: Any = None
 
     def add(self, signer: str, signature: Any) -> None:
         self.signatures[signer] = signature
@@ -70,6 +74,9 @@ class _SignatureCollector:
             self.future.resolve(
                 QuorumProof.build(self.digest, self.signatures.values())
             )
+            if self.timer is not None:
+                self.timer.cancel()
+                self.timer = None
 
 
 class BlockplaneNode(PBFTReplica):
@@ -825,9 +832,10 @@ class BlockplaneNode(PBFTReplica):
                 sign(self.directory.registry, self.node_id, digest),
             )
         self.broadcast(self.peers, request)
-        self.set_timer(
-            self.bp_config.sign_timeout_ms, self._retry_sign_collection, key
-        )
+        if not future.resolved:
+            collector.timer = self.set_timer(
+                self.bp_config.sign_timeout_ms, self._retry_sign_collection, key
+            )
         return future
 
     def _retry_sign_collection(self, key: Tuple[int, str, str]) -> None:
@@ -839,7 +847,7 @@ class BlockplaneNode(PBFTReplica):
             self.peers,
             SignRequest(position=position, digest=digest, purpose=purpose),
         )
-        self.set_timer(
+        collector.timer = self.set_timer(
             self.bp_config.sign_timeout_ms, self._retry_sign_collection, key
         )
 

@@ -78,12 +78,13 @@ class IdentityLRU:
 
     def lookup(self, obj: Any) -> Optional[Any]:
         """Cached value for ``obj``, or None on a miss."""
-        entry = self._entries.get(id(obj))
+        key = id(obj)
+        entry = self._entries.get(key)
         if entry is None or entry[0] is not obj:
             self.misses += 1
             return None
         self.hits += 1
-        self._entries.move_to_end(id(obj))
+        self._entries.move_to_end(key)
         return entry[1]
 
     def store(self, obj: Any, value: Any) -> None:
@@ -126,3 +127,21 @@ class KeyedLRU:
         self.hits += 1
         self._entries.move_to_end(key)
         return value
+
+    def lookup(self, key: Any) -> Optional[Any]:
+        """Cached value for ``key``, or None on a miss — for callers
+        that store conditionally (e.g. only deeply-immutable values)."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def store(self, key: Any, value: Any) -> None:
+        """Record ``value`` for ``key``, evicting the LRU tail."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)

@@ -41,6 +41,32 @@ _CLOSE_DICT = _Emit(b"}")
 _CLOSE_SET = _Emit(b")")
 _CLOSE_DATACLASS = _Emit(b">")
 
+#: Per-class canonical expanders installed by :mod:`repro.core.codec`:
+#: generated functions that push one dataclass's fields onto the walk
+#: stack with the field-name encodings precomputed. Byte-identical to
+#: the generic dataclass branch in :func:`_canonical_slow` — only the
+#: per-field ``dataclasses.fields``/encode overhead is removed. Empty
+#: when the codec is disabled (the ``--disable-codec`` control pass).
+_CANONICAL_EXPANDERS: dict = {}
+
+
+def set_canonical_expanders(mapping: Optional[dict]) -> None:
+    """Install (or, with None, remove) generated per-class expanders."""
+    global _CANONICAL_EXPANDERS
+    _CANONICAL_EXPANDERS = mapping if mapping is not None else {}
+
+
+def canonical_field_marker(name: str) -> _Emit:
+    """Precomputed canonical encoding of a dataclass field name, for
+    generated expanders (``s<len>:<name>`` merged into one append)."""
+    encoded = name.encode("utf-8")
+    return _Emit(b"s%d:" % len(encoded) + encoded)
+
+
+def canonical_dataclass_close() -> _Emit:
+    """The dataclass close marker, shared with generated expanders."""
+    return _CLOSE_DATACLASS
+
 
 def _canonical_into(value: Any, out: List[bytes]) -> None:
     """Append the canonical byte representation of ``value`` to ``out``.
@@ -105,7 +131,11 @@ def _canonical_into(value: Any, out: List[bytes]) -> None:
             for item in sorted(v, key=repr, reverse=True):
                 stack.append(item)
         else:
-            _canonical_slow(v, append, stack)
+            expander = _CANONICAL_EXPANDERS.get(cls)
+            if expander is not None:
+                expander(v, append, stack)
+            else:
+                _canonical_slow(v, append, stack)
 
 
 def _repr_of_key(kv: Any) -> str:
@@ -192,6 +222,22 @@ _DIGEST_CACHE = IdentityLRU(maxsize=8192)
 #: Leaf types that can never change value in place.
 _IMMUTABLE_LEAVES = (type(None), bool, int, float, str, bytes)
 
+#: Per-class immutability verdicts installed by :mod:`repro.core.codec`:
+#: for a MANIFEST class, ``False`` means "never deeply immutable" (not
+#: frozen, or a field is always a mutable container) and a callable
+#: isinstance-checks the scalar fields and pushes only the fields the
+#: spec cannot decide statically. A verdict may only be *stricter* than
+#: the reflective walk — refusing to memoize is always safe, memoizing a
+#: mutable value never is. Empty when the codec is disabled (the
+#: ``--disable-codec`` control pass).
+_IMMUTABILITY_VERDICTS: dict = {}
+
+
+def set_immutability_verdicts(mapping: Optional[dict]) -> None:
+    """Install (or, with None, remove) generated per-class verdicts."""
+    global _IMMUTABILITY_VERDICTS
+    _IMMUTABILITY_VERDICTS = mapping if mapping is not None else {}
+
 
 def _deeply_immutable(value: Any) -> bool:
     """Whether ``value`` is a tree of immutable values all the way down.
@@ -202,9 +248,18 @@ def _deeply_immutable(value: Any) -> bool:
     every field value does; lists, dicts, sets, and non-frozen
     dataclasses do not.
     """
+    verdicts = _IMMUTABILITY_VERDICTS
     stack = [value]
+    pop = stack.pop
     while stack:
-        v = stack.pop()
+        v = pop()
+        verdict = verdicts.get(v.__class__)
+        if verdict is not None:
+            if verdict is False:
+                return False
+            if verdict(v, stack):
+                continue
+            return False
         if isinstance(v, _IMMUTABLE_LEAVES):
             continue
         if isinstance(v, (tuple, frozenset)):

@@ -131,6 +131,11 @@ class _Slot:
     t_pre_prepare: float = -1.0
     t_prepared: float = -1.0
     trace: Optional[Tuple[int, int]] = None
+    #: The armed execution-watchdog timer (cancelled on execution — in
+    #: the healthy path every slot executes long before its watchdog
+    #: fires, and a cancelled timer is a heap tombstone the simulator
+    #: sweeps instead of a live event it must fire).
+    timer: Any = None
 
 
 @dataclasses.dataclass
@@ -148,6 +153,7 @@ class _PendingRequest:
     retries: int = 0
     trace_ctx: Optional[Tuple[int, int]] = None
     span: Any = None  # open "pbft.consensus" span at the origin
+    timer: Any = None  # the armed retry timer; cancelled at completion
 
 
 class PBFTReplica(Node):
@@ -192,6 +198,10 @@ class PBFTReplica(Node):
                 f"got {len(peers)}"
             )
         self.peers = list(peers)
+        # The group never reconfigures, so the quorum thresholds are
+        # constants of the replica; the quorum checks run on every vote
+        # and must not recompute ``(n - 1) // 3`` arithmetic each time.
+        self._commit_quorum = commit_quorum(max_faulty(len(self.peers)))
         self.config = config or PBFTConfig()
         self.verifier = verifier
         self.view = 0
@@ -208,6 +218,10 @@ class PBFTReplica(Node):
         self._assigned_requests: Dict[Tuple[str, int], int] = {}
         self._executed_requests: set = set()
         self._request_watchdogs: Dict[Tuple[str, int], int] = {}
+        # request_id → its armed watchdog timer, cancelled on execution
+        # (watchdog delays double per firing, so a stale one can sit in
+        # the heap for many seconds of virtual time otherwise).
+        self._request_watchdog_timers: Dict[Tuple[str, int], Any] = {}
         self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
         self._voted_view = 0
         self._highest_vote: Dict[str, int] = {}
@@ -311,7 +325,7 @@ class PBFTReplica(Node):
             )
         self._pending[request_id] = pending
         self._dispatch_request(request_id)
-        self.set_timer(
+        pending.timer = self.set_timer(
             self.config.request_timeout_ms, self._request_timeout, request_id
         )
         return pending.future
@@ -380,7 +394,7 @@ class PBFTReplica(Node):
             )
             self.broadcast(self.peers, request)
             self._dispatch_request(request_id)
-        self.set_timer(
+        pending.timer = self.set_timer(
             self.config.request_timeout_ms * (pending.retries + 1),
             self._request_timeout,
             request_id,
@@ -398,13 +412,15 @@ class PBFTReplica(Node):
         leader, and keep watching until it executes or the budget ends."""
         if request_id in self._executed_requests:
             self._request_watchdogs.pop(request_id, None)
+            self._request_watchdog_timers.pop(request_id, None)
             return
         fired = self._request_watchdogs.get(request_id, 0)
         if fired >= self.WATCHDOG_BUDGET:
+            self._request_watchdog_timers.pop(request_id, None)
             return
         self._request_watchdogs[request_id] = fired + 1
         self._start_view_change(self.view + 1)
-        self.set_timer(
+        self._request_watchdog_timers[request_id] = self.set_timer(
             2 * self.config.request_timeout_ms * (fired + 1),
             self._client_request_watchdog,
             request_id,
@@ -443,7 +459,7 @@ class PBFTReplica(Node):
                 self.send(leader, msg)
             if msg.request_id not in self._request_watchdogs:
                 self._request_watchdogs[msg.request_id] = 0
-                self.set_timer(
+                self._request_watchdog_timers[msg.request_id] = self.set_timer(
                     2 * self.config.request_timeout_ms,
                     self._client_request_watchdog,
                     msg.request_id,
@@ -518,6 +534,8 @@ class PBFTReplica(Node):
         pending = self._pending.pop(msg.request_id, None)
         if pending is None:
             return
+        if pending.timer is not None:
+            pending.timer.cancel()
         if pending.span is not None:
             self.obs.end_span(pending.span, rejected=msg.reason)
         if not pending.future.resolved:
@@ -602,7 +620,9 @@ class PBFTReplica(Node):
         # Execution watchdog: an accepted proposal that never executes
         # makes this replica suspect the leader (standard PBFT timer —
         # this is what lets non-submitting replicas join view changes).
-        self.set_timer(
+        if slot.timer is not None:
+            slot.timer.cancel()  # re-proposal: the old view's watchdog is dead
+        slot.timer = self.set_timer(
             self.config.request_timeout_ms * 2,
             self._slot_timeout,
             msg.seq,
@@ -630,7 +650,9 @@ class PBFTReplica(Node):
             )
         if msg.replica != src:
             return  # a replica may only vote as itself
-        slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
+        slot = self.slots.get(msg.seq)
+        if slot is None:
+            slot = self.slots[msg.seq] = _Slot(view=msg.view)
         slot.prepares[src] = msg.digest
         self._check_prepared(msg.seq)
 
@@ -639,7 +661,14 @@ class PBFTReplica(Node):
         slot = self.slots.get(seq)
         if slot is None or not slot.has_pre_prepare or slot.commit_sent:
             return
-        if self._matching_votes(slot.prepares, slot.digest) < commit_quorum(self.f):
+        # Count matching prepares inline: this runs per vote received,
+        # and a generator-expression ``sum`` costs a frame per call.
+        digest = slot.digest
+        votes = 0
+        for voted in slot.prepares.values():
+            if voted == digest:
+                votes += 1
+        if votes < self._commit_quorum:
             return
         if self.obs.enabled and slot.t_prepared < 0:
             slot.t_prepared = self.sim.now
@@ -713,7 +742,9 @@ class PBFTReplica(Node):
             )
         if msg.replica != src:
             return
-        slot = self.slots.setdefault(msg.seq, _Slot(view=msg.view))
+        slot = self.slots.get(msg.seq)
+        if slot is None:
+            slot = self.slots[msg.seq] = _Slot(view=msg.view)
         slot.commits[src] = msg.digest
         self._check_committed(msg.seq)
 
@@ -721,7 +752,12 @@ class PBFTReplica(Node):
         slot = self.slots.get(seq)
         if slot is None or slot.committed or not slot.has_pre_prepare:
             return
-        if self._matching_votes(slot.commits, slot.digest) < commit_quorum(self.f):
+        digest = slot.digest
+        votes = 0
+        for voted in slot.commits.values():
+            if voted == digest:
+                votes += 1
+        if votes < self._commit_quorum:
             return
         if not slot.commit_sent:
             return  # our own verification routine has not accepted it
@@ -736,7 +772,15 @@ class PBFTReplica(Node):
                 break
             slot.executed = True
             self.last_executed += 1
+            if slot.timer is not None:
+                slot.timer.cancel()
+                slot.timer = None
             rid = slot.request_id
+            if rid != ("", 0):
+                watchdog = self._request_watchdog_timers.pop(rid, None)
+                if watchdog is not None:
+                    watchdog.cancel()
+                    self._request_watchdogs.pop(rid, None)
             if rid != ("", 0) and rid in self._executed_requests:
                 # A request retried across a view change can commit in
                 # two slots; every honest replica executes the second
@@ -865,6 +909,13 @@ class PBFTReplica(Node):
         if len(matching) < reply_quorum(self.f):
             return
         del self._pending[msg.request_id]
+        if pending.timer is not None:
+            # The request is done: the armed retry timer will never do
+            # anything again. Cancelling turns it into a heap tombstone
+            # (swept by compaction) instead of a guaranteed future
+            # no-op firing — in a sustained run these dead retry timers
+            # are the dominant long-dated heap population.
+            pending.timer.cancel()
         entry = CommittedEntry(
             seq=msg.seq,
             view=msg.view,
@@ -1486,9 +1537,18 @@ class PBFTReplica(Node):
             slot.committed = True
             slot.commit_sent = True
             slot.executed = True
+            if slot.timer is not None:
+                slot.timer.cancel()
+                slot.timer = None
             self.last_executed = seq
             del self._catch_up_tally[seq]
             if adopted.request_id != ("", 0):
+                watchdog = self._request_watchdog_timers.pop(
+                    adopted.request_id, None
+                )
+                if watchdog is not None:
+                    watchdog.cancel()
+                    self._request_watchdogs.pop(adopted.request_id, None)
                 # Without this, a later re-commit of the same request
                 # (retried across a view change) would be applied as a
                 # real value here while every normally-executing peer

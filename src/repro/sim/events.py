@@ -4,6 +4,11 @@ An :class:`Event` is a callback scheduled at a virtual timestamp. Events
 are ordered by ``(time, seq)`` where ``seq`` is a monotonically increasing
 insertion counter — two events at the same instant always fire in the
 order they were scheduled, which keeps every simulation deterministic.
+
+The simulator's fast path (see :mod:`repro.sim.simulator`) stores heap
+entries as plain ``(time, seq, event)`` tuples so ordering is resolved by
+C-level tuple comparison; :meth:`Event.__lt__` remains for the legacy
+scheduler mode and for any external code that sorts events directly.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ import dataclasses
 from typing import Any, Callable, Optional, Tuple
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Event:
     """A callback scheduled on the simulator's virtual clock.
 
@@ -27,6 +32,11 @@ class Event:
             at schedule time and cleared when the event leaves the heap.
             Lets :meth:`cancel` report to the owner's live-event
             counters without the simulator scanning its heap.
+        fast: True when the event lives in the owner's zero-delay ready
+            queue instead of the time-ordered heap. Maintained by the
+            simulator; cancellation bookkeeping differs between the two
+            containers (ready-queue tombstones are swept in FIFO order,
+            never compacted).
     """
 
     time: float
@@ -35,11 +45,12 @@ class Event:
     args: Tuple[Any, ...] = ()
     cancelled: bool = False
     owner: Optional[Any] = dataclasses.field(default=None, repr=False)
+    fast: bool = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.
 
-        Cancelling is O(1): the event stays in the heap as a tombstone
+        Cancelling is O(1): the event stays in its queue as a tombstone
         and is discarded when popped (or swept by the owner's
         compaction pass if tombstones come to dominate the heap).
         Cancelling an event that already fired, or a second time, is a

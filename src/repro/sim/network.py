@@ -20,6 +20,7 @@ used by :mod:`repro.sim.faults` and by byzantine tests.
 from __future__ import annotations
 
 import dataclasses
+import operator
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import UnknownNodeError
@@ -38,6 +39,56 @@ DropFilter = Callable[[str, str, Any], bool]
 #: (possibly replaced) message to deliver.
 TamperHook = Callable[[str, str, Any], Any]
 
+#: Sort key for broadcast arrival batches (module-level so the hot
+#: broadcast loop does not rebuild a closure per call).
+_entry_arrival = operator.itemgetter(0)
+
+#: Module-level default for wire fidelity, sampled at Network
+#: construction (mirroring the codec/fast-path seams). When on, every
+#: cross-site delivery is round-tripped through the generated wire
+#: codec — encode→UTF-8 bytes→decode — so the receiver handles a
+#: freshly deserialized object, exactly as a production deployment
+#: would. Off by default: transcoding costs real CPU per message and
+#: the default macros measure the protocol, not the serializer.
+_WIRE_FIDELITY = False
+
+#: Module-level default for the transport fast path, sampled at Network
+#: construction (mirroring the codec and scheduler seams). When on,
+#: broadcasts run the hoisted/inlined fan-out loop and nodes memoize
+#: handler dispatch; when off, the transport runs the original
+#: straight-line implementations. ``repro.bench --disable-codec`` turns
+#: it off so the control pass measures the pre-optimization data plane
+#: end to end — both implementations schedule identical events, so
+#: seeded runs are byte-identical either way.
+_TRANSPORT_FAST_PATH = True
+
+
+def transport_fast_path_enabled() -> bool:
+    """Whether newly constructed networks use the fast transport path."""
+    return _TRANSPORT_FAST_PATH
+
+
+def set_transport_fast_path(enabled: bool) -> bool:
+    """Set the transport fast-path default; returns the old value."""
+    global _TRANSPORT_FAST_PATH
+    previous = _TRANSPORT_FAST_PATH
+    _TRANSPORT_FAST_PATH = bool(enabled)
+    return previous
+
+
+def wire_fidelity_enabled() -> bool:
+    """Whether newly constructed networks transcode cross-site messages."""
+    return _WIRE_FIDELITY
+
+
+def set_wire_fidelity(enabled: bool) -> bool:
+    """Set the wire-fidelity default for new networks; returns the old
+    value. Flipped by ``python -m repro.bench --wire-fidelity``."""
+    global _WIRE_FIDELITY
+    previous = _WIRE_FIDELITY
+    _WIRE_FIDELITY = bool(enabled)
+    return previous
+
 
 @dataclasses.dataclass
 class NetworkOptions:
@@ -55,6 +106,12 @@ class NetworkOptions:
         jitter_ms: Uniform random extra delay in [0, jitter_ms] applied
             per hop. Zero keeps runs exactly reproducible (it is the
             default); tests of timeout logic turn it on.
+        wire_fidelity: Round-trip cross-site deliveries through the
+            generated wire codec (encode→bytes→decode). None (the
+            default) samples the module toggle at Network construction.
+            Virtual time is unaffected — the bandwidth model keeps
+            charging the modelled ``size_bytes`` — only the Python-level
+            serialization work becomes real.
     """
 
     bandwidth_mb_per_s: float = 640.0
@@ -62,6 +119,7 @@ class NetworkOptions:
     receiver_processing_ms: float = 0.01
     wan_bandwidth_mb_per_s: Optional[float] = None
     jitter_ms: float = 0.0
+    wire_fidelity: Optional[bool] = None
 
     def bytes_per_ms(self, wide_area: bool) -> float:
         """NIC throughput in bytes per virtual millisecond."""
@@ -107,6 +165,25 @@ class Network:
         self.messages_delivered = 0
         self.bytes_sent = 0
         self._link_counters: Dict[tuple, tuple] = {}
+        self.fast_transport = _TRANSPORT_FAST_PATH
+        # Bound per instance so the hot send path pays no per-call mode
+        # dispatch; the mode is fixed for the network's lifetime.
+        self.broadcast = (
+            self._broadcast_fast if self.fast_transport
+            else self._broadcast_legacy
+        )
+        options_fidelity = self.options.wire_fidelity
+        self.wire_fidelity = (
+            _WIRE_FIDELITY if options_fidelity is None else bool(options_fidelity)
+        )
+        self.wire_transcodes = 0
+        self.wire_bytes = 0
+        if self.wire_fidelity:
+            from repro.core.codec import transcode
+
+            self._transcode = transcode
+        else:
+            self._transcode = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -169,7 +246,9 @@ class Network:
         arrival = self._compute_arrival_time(src, dst, size, wide_area)
         self.sim.schedule_at(arrival, self._arrive, dst_id, src_id, message, size)
 
-    def broadcast(self, src_id: str, dst_ids: List[str], message: "Message") -> None:
+    def _broadcast_fast(
+        self, src_id: str, dst_ids: List[str], message: "Message"
+    ) -> None:
         """Fan ``message`` out to several destinations at once.
 
         Semantically equivalent to calling :meth:`send` per destination
@@ -180,6 +259,109 @@ class Network:
         broadcast schedules one event per destination *site*, not per
         replica. Ingress NIC reservations for a site's batch are made
         in arrival order when the batch's first message lands.
+
+        This is the fast-transport implementation; ``broadcast`` is
+        bound to it (or to :meth:`_broadcast_legacy`) at construction.
+        """
+        src = self.node(src_id)
+        self.messages_sent += len(dst_ids)
+        if src.crashed:
+            return
+        # A unit-wide PBFT broadcast runs for every protocol phase of
+        # every slot, so this loop is the hottest transport code in the
+        # library. Everything loop-invariant — option lookups, the
+        # egress NIC cursor, bandwidth conversions — is hoisted, and the
+        # egress reservation of :meth:`_compute_arrival_time` is inlined
+        # (same arithmetic, same rng order for jitter, one write-back).
+        sim = self.sim
+        now = sim.now
+        nodes = self.nodes
+        options = self.options
+        drop_filters = self.drop_filters
+        tamper_hooks = self.tamper_hooks
+        obs_enabled = self.obs.enabled
+        src_site = src.site
+        overhead = options.per_message_overhead_bytes
+        local_bpm = options.bytes_per_ms(False)
+        wan_bpm = options.bytes_per_ms(True)
+        one_way_ms = self.topology.one_way_ms
+        jitter = options.jitter_ms
+        egress = self._egress_free_at
+        free = egress.get(src_id, 0.0)
+        if free < now:
+            free = now
+        reserved = False
+        bytes_acc = 0
+        groups: Dict[str, List[tuple]] = {}
+        for dst_id in dst_ids:
+            dst = nodes.get(dst_id)
+            if dst is None:
+                dst = self.node(dst_id)  # raises UnknownNodeError
+            if drop_filters:
+                dropped = False
+                for drop in drop_filters:
+                    if drop(src_id, dst_id, message):
+                        sim.trace.record(
+                            "net.drop", now, src=src_id, dst=dst_id,
+                            msg=type(message).__name__,
+                        )
+                        dropped = True
+                        break
+                if dropped:
+                    continue
+            delivered = message
+            if tamper_hooks:
+                for tamper in tamper_hooks:
+                    delivered = tamper(src_id, dst_id, delivered)
+                    if delivered is None:
+                        break
+                if delivered is None:
+                    continue
+            dst_site = dst.site
+            size = delivered.size_bytes() + overhead
+            bytes_acc += size
+            if obs_enabled:
+                self._count_link(src_site, dst_site, size)
+            if dst_id == src_id:
+                sim.schedule(
+                    options.receiver_processing_ms,
+                    self._deliver, dst_id, src_id, delivered,
+                )
+                continue
+            # Egress serialization: back-to-back sends queue behind the
+            # NIC cursor; propagation is added after the reservation.
+            tx_delay = size / (wan_bpm if src_site != dst_site else local_bpm)
+            arrival = free + tx_delay
+            free = arrival
+            reserved = True
+            propagation = one_way_ms(src_site, dst_site)
+            if jitter > 0:
+                propagation += sim.rng.uniform(0.0, jitter)
+            arrival += propagation
+            group = groups.get(dst_site)
+            if group is None:
+                group = groups[dst_site] = []
+            group.append((arrival, dst_id, delivered, size))
+        self.bytes_sent += bytes_acc
+        if reserved:
+            egress[src_id] = free
+        schedule_at = sim.schedule_at
+        arrive_batch = self._arrive_batch
+        for entries in groups.values():
+            if len(entries) > 1:
+                entries.sort(key=_entry_arrival)
+            schedule_at(entries[0][0], arrive_batch, src_id, entries)
+
+    def _broadcast_legacy(
+        self, src_id: str, dst_ids: List[str], message: "Message"
+    ) -> None:
+        """The straight-line broadcast fan-out (pre-optimization).
+
+        Byte-identical behavior to :meth:`_broadcast_fast` — the same
+        arrivals at the same virtual times in the same event order —
+        kept verbatim as the ``--disable-codec`` control configuration
+        so benchmark comparison passes measure the full data-plane
+        speedup against the original transport code.
         """
         src = self.node(src_id)
         self.messages_sent += len(dst_ids)
@@ -230,16 +412,22 @@ class Network:
     def _arrive_batch(self, src_id: str, entries: List[tuple]) -> None:
         """Composite arrival: reserve each destination's ingress NIC in
         arrival order and schedule the per-destination deliveries."""
+        sim = self.sim
+        now = sim.now
         bytes_per_ms = self.options.bytes_per_ms(wide_area=False)
         processing = self.options.receiver_processing_ms
         free_at = self._ingress_free_at
+        schedule_at = sim.schedule_at
+        deliver = self._deliver
         for arrival, dst_id, message, size in entries:
-            ingress_start = max(arrival, self.sim.now, free_at.get(dst_id, 0.0))
+            ingress_start = free_at.get(dst_id, 0.0)
+            if arrival > ingress_start:
+                ingress_start = arrival
+            if now > ingress_start:
+                ingress_start = now
             ingress_done = ingress_start + size / bytes_per_ms + processing
             free_at[dst_id] = ingress_done
-            self.sim.schedule_at(
-                ingress_done, self._deliver, dst_id, src_id, message
-            )
+            schedule_at(ingress_done, deliver, dst_id, src_id, message)
 
     def _count_link(self, src_site: str, dst_site: str, size: int) -> None:
         """Per-link byte/message counters (counter objects cached so
@@ -297,8 +485,21 @@ class Network:
         dst = self.nodes.get(dst_id)
         if dst is None or dst.crashed:
             return
+        if self._transcode is not None:
+            src = self.nodes.get(src_id)
+            if src is not None and src.site != dst.site:
+                # Wire fidelity: the receiver handles a freshly decoded
+                # copy, not the sender's object. Happens after arrival
+                # scheduling, so virtual time and event counts are
+                # byte-identical with fidelity off.
+                message, nbytes = self._transcode(message)
+                self.wire_transcodes += 1
+                self.wire_bytes += nbytes
         self.messages_delivered += 1
-        dst.receive_message(message, src_id)
+        # Dispatch via ``on_message`` directly: ``receive_message`` only
+        # re-checks ``crashed``, which this method already did, and the
+        # extra frame is measurable at one call per delivered message.
+        dst.on_message(message, src_id)
 
     # ------------------------------------------------------------------
     # Fault hooks

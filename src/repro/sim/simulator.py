@@ -1,15 +1,36 @@
 """The discrete-event simulation engine.
 
-:class:`Simulator` owns the virtual clock, the event heap, the seeded
+:class:`Simulator` owns the virtual clock, the event queues, the seeded
 random generator, and the tracer. Everything else in the library —
 network links, consensus protocols, the middleware, workloads — schedules
 work through it, so a whole deployment advances deterministically from a
 single seed.
+
+Two scheduler implementations coexist behind one API:
+
+* **Fast path** (the default): heap entries are plain ``(time, seq,
+  event)`` tuples so heap sift comparisons resolve at C speed, and
+  zero-delay events — the deliver→handle→send cascades produced by the
+  generator-process machinery, the dominant event class in macros — skip
+  the heap entirely and go through a FIFO ready deque. The heap is
+  reserved for genuinely future work (timers, RTT-delayed arrivals).
+* **Legacy path**: the original single heap of :class:`Event` objects
+  ordered by ``Event.__lt__``. Kept as the control configuration for
+  ``repro.bench --disable-codec`` comparison passes.
+
+Both fire events in exactly ``(time, seq)`` order, so seeded runs are
+byte-identical between them: ready-queue events always carry the current
+virtual time (zero delay), the queue drains in seq order before the clock
+can advance, and a same-time heap entry with a smaller seq is fired ahead
+of the ready head. The mode is sampled from the module-level toggle at
+:class:`Simulator` construction, mirroring ``repro.core.codec``'s
+enable/disable seam.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 import random
 from typing import Any, Callable, Generator, Optional
 
@@ -17,9 +38,37 @@ from repro.errors import SimulationError
 from repro.sim.events import Event
 from repro.sim.trace import Tracer
 
+#: Module-level default for the scheduler fast path. Sampled once per
+#: Simulator at construction so a control pass can flip it without
+#: racing simulators that are mid-run.
+_FAST_PATH_ENABLED = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether newly constructed simulators use the fast-path scheduler."""
+    return _FAST_PATH_ENABLED
+
+
+def set_fast_path_enabled(enabled: bool) -> bool:
+    """Set the fast-path default for new simulators; returns the old value.
+
+    Used by the benchmark harness's ``--disable-codec`` control pass to
+    revert the data plane to the pre-codec configuration (legacy event
+    heap) without touching simulators already constructed.
+    """
+    global _FAST_PATH_ENABLED
+    previous = _FAST_PATH_ENABLED
+    _FAST_PATH_ENABLED = bool(enabled)
+    return previous
+
 
 class Simulator:
     """A deterministic discrete-event simulator with a millisecond clock.
+
+    Args:
+        seed: Seed for the simulation's random generator.
+        fast_path: Override the scheduler mode for this instance; None
+            (the default) samples :func:`fast_path_enabled`.
 
     Example:
         >>> sim = Simulator(seed=7)
@@ -37,21 +86,31 @@ class Simulator:
     #: (rebuilding tiny heaps would cost more than the tombstones do).
     COMPACT_MIN_TOMBSTONES = 64
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, fast_path: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self.trace = Tracer()
+        self._fast = _FAST_PATH_ENABLED if fast_path is None else bool(fast_path)
         self._heap: list = []
+        # Zero-delay ready queue (fast path only). Invariant: every event
+        # in it has ``time == self.now``; the queue drains before the
+        # clock advances, so FIFO order here is exactly seq order.
+        self._ready: deque = deque()
         self._seq = 0
         self._events_processed = 0
         self._running = False
         # Live/tombstone counters keep ``pending_events`` O(1) and
         # drive tombstone compaction; maintained by the schedule/cancel/
         # pop paths (events report their own cancellation via
-        # ``Event.owner``).
+        # ``Event.owner``). Ready-queue tombstones are tracked
+        # separately: they are swept lazily at the queue head and never
+        # participate in heap compaction (the queue drains within the
+        # current virtual instant, so they cannot accumulate).
         self._live = 0
         self._tombstones = 0
+        self._ready_tombstones = 0
         self._compactions = 0
+        self._events_cancelled = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -77,11 +136,19 @@ class Simulator:
         # so the relative form pushes directly instead of re-validating
         # through :meth:`schedule_at` (this is the hottest call in the
         # library — every message hop and timer goes through it).
-        event = Event(
-            time=self.now + delay, seq=self._seq, fn=fn, args=args, owner=self
-        )
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
+        if self._fast:
+            if delay == 0.0:
+                event = Event(self.now, seq, fn, args, False, self, True)
+                self._ready.append(event)
+            else:
+                when = self.now + delay
+                event = Event(when, seq, fn, args, False, self)
+                heapq.heappush(self._heap, (when, seq, event))
+            return event
+        event = Event(self.now + delay, seq, fn, args, False, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -91,14 +158,18 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before current time t={self.now}"
             )
-        event = Event(time=when, seq=self._seq, fn=fn, args=args, owner=self)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        event = Event(when, seq, fn, args, False, self)
+        if self._fast:
+            heapq.heappush(self._heap, (when, seq, event))
+        else:
+            heapq.heappush(self._heap, event)
         return event
 
-    def _note_cancelled(self, _event: Event) -> None:
-        """Called by :meth:`Event.cancel` while the event is heap-held.
+    def _note_cancelled(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel` while the event is queue-held.
 
         Keeps the live count exact and sweeps the heap once tombstones
         outnumber live events (retransmission timers cancel far more
@@ -106,6 +177,14 @@ class Simulator:
         heap and every push/pop pays their log factor).
         """
         self._live -= 1
+        self._events_cancelled += 1
+        if event.fast:
+            # Ready-queue tombstone: swept when it reaches the queue
+            # head, within the current virtual instant. Kept out of the
+            # heap tombstone counter so it cannot skew the compaction
+            # trigger (which is sized against ``len(self._heap)``).
+            self._ready_tombstones += 1
+            return
         self._tombstones += 1
         if (
             self._tombstones >= self.COMPACT_MIN_TOMBSTONES
@@ -116,12 +195,24 @@ class Simulator:
     def _compact(self) -> None:
         """Rebuild the heap without tombstones (O(n), amortized free)."""
         live = []
-        for event in self._heap:
-            if event.cancelled:
-                event.owner = None  # fully detached now
-            else:
-                live.append(event)
-        self._heap = live
+        if self._fast:
+            for entry in self._heap:
+                event = entry[2]
+                if event.cancelled:
+                    event.owner = None  # fully detached now
+                else:
+                    live.append(entry)
+        else:
+            for event in self._heap:
+                if event.cancelled:
+                    event.owner = None  # fully detached now
+                else:
+                    live.append(event)
+        # In-place replacement: the fast-mode run loop holds a direct
+        # reference to the heap list across callbacks, and a callback
+        # may cancel enough timers to trigger this sweep — rebinding
+        # ``self._heap`` to a new list would strand that reference.
+        self._heap[:] = live
         heapq.heapify(self._heap)
         self._tombstones = 0
         self._compactions += 1
@@ -133,7 +224,7 @@ class Simulator:
         """Fire the single next pending event.
 
         Returns:
-            True if an event fired, False if the heap was empty.
+            True if an event fired, False if no events are pending.
         """
         event = self._next_live()
         if event is None:
@@ -146,7 +237,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> None:
-        """Run events until the heap drains or a bound is hit.
+        """Run events until the queues drain or a bound is hit.
 
         Args:
             until: Stop once the next event would fire after this virtual
@@ -159,31 +250,137 @@ class Simulator:
         self._running = True
         fired = 0
         try:
+            if self._fast:
+                self._run_fast(until, max_events)
+                return
             # One pop path: ``_next_live`` discards tombstones exactly
-            # once and leaves the next live event at the heap top;
-            # ``_fire`` pops that same event. Nothing re-examines
+            # once and leaves the next live event at the front of its
+            # queue; ``_fire`` pops that same event. Nothing re-examines
             # already-scanned tombstones.
+            next_live = self._next_live
+            fire = self._fire
             while True:
                 if max_events is not None and fired >= max_events:
                     return
-                nxt = self._next_live()
+                nxt = next_live()
                 if nxt is None:
                     break
                 if until is not None and nxt.time > until:
                     self.now = max(self.now, until)
                     return
-                self._fire(nxt)
+                fire(nxt)
                 fired += 1
             if until is not None:
                 self.now = max(self.now, until)
         finally:
             self._running = False
 
+    def _run_fast(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+    ) -> None:
+        """The fast-mode event loop, inlined.
+
+        Functionally identical to the generic ``_next_live``/``_fire``
+        loop — same tombstone sweeps, same (time, seq) tie-break between
+        the ready queue and the heap, same counter updates — but fused
+        into one frame with every queue handle bound locally. The loop
+        body runs once per event (hundreds of thousands of times per
+        macro), so the two method calls plus a dozen attribute loads the
+        generic loop pays per event are worth eliminating. Counters
+        (``now``, ``_live``, ``_events_processed``) are still written
+        through ``self`` every iteration because event callbacks read
+        them mid-run.
+
+        Only called from :meth:`run` with ``_running`` held; relies on
+        :meth:`_compact` mutating the heap list in place.
+        """
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        if until is None and max_events is None:
+            # Unbounded drain — the macro/experiment shape (``run()``
+            # with no arguments). Identical event selection without the
+            # per-event bound checks of the general loop below.
+            while True:
+                while ready and ready[0].cancelled:
+                    tombstone = popleft()
+                    tombstone.owner = None
+                    self._ready_tombstones -= 1
+                while heap and heap[0][2].cancelled:
+                    tombstone = pop(heap)[2]
+                    tombstone.owner = None
+                    self._tombstones -= 1
+                if ready:
+                    event = ready[0]
+                    if heap:
+                        top = heap[0]
+                        if top[0] < event.time or (
+                            top[0] == event.time and top[1] < event.seq
+                        ):
+                            event = top[2]
+                elif heap:
+                    event = heap[0][2]
+                else:
+                    return
+                if event.fast:
+                    popleft()
+                else:
+                    pop(heap)
+                    self.now = event.time
+                self._live -= 1
+                event.owner = None
+                self._events_processed += 1
+                event.fn(*event.args)
+        fired = 0
+        limit = -1 if max_events is None else max_events
+        while True:
+            if fired == limit:
+                return
+            while ready and ready[0].cancelled:
+                tombstone = popleft()
+                tombstone.owner = None
+                self._ready_tombstones -= 1
+            while heap and heap[0][2].cancelled:
+                tombstone = pop(heap)[2]
+                tombstone.owner = None
+                self._tombstones -= 1
+            if ready:
+                event = ready[0]
+                if heap:
+                    top = heap[0]
+                    if top[0] < event.time or (
+                        top[0] == event.time and top[1] < event.seq
+                    ):
+                        event = top[2]
+            elif heap:
+                event = heap[0][2]
+            else:
+                break
+            if until is not None and event.time > until:
+                if until > self.now:
+                    self.now = until
+                return
+            if event.fast:
+                popleft()
+            else:
+                pop(heap)
+                self.now = event.time
+            self._live -= 1
+            event.owner = None
+            self._events_processed += 1
+            event.fn(*event.args)
+            fired += 1
+        if until is not None and until > self.now:
+            self.now = until
+
     def run_until_resolved(self, future: "Future", max_events: int = 10_000_000):
         """Run until ``future`` resolves; return its value.
 
         Raises:
-            SimulationError: If the event heap drains (or ``max_events``
+            SimulationError: If the event queues drain (or ``max_events``
                 events fire) while the future is still pending.
         """
         fired = 0
@@ -200,9 +397,36 @@ class Simulator:
         return future.result()
 
     def _next_live(self) -> Optional[Event]:
-        """Discard tombstones at the heap top; return (without popping)
-        the next live event, or None if the heap has drained."""
+        """Discard tombstones at the queue fronts; return (without
+        popping) the next live event, or None if everything drained.
+
+        In fast mode the next event is the (time, seq)-minimum across
+        the ready queue and the heap. The ready head always carries the
+        current virtual time, so the heap top only wins with an equal
+        time and a smaller seq (scheduled earlier via
+        :meth:`schedule_at`), which preserves exact legacy ordering.
+        """
         heap = self._heap
+        if self._fast:
+            ready = self._ready
+            while ready and ready[0].cancelled:
+                tombstone = ready.popleft()
+                tombstone.owner = None
+                self._ready_tombstones -= 1
+            while heap and heap[0][2].cancelled:
+                tombstone = heapq.heappop(heap)[2]
+                tombstone.owner = None
+                self._tombstones -= 1
+            if ready:
+                head = ready[0]
+                if heap:
+                    top = heap[0]
+                    if top[0] < head.time or (
+                        top[0] == head.time and top[1] < head.seq
+                    ):
+                        return top[2]
+                return head
+            return heap[0][2] if heap else None
         while heap and heap[0].cancelled:
             tombstone = heapq.heappop(heap)
             tombstone.owner = None
@@ -210,30 +434,41 @@ class Simulator:
         return heap[0] if heap else None
 
     def _fire(self, event: Event) -> None:
-        """Pop ``event`` (the live heap top) and invoke its callback."""
-        heapq.heappop(self._heap)
+        """Pop ``event`` (the live front of its queue) and invoke it."""
+        if event.fast:
+            # Ready-queue events carry the current virtual time by
+            # construction, so the clock needs no update.
+            self._ready.popleft()
+        else:
+            heapq.heappop(self._heap)
+            self.now = event.time
         self._live -= 1
         event.owner = None
-        self.now = event.time
         self._events_processed += 1
         event.fn(*event.args)
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the heap (O(1):
+        """Number of not-yet-cancelled events still queued (O(1):
         maintained by the schedule/cancel/pop paths)."""
         return self._live
 
     @property
     def heap_size(self) -> int:
-        """Physical heap length, tombstones included (for diagnostics
-        and the heap-hygiene regression tests)."""
-        return len(self._heap)
+        """Physical queue length — heap plus ready queue, tombstones
+        included (for diagnostics and the heap-hygiene regression
+        tests)."""
+        return len(self._heap) + len(self._ready)
 
     @property
     def compactions(self) -> int:
         """How many tombstone compaction sweeps have run."""
         return self._compactions
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total events cancelled while queued since construction."""
+        return self._events_cancelled
 
     @property
     def events_processed(self) -> int:

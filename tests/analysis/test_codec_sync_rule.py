@@ -1,0 +1,84 @@
+"""BP013 — wire classes and the generated codec stay in lockstep."""
+
+import textwrap
+
+from repro.analysis import run_analysis
+from repro.analysis.rules.codec_sync import CodecSyncChecker
+from repro.core import codec
+
+
+def _write_messages(tmp_path, body):
+    pkg = tmp_path / "repro" / "pbft"
+    pkg.mkdir(parents=True)
+    path = pkg / "messages.py"
+    path.write_text(textwrap.dedent(body))
+    return str(path)
+
+
+def test_repo_tree_is_in_sync():
+    assert run_analysis(["src/repro"], rules=["BP013"]) == []
+
+
+def test_flags_wire_class_missing_from_manifest(tmp_path):
+    path = _write_messages(tmp_path, """
+        from repro.sim.node import Message
+
+        class UnmanifestedZap(Message):
+            seq: int = 0
+    """)
+    findings = run_analysis([str(tmp_path)], rules=["BP013"])
+    assert [finding.rule for finding in findings] == ["BP013"]
+    assert "UnmanifestedZap" in findings[0].message
+    assert findings[0].path == path
+
+
+def test_manifested_class_passes(tmp_path):
+    # Same name as a real MANIFEST class: the checker compares the
+    # MANIFEST field list against the *live* dataclass, which matches.
+    _write_messages(tmp_path, """
+        from repro.sim.node import Message
+
+        class Prepare(Message):
+            pass
+    """)
+    assert run_analysis([str(tmp_path)], rules=["BP013"]) == []
+
+
+def test_non_protocol_messages_modules_are_out_of_scope(tmp_path):
+    pkg = tmp_path / "repro" / "testkit"
+    pkg.mkdir(parents=True)
+    (pkg / "messages.py").write_text(textwrap.dedent("""
+        from repro.sim.node import Message
+
+        class AdHocDouble(Message):
+            pass
+    """))
+    assert run_analysis([str(tmp_path)], rules=["BP013"]) == []
+
+
+def test_suppression_is_honored(tmp_path):
+    _write_messages(tmp_path, """
+        from repro.sim.node import Message
+
+        class UnmanifestedZap(Message):  # bp-lint: disable=BP013 -- test double
+            pass
+    """)
+    assert run_analysis([str(tmp_path)], rules=["BP013"]) == []
+
+
+def test_detects_manifest_field_drift(monkeypatch):
+    """A MANIFEST entry whose field list no longer matches the live
+    dataclass is reported at the class definition site."""
+    from repro.pbft.messages import Prepare
+
+    tag, fields = codec.MANIFEST[Prepare]
+    drifted = dict(codec.MANIFEST)
+    drifted[Prepare] = (tag, tuple(fields[:-1]))
+    monkeypatch.setattr(codec, "MANIFEST", drifted)
+
+    checker = CodecSyncChecker()
+    checker._wire_classes["Prepare"] = ("src/repro/pbft/messages.py", 1, 0)
+    findings = checker.finalize()
+    assert [finding.rule for finding in findings] == ["BP013"]
+    assert "Prepare" in findings[0].message
+    assert "update the MANIFEST" in findings[0].message

@@ -16,6 +16,7 @@ ALL_RULES = (
     "BP001", "BP002", "BP003", "BP004",
     "BP005", "BP006", "BP007", "BP008",
     "BP009", "BP010", "BP011", "BP012",
+    "BP013",
 )
 
 

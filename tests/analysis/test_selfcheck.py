@@ -69,7 +69,8 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ("BP001", "BP002", "BP003", "BP004",
                  "BP005", "BP006", "BP007", "BP008",
-                 "BP009", "BP010", "BP011", "BP012"):
+                 "BP009", "BP010", "BP011", "BP012",
+                 "BP013"):
         assert rule in out
 
 

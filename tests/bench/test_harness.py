@@ -128,3 +128,48 @@ class TestCLI:
         assert validate(document) == []
         assert document["control"]["caches_enabled"] is False
         assert "micro.digest.cached" in document["comparison"]
+
+    def test_disable_codec_emits_codec_control(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = cli.main([
+            "--only", "micro", "--filter", "wire.encode",
+            "--repeats", "1", "--warmup", "0",
+            "--disable-codec", "--out", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert validate(document) == []
+        assert document["codec_control"]["codec_enabled"] is False
+        assert "micro.wire.encode" in document["codec_comparison"]
+
+    def test_wire_codec_gate_passes_on_real_micros(self, tmp_path):
+        # A deliberately weak floor: the gate's pass/fail plumbing is
+        # under test here, not the performance claim (bench-smoke runs
+        # the real ×3 floor).
+        code = cli.main([
+            "--only", "micro", "--filter", "wire",
+            "--repeats", "1", "--warmup", "0",
+            "--gate-wire-codec", "1.1",
+            "--out", str(tmp_path / "bench.json"),
+        ])
+        assert code == 0
+
+    def test_wire_codec_gate_fails_on_unreachable_floor(self, tmp_path):
+        code = cli.main([
+            "--only", "micro", "--filter", "wire",
+            "--repeats", "1", "--warmup", "0",
+            "--gate-wire-codec", "1e9",
+            "--out", str(tmp_path / "bench.json"),
+        ])
+        assert code == 1
+
+    def test_wire_codec_gate_fails_when_pair_filtered_out(self, tmp_path):
+        # A filter that drops the decode pair leaves the gate unable to
+        # check it; that is a configuration error, not a pass.
+        code = cli.main([
+            "--only", "micro", "--filter", "wire.encode",
+            "--repeats", "1", "--warmup", "0",
+            "--gate-wire-codec", "1.1",
+            "--out", str(tmp_path / "bench.json"),
+        ])
+        assert code == 1

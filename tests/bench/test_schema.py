@@ -136,14 +136,18 @@ class TestViolations:
 
 
 class TestVersioning:
-    """v2 accepts archived v1 documents; mismatched pairs fail."""
+    """v3 accepts archived v1/v2 documents; mismatched pairs fail."""
 
-    def test_current_schema_is_v2(self):
-        assert SCHEMA_NAME == "repro.bench/v2"
-        assert SCHEMA_VERSION == 2
+    def test_current_schema_is_v3(self):
+        assert SCHEMA_NAME == "repro.bench/v3"
+        assert SCHEMA_VERSION == 3
 
     def test_v1_document_still_validates(self):
         document = _document(schema="repro.bench/v1", schema_version=1)
+        assert validate(document) == []
+
+    def test_v2_document_still_validates(self):
+        document = _document(schema="repro.bench/v2", schema_version=2)
         assert validate(document) == []
 
     def test_mismatched_name_version_pair_rejected(self):
@@ -151,6 +155,72 @@ class TestVersioning:
             _document(schema="repro.bench/v1", schema_version=2)
         )
         assert any("schema_version" in error for error in errors)
+
+
+def _codec_comparison(**overrides):
+    entry = {
+        "codec_ops_per_sec": 3.0,
+        "control_ops_per_sec": 2.0,
+        "speedup": 1.5,
+        "work_identical": True,
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestCodecControlBlock:
+    """The v3 ``codec_control``/``codec_comparison`` sections."""
+
+    def test_document_with_codec_control(self):
+        document = _document(
+            codec_enabled=True,
+            wire_fidelity=False,
+            codec_control={"codec_enabled": False, "results": [_result()]},
+            codec_comparison={"micro.example": _codec_comparison()},
+        )
+        assert validate(document) == []
+
+    def test_codec_fields_are_optional(self):
+        assert validate(_document()) == []
+
+    def test_codec_enabled_must_be_bool(self):
+        errors = validate(_document(codec_enabled="yes"))
+        assert any("codec_enabled" in error for error in errors)
+
+    def test_wire_fidelity_must_be_bool(self):
+        errors = validate(_document(wire_fidelity=1))
+        assert any("wire_fidelity" in error for error in errors)
+
+    def test_codec_control_must_disable_codec(self):
+        document = _document(
+            codec_control={"codec_enabled": True, "results": [_result()]}
+        )
+        errors = validate(document)
+        assert any("codec_control.codec_enabled" in error for error in errors)
+
+    def test_codec_control_results_validated(self):
+        document = _document(
+            codec_control={"codec_enabled": False, "results": [_result(ops=-5)]}
+        )
+        assert validate(document) != []
+
+    def test_codec_comparison_requires_work_identical_bool(self):
+        document = _document(
+            codec_comparison={
+                "micro.example": _codec_comparison(work_identical="yes")
+            }
+        )
+        errors = validate(document)
+        assert any("work_identical" in error for error in errors)
+
+    def test_codec_comparison_rates_must_be_numeric(self):
+        document = _document(
+            codec_comparison={
+                "micro.example": _codec_comparison(codec_ops_per_sec="fast")
+            }
+        )
+        errors = validate(document)
+        assert any("codec_ops_per_sec" in error for error in errors)
 
 
 def _memory(**overrides):
