@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-rules lint-baseline chaos audit bench bench-smoke soak console experiments
+.PHONY: test lint lint-rules lint-baseline chaos audit bench bench-smoke soak latency console experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,6 +52,17 @@ soak:
 	$(PYTHON) -m repro.bench --only macro --filter sustained \
 		--repeats 1 --warmup 0 --sustained-ops 9999 --out soak.json
 	$(PYTHON) -m repro.bench --validate soak.json
+
+# Traced sustained soak -> schema-v4 latency block (critical-path
+# attribution, conservation-enforced) -> p99 regression gate against
+# the committed baseline. Virtual-time latencies are seed-
+# deterministic, so the gate is machine-independent.
+latency:
+	$(PYTHON) -m repro.bench --only macro --filter sustained \
+		--repeats 1 --warmup 0 --sustained-ops 9999 \
+		--out latency-smoke.json \
+		--gate-latency-regression ci/latency-smoke.json
+	$(PYTHON) -m repro.bench --validate latency-smoke.json
 
 # Seeded audited chaos run -> schema-checked bundle -> offline replay.
 console:

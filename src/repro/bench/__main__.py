@@ -22,7 +22,7 @@ import json
 import sys
 from typing import List
 
-from repro.bench import macro, micro
+from repro.bench import latency, macro, micro
 from repro.bench.harness import Benchmark, build_document, run_suite
 from repro.bench.schema import check, validate
 from repro.sim.network import set_wire_fidelity
@@ -86,6 +86,19 @@ def _parser() -> argparse.ArgumentParser:
         "CI smoke gate on the generated codecs",
     )
     parser.add_argument(
+        "--gate-latency-regression", metavar="BASELINE",
+        help="fail (exit 1) if any latency-attribution p99 (end-to-end "
+        "or per-segment) regressed beyond the tolerance versus the "
+        "latency blocks in a prior BENCH file — latencies are virtual-"
+        "time and seed-deterministic, so this compares like for like",
+    )
+    parser.add_argument(
+        "--latency-tolerance", type=float, metavar="X",
+        default=latency.DEFAULT_TOLERANCE,
+        help="multiplicative headroom for --gate-latency-regression "
+        f"(default ×{latency.DEFAULT_TOLERANCE:g})",
+    )
+    parser.add_argument(
         "--validate", metavar="FILE",
         help="validate an existing BENCH record and exit",
     )
@@ -140,6 +153,39 @@ def _gate_wire_codec(results, minimum: float, progress) -> int:
         if ratio < minimum:
             failed = True
     return 1 if failed else 0
+
+
+def _gate_latency(document, baseline_path: str, tolerance: float, progress) -> int:
+    """Exit code for the latency regression gate: 0 iff no segment or
+    end-to-end p99 in ``document`` regressed versus the baseline."""
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        progress(f"gate: cannot read latency baseline {baseline_path}: {exc}")
+        return 1
+    violations = latency.gate_latency_regression(
+        document, baseline, tolerance=tolerance
+    )
+    gated = sum(
+        1
+        for result in baseline.get("results", [])
+        if isinstance(result, dict) and "latency" in result
+    )
+    if not gated:
+        progress(
+            f"gate: {baseline_path} carries no latency blocks "
+            "(pre-v4 baseline); nothing to compare"
+        )
+        return 0
+    for violation in violations:
+        progress(f"gate: latency regression: {violation}")
+    verdict = "FAIL" if violations else "ok"
+    progress(
+        f"gate: latency vs {baseline_path} "
+        f"(x{tolerance:g} tolerance, {gated} baseline result(s)) {verdict}"
+    )
+    return 1 if violations else 0
 
 
 def _validate_file(path: str) -> int:
@@ -239,9 +285,28 @@ def main(argv: List[str] = None) -> int:
             progress(
                 f"  {name}: codec speedup ×{numbers['speedup']:.2f}{work}"
             )
+    for result in results:
+        block = result.extra.get("latency")
+        if not block:
+            continue
+        tail = block.get("tail", {})
+        conservation = block.get("conservation", {})
+        progress(
+            f"  {result.name}: latency e2e p99 "
+            f"{block['end_to_end_ms']['p99']:.3f} ms, tail dominated by "
+            f"{tail.get('dominant_segment', '?')}, unattributed p99 "
+            f"fraction {conservation.get('unattributed_p99_fraction', 0.0):.4f}"
+        )
+    exit_code = 0
     if args.gate_wire_codec is not None:
-        return _gate_wire_codec(results, args.gate_wire_codec, progress)
-    return 0
+        exit_code = _gate_wire_codec(results, args.gate_wire_codec, progress)
+    if args.gate_latency_regression is not None:
+        latency_code = _gate_latency(
+            document, args.gate_latency_regression,
+            args.latency_tolerance, progress,
+        )
+        exit_code = exit_code or latency_code
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -103,6 +103,12 @@ class BenchResult:
                     ).items()
                 },
             }
+        # The critical-path attribution report is likewise lifted into
+        # the schema-v4 ``latency`` block — and removed from ``extra``,
+        # where duplicating a multi-kilobyte report would double the
+        # artifact for nothing.
+        if "latency" in self.extra:
+            document["latency"] = document["extra"].pop("latency")
         return document
 
 

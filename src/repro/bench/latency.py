@@ -1,0 +1,146 @@
+"""Latency attribution for benchmarks and the regression gate.
+
+Two halves:
+
+* :func:`latency_block` folds a traced run's span log through the
+  critical-path engine (:mod:`repro.obs.critpath`) into the schema-v4
+  ``latency`` result block — per-segment p50/p90/p99 budgets, the
+  p99-tail dominance ranking, and the conservation proof. The fold
+  *enforces* conservation: a run whose decomposition fails the
+  invariant raises instead of recording, exactly like the sustained
+  soak's memory bound.
+* :func:`gate_latency_regression` compares the ``latency`` blocks of
+  two BENCH documents (current vs. a prior baseline file). Latencies
+  here are **virtual-time** quantities — seed-deterministic functions
+  of the workload — so the comparison is exact science, not wall-clock
+  noise: the gate flags any segment or end-to-end p99 that grew beyond
+  ``tolerance`` (default ×1.25) plus a small absolute slack that keeps
+  micro-segments (a few µs of virtual time) from tripping it on float
+  dust.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs import critpath
+from repro.obs.hub import SLO, Observability
+
+#: Default multiplicative headroom for the regression gate.
+DEFAULT_TOLERANCE = 1.25
+
+#: Absolute virtual-time slack (ms) under which p99 movement is never a
+#: regression — keeps near-zero segments from gating on rounding.
+ABSOLUTE_SLACK_MS = 0.05
+
+#: Demonstrative objectives the sustained soak tracks; generous bounds
+#: that a healthy run clears with margin (the regression gate, not the
+#: SLO set, is the hard check).
+SUSTAINED_SLOS = (
+    SLO("commit_e2e", "end_to_end", threshold_ms=250.0, target=0.99),
+    SLO("wan_hop", "wan.transmit", threshold_ms=100.0, target=0.99),
+    SLO("unattributed", "unattributed", threshold_ms=1.0, target=0.99),
+)
+
+
+class LatencyConservationError(RuntimeError):
+    """A traced run's segment decomposition failed conservation."""
+
+
+def latency_block(
+    obs: Observability,
+    sample_every: int,
+    slos: Optional[tuple] = SUSTAINED_SLOS,
+) -> Dict[str, Any]:
+    """Fold ``obs``'s span log into the schema-v4 ``latency`` block.
+
+    Raises :class:`LatencyConservationError` when any committed op's
+    decomposition breaks the conservation invariant or the
+    unattributed share exceeds the p99 bound — a run that cannot
+    explain its own latency must fail, not record. Also evaluates
+    ``slos`` through the hub (burn counters land in the registry and
+    flow through every exporter) and embeds the summary.
+    """
+    decompositions = critpath.decompose_all(obs.spans)
+    attribution = critpath.attribute(decompositions)
+    conservation = attribution["conservation"]
+    if not conservation["ok"]:
+        raise LatencyConservationError(
+            "critical-path conservation failed over "
+            f"{conservation['checked_ops']} ops: max error "
+            f"{conservation['max_error_ms']:.6f} ms (tolerance "
+            f"{conservation['tolerance_ms']}), unattributed p99 "
+            f"fraction {conservation['unattributed_p99_fraction']:.4f} "
+            f"(bound {conservation['unattributed_p99_bound']})"
+        )
+    block: Dict[str, Any] = {"sample_every": int(sample_every)}
+    block.update(attribution)
+    if slos:
+        block["slo"] = obs.track_slos(slos, decompositions=decompositions)
+    return block
+
+
+def _p99_index(block: Dict[str, Any]) -> Dict[str, float]:
+    """``{series name: p99}`` for one latency block (end-to-end plus
+    every segment)."""
+    out = {"end_to_end": float(block["end_to_end_ms"]["p99"])}
+    for entry in block.get("segments", []):
+        out[entry["segment"]] = float(entry["p99"])
+    return out
+
+
+def gate_latency_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Compare two BENCH documents' ``latency`` blocks.
+
+    Returns one violation string per regressed series (empty = pass).
+    Results present only on one side are skipped — a baseline from the
+    pre-v4 era simply has nothing to gate against — but a baseline
+    that has latency data while the current run recorded none is
+    itself a violation (the instrumentation went missing).
+    """
+    if tolerance <= 1.0:
+        raise ValueError(f"tolerance must exceed 1.0, got {tolerance}")
+    violations: List[str] = []
+    baseline_blocks = {
+        result["name"]: result["latency"]
+        for result in baseline.get("results", [])
+        if isinstance(result, dict) and "latency" in result
+    }
+    current_blocks = {
+        result["name"]: result["latency"]
+        for result in current.get("results", [])
+        if isinstance(result, dict) and "latency" in result
+    }
+    for name, base_block in sorted(baseline_blocks.items()):
+        now_block = current_blocks.get(name)
+        if now_block is None:
+            if any(
+                result.get("name") == name
+                for result in current.get("results", [])
+                if isinstance(result, dict)
+            ):
+                violations.append(
+                    f"{name}: baseline has a latency block but the "
+                    f"current run recorded none"
+                )
+            continue
+        base_p99 = _p99_index(base_block)
+        now_p99 = _p99_index(now_block)
+        for series in sorted(base_p99):
+            before = base_p99[series]
+            after = now_p99.get(series)
+            if after is None:
+                # A segment vanishing (e.g. no view change this run)
+                # is an improvement, not a regression.
+                continue
+            if after <= before * tolerance + ABSOLUTE_SLACK_MS:
+                continue
+            violations.append(
+                f"{name}/{series}: p99 {after:.4f} ms vs baseline "
+                f"{before:.4f} ms exceeds x{tolerance:g} tolerance"
+            )
+    return violations

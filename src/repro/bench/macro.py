@@ -30,6 +30,7 @@ import random
 from typing import TYPE_CHECKING, Any, Dict, List
 
 from repro.bench.harness import Benchmark
+from repro.bench.latency import latency_block
 from repro.chaos.generator import ScheduleGenerator
 from repro.chaos.runner import byzantine_overrides, schedule_plan_actions
 from repro.core.config import BlockplaneConfig
@@ -81,6 +82,11 @@ _SUSTAINED_CHECKPOINT_INTERVAL = 64
 _SUSTAINED_MAX_IN_FLIGHT = 256
 #: Retained-footprint sampling cadence (virtual ms).
 _SUSTAINED_SAMPLE_MS = 200.0
+#: Commit-trace sampling stride for the soak's latency attribution:
+#: every 16th commit gets a full span tree (deterministic counter, no
+#: randomness), bounding the span log while still decomposing
+#: thousands of commits per run.
+_SUSTAINED_TRACE_SAMPLE = 16
 
 
 def workload_ops(sites: int = len(SITES), batches: int = _BATCHES) -> int:
@@ -351,7 +357,23 @@ def _make_sustained(seed: int):
     ops = per_site * len(SITES)
 
     def operation():
+        from repro.obs.hub import Observability
+
         sim = Simulator(seed=seed)
+        # Tracing on with 1-in-N commit sampling: the critical-path
+        # engine needs complete span trees, not every tree. The span
+        # log is unbounded here so sampled traces can never lose their
+        # roots to eviction mid-run (the sample stride is what bounds
+        # volume); forensics stays off — this benchmark measures the
+        # data plane plus tracing, not the flight recorder.
+        obs = Observability(
+            enabled=True,
+            tracing=True,
+            forensics=False,
+            max_spans=None,
+            trace_sample_every=_SUSTAINED_TRACE_SAMPLE,
+        )
+        obs.bind_clock(sim)
         deployment = BlockplaneDeployment(
             sim,
             symmetric_topology(SITES, _RTT_MS),
@@ -364,6 +386,7 @@ def _make_sustained(seed: int):
                 ),
                 admission_max_in_flight=_SUSTAINED_MAX_IN_FLIGHT,
             ),
+            obs=obs,
         )
         high_water: Dict[str, int] = {}
         sim.spawn(_footprint_sampler(sim, deployment, high_water))
@@ -430,8 +453,15 @@ def _make_sustained(seed: int):
                 "under sustained load"
             )
         duration_ms = max(s["duration_ms"] for s in site_stats.values())
+        # Fold the sampled span trees into the schema-v4 latency block.
+        # Conservation is an enforced acceptance criterion: the fold
+        # raises if any decomposed commit's segments fail to sum to its
+        # end-to-end latency or too much of it stays unattributed.
+        latency = latency_block(obs, _SUSTAINED_TRACE_SAMPLE)
         return {
             "completed_ops": committed,
+            "latency": latency,
+            "spans_recorded": len(obs.spans),
             "virtual_ms": sim.now,
             "events_processed": sim.events_processed,
             "messages_sent": deployment.network.messages_sent,

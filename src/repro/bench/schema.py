@@ -26,12 +26,22 @@ Version history:
   work counters (completed ops, events processed, virtual time,
   messages sent) matched between the two passes, which is what makes
   the wall-clock ratio a like-for-like comparison.
+* v4 — adds the optional per-result ``latency`` object: the
+  critical-path attribution report from :mod:`repro.obs.critpath`
+  (per-segment p50/p90/p99 budgets over *virtual* time, the p99-tail
+  dominance ranking, and the conservation proof), recorded by
+  sustained-load benchmarks. Virtual-time latencies are
+  seed-deterministic, so two BENCH files with the same seed and
+  workload are comparable point-for-point — that is what
+  ``--gate-latency-regression`` compares. A ``latency`` block whose
+  conservation proof failed is a schema violation: the run should
+  have failed, not recorded.
 
 Top-level document::
 
     {
-      "schema": "repro.bench/v3",
-      "schema_version": 3,
+      "schema": "repro.bench/v4",
+      "schema_version": 4,
       "seed": 7,
       "repeats": 3,
       "warmup": 1,
@@ -70,6 +80,15 @@ control pass (``--disable-codec``). Each result::
         "retained_high_water": 812,
         "retained_bound": 4000,
         "by_node": {"A-0": 812, ...}
+      },
+      "latency": {                 # optional (v4, sustained soaks)
+        "sample_every": 16,        # commit-trace sampling stride
+        "ops": 625,                # decomposed (sampled) commits
+        "end_to_end_ms": {"p50": ..., "p90": ..., "p99": ..., ...},
+        "segments": [{"segment": "pbft.prepare", "p99": ..., ...}, ...],
+        "unattributed": {..., "p99_fraction": 0.0},
+        "tail": {"dominant_segment": "pbft.reply", "ranking": [...]},
+        "conservation": {"ok": true, "max_error_ms": ..., ...}
       }
     }
 
@@ -82,8 +101,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-SCHEMA_NAME = "repro.bench/v3"
-SCHEMA_VERSION = 3
+SCHEMA_NAME = "repro.bench/v4"
+SCHEMA_VERSION = 4
 
 #: (schema string, schema_version) pairs the validator accepts. Older
 #: BENCH_*.json artifacts in the repository stay checkable.
@@ -91,6 +110,7 @@ ACCEPTED_SCHEMAS = (
     ("repro.bench/v1", 1),
     ("repro.bench/v2", 2),
     ("repro.bench/v3", 3),
+    ("repro.bench/v4", 4),
 )
 
 #: Required top-level fields and their types.
@@ -242,6 +262,9 @@ def _validate_result(result: Any, where: str) -> List[str]:
     memory = result.get("memory")
     if memory is not None:
         errors.extend(_validate_memory(memory, f"{where}.memory"))
+    latency = result.get("latency")
+    if latency is not None:
+        errors.extend(_validate_latency(latency, f"{where}.latency"))
     return errors
 
 
@@ -281,6 +304,77 @@ def _validate_memory(memory: Any, where: str) -> List[str]:
             f"{where}: retained_high_water {high} exceeds retained_bound "
             f"{bound} — the run should have failed, not recorded"
         )
+    return errors
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_latency(latency: Any, where: str) -> List[str]:
+    """The optional v4 ``latency`` block: critical-path attribution
+    with its conservation proof."""
+    errors: List[str] = []
+    if not isinstance(latency, dict):
+        return [f"{where} must be an object"]
+    ops = latency.get("ops")
+    if not isinstance(ops, int) or isinstance(ops, bool) or ops < 0:
+        errors.append(f"{where}.ops must be a non-negative integer")
+    stride = latency.get("sample_every")
+    if stride is not None and (
+        not isinstance(stride, int) or isinstance(stride, bool) or stride < 1
+    ):
+        errors.append(f"{where}.sample_every must be a positive integer")
+    end_to_end = latency.get("end_to_end_ms")
+    if not isinstance(end_to_end, dict) or not all(
+        _is_number(end_to_end.get(q)) for q in ("p50", "p90", "p99")
+    ):
+        errors.append(
+            f"{where}.end_to_end_ms must carry numeric p50/p90/p99"
+        )
+    segments = latency.get("segments")
+    if not isinstance(segments, list):
+        errors.append(f"{where}.segments must be a list")
+    else:
+        seen = set()
+        for index, entry in enumerate(segments):
+            seg_where = f"{where}.segments[{index}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{seg_where} must be an object")
+                continue
+            name = entry.get("segment")
+            if not isinstance(name, str) or not name:
+                errors.append(f"{seg_where}.segment must be a name")
+            elif name in seen:
+                errors.append(f"{where}: duplicate segment {name!r}")
+            else:
+                seen.add(name)
+            for field in ("p50", "p90", "p99", "mean", "total_ms"):
+                if not _is_number(entry.get(field)):
+                    errors.append(f"{seg_where}.{field} must be a number")
+    conservation = latency.get("conservation")
+    if not isinstance(conservation, dict):
+        errors.append(f"{where}.conservation must be an object")
+    else:
+        if not isinstance(conservation.get("ok"), bool):
+            errors.append(f"{where}.conservation.ok must be a boolean")
+        elif conservation["ok"] is not True:
+            errors.append(
+                f"{where}.conservation failed — the run should have "
+                f"failed, not recorded"
+            )
+        fraction = conservation.get("unattributed_p99_fraction")
+        bound = conservation.get("unattributed_p99_bound")
+        if not _is_number(fraction) or not 0.0 <= fraction <= 1.0:
+            errors.append(
+                f"{where}.conservation.unattributed_p99_fraction must "
+                f"be a fraction in [0, 1]"
+            )
+        elif _is_number(bound) and fraction > bound:
+            errors.append(
+                f"{where}.conservation: unattributed_p99_fraction "
+                f"{fraction} exceeds the recorded bound {bound}"
+            )
     return errors
 
 

@@ -471,8 +471,19 @@ def write_artifacts(
         from repro.obs.console import build_bundle, write_bundle, write_html
 
         paths.update(export_all(obs, directory))
+        latency = None
+        if getattr(obs, "tracing", False) and len(obs.spans):
+            from repro.obs.critpath import attribute_log
+
+            report = attribute_log(obs.spans)
+            if report["ops"]:
+                latency = report
         bundle = build_bundle(
             obs,
+            latency=latency,
+            # Ground truth: the injected schedule renders beside
+            # whatever the auditor detected.
+            chaos=result.plan,
             title=(
                 f"chaos replay: seed {result.plan.seed}, "
                 f"profile {result.plan.profile}"

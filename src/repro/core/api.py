@@ -143,10 +143,11 @@ class BlockplaneAPI:
         started = self.sim.now
         root = None
         trace_ctx = None
-        if obs.tracing:
+        if obs.sample_trace():
             # Root of the commit's end-to-end trace; everything below
             # (PBFT phases, daemon shipping, the WAN hop, the remote
-            # receive-verification) hangs off this span.
+            # receive-verification) hangs off this span. Sampled 1-in-N
+            # when the hub sets trace_sample_every > 1.
             root = obs.begin_span(
                 "commit", None, participant=self.participant,
                 node=self.unit.gateway_node().node_id,

@@ -138,11 +138,14 @@ class CommunicationDaemon:
         ship_span = None
         if obs.tracing:
             ctx = obs.entry_trace(node.participant, entry.position)
-            ship_span = obs.begin_span(
-                "daemon.ship", ctx,
-                participant=node.participant, node=node.node_id,
-                destination=self.destination, position=entry.position,
-            )
+            # An unsampled commit has no entry trace; skip the ship
+            # span rather than opening a stray root trace for it.
+            if ctx is not None:
+                ship_span = obs.begin_span(
+                    "daemon.ship", ctx,
+                    participant=node.participant, node=node.node_id,
+                    destination=self.destination, position=entry.position,
+                )
         record = TransmissionRecord(
             source=node.participant,
             destination=self.destination,

@@ -27,11 +27,19 @@ reproduction makes:
   text format, Chrome trace-event JSON (``chrome://tracing`` /
   Perfetto), journal JSON.
 
-Metric names, the span taxonomy, and the journal event taxonomy are
-documented in ``docs/OBSERVABILITY.md``.
+* :mod:`repro.obs.critpath` — critical-path latency attribution:
+  folds each committed op's span tree into an ordered segment
+  decomposition with a conservation invariant, computes per-segment
+  percentile budgets and p99-tail dominance, and backs the hub's SLO
+  tracker (:class:`~repro.obs.hub.SLO`) and bench schema v4's
+  ``latency`` block.
+
+Metric names, the span taxonomy, the segment taxonomy, and the journal
+event taxonomy are documented in ``docs/OBSERVABILITY.md``.
 """
 
-from repro.obs.hub import DISABLED, Observability, TraceCtx
+from repro.obs import critpath
+from repro.obs.hub import DISABLED, Observability, SLO, TraceCtx
 from repro.obs.journal import EventJournal, ProtocolEvent
 from repro.obs.registry import (
     Counter,
@@ -52,7 +60,9 @@ from repro.obs.exporters import (
 __all__ = [
     "Observability",
     "DISABLED",
+    "SLO",
     "TraceCtx",
+    "critpath",
     "MetricsRegistry",
     "Counter",
     "Gauge",

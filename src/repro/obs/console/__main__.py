@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="metrics.json snapshot to embed")
     source.add_argument("--audit", metavar="FILE",
                         help="auditor report.json for the overlay")
+    source.add_argument("--plan", metavar="FILE",
+                        help="chaos plan.json whose injected faults "
+                             "render as ground truth on the timeline")
     source.add_argument("--bundle", metavar="FILE",
                         help="prebuilt repro.console/v1 bundle "
                              "(skips folding)")
@@ -127,7 +130,9 @@ def _demo_bundle(title: Optional[str]) -> Dict[str, Any]:
     obs = Observability(enabled=True)
     trace_commit_lifecycle(obs)
     return build_bundle(
-        obs, title=title or "canonical cross-DC commit (C -> V)"
+        obs,
+        latency=_latency_report(obs),
+        title=title or "canonical cross-DC commit (C -> V)",
     )
 
 
@@ -155,10 +160,23 @@ def _chaos_bundle(
     return build_bundle(
         run.obs,
         audit=run.report,
+        latency=_latency_report(run.obs),
+        chaos=plan,
         title=title or (
             f"chaos replay: seed {plan.seed}, profile {plan.profile}"
         ),
     )
+
+
+def _latency_report(obs: Any) -> Optional[Dict[str, Any]]:
+    """The critical-path attribution report for a traced hub, or None
+    when the run recorded no commit traces to decompose."""
+    if not getattr(obs, "tracing", False) or not len(obs.spans):
+        return None
+    from repro.obs.critpath import attribute_log
+
+    report = attribute_log(obs.spans)
+    return report if report["ops"] else None
 
 
 def _folded_bundle(
@@ -170,11 +188,13 @@ def _folded_bundle(
     spans = _read_json(args.trace) if args.trace else None
     metrics = _read_json(args.metrics) if args.metrics else None
     audit = _read_json(args.audit) if args.audit else None
+    chaos = _read_json(args.plan) if args.plan else None
     return build_bundle(
         journal=journal,
         spans=spans,
         metrics=metrics,
         audit=audit,
+        chaos=chaos,
         title=title or f"replay of {args.journal}",
     )
 

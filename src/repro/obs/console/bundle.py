@@ -206,6 +206,53 @@ def _topology_section(
     return topology
 
 
+def _chaos_section(chaos: Any) -> Dict[str, Any]:
+    """Accept a :class:`~repro.chaos.plan.FaultPlan`, its ``to_dict``
+    form, or a pre-built chaos section; emit the bundle's ground-truth
+    fault schedule. Open-ended actions (``end is None``, whole-run
+    byzantine plants) are closed at the plan's horizon+settle extent so
+    the renderer can always draw a finite window — the label keeps the
+    ``∞`` notation."""
+    if hasattr(chaos, "budget") and hasattr(chaos, "actions"):
+        plan = chaos
+    elif isinstance(chaos, dict) and "actions" in chaos:
+        from repro.chaos.plan import FaultPlan
+
+        plan = FaultPlan.from_dict(chaos)
+    else:
+        raise TypeError(
+            f"chaos must be a FaultPlan or its dict form, "
+            f"got {type(chaos).__name__}"
+        )
+    extent = plan.budget.horizon_ms + plan.budget.settle_ms
+    actions = []
+    for action in sorted(plan.actions, key=lambda a: (a.start, a.kind)):
+        entry: Dict[str, Any] = {
+            "kind": action.kind,
+            "start": float(action.start),
+            "end": float(action.end if action.end is not None else extent),
+            "label": action.describe(),
+        }
+        if action.site:
+            entry["site"] = action.site
+        if action.peer:
+            entry["peer"] = action.peer
+        if action.kind in ("crash", "byzantine"):
+            entry["node_index"] = action.node_index
+        if action.probability:
+            entry["probability"] = action.probability
+        if action.behavior:
+            entry["behavior"] = action.behavior
+        actions.append(entry)
+    return {
+        "seed": plan.seed,
+        "profile": plan.profile,
+        "horizon_ms": plan.budget.horizon_ms,
+        "settle_ms": plan.budget.settle_ms,
+        "actions": actions,
+    }
+
+
 def _audit_section(audit: Any) -> Dict[str, Any]:
     """Accept an AuditReport or its ``report.json`` dict form; emit the
     bundle's audit section with finding ids and evidence links."""
@@ -251,6 +298,8 @@ def build_bundle(
     spans: Any = None,
     metrics: Optional[Dict[str, Any]] = None,
     audit: Any = None,
+    latency: Optional[Dict[str, Any]] = None,
+    chaos: Any = None,
     topology: Any = None,
     title: str = DEFAULT_TITLE,
     validate: bool = True,
@@ -265,6 +314,12 @@ def build_bundle(
         spans: SpanLog, span/dict iterable, or Chrome trace document.
         metrics: ``metrics.json``-shaped snapshot.
         audit: AuditReport or its ``report.json`` dict form.
+        latency: Critical-path attribution report (the
+            :func:`repro.obs.critpath.attribute` dict) for the
+            segment-budget panel.
+        chaos: :class:`~repro.chaos.plan.FaultPlan` (or its dict form)
+            whose injected actions render as ground truth beside the
+            auditor's findings.
         topology: :class:`~repro.sim.topology.Topology` or its
             ``to_dict`` form; defaults to the paper's AWS topology.
         title: Replay heading.
@@ -298,6 +353,10 @@ def build_bundle(
         document["metrics"] = dict(metrics)
     if audit is not None:
         document["audit"] = _audit_section(audit)
+    if latency is not None:
+        document["latency"] = dict(latency)
+    if chaos is not None:
+        document["chaos"] = _chaos_section(chaos)
     if validate:
         check(document)
     return document

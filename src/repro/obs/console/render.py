@@ -16,6 +16,16 @@ The file opens offline in any browser and presents three views:
 3. **Auditor overlay** — per-node suspicion badges on the topology and
    a findings panel; selecting a finding jumps the cursor to its first
    evidence event and highlights every cited event in the log.
+4. **Trace flame view** — per-trace span trees drawn depth-by-depth
+   (v2 bundles with spans); a selector cycles through the recorded
+   commit traces.
+5. **Latency budget** — the critical-path segment decomposition from
+   the bundle's ``latency`` section as share bars with p50/p99 budgets
+   and the conservation line.
+6. **Chaos ground truth** — when the bundle carries the injected fault
+   plan (``chaos`` section), its windows shade the swimlanes and list
+   beside the auditor's findings, so detection can be judged against
+   what was actually injected.
 
 Everything the page shows is computed from the embedded bundle at view
 time; the Python side contributes only static markup (title, header
@@ -60,6 +70,12 @@ def render_html(bundle: Dict[str, Any], validate: bool = True) -> str:
         accused = audit.get("accused", [])
         if accused:
             stats.append("accused: " + ", ".join(accused))
+    latency = bundle.get("latency")
+    if latency is not None:
+        stats.append(f"{latency.get('ops', 0)} ops attributed")
+    chaos = bundle.get("chaos")
+    if chaos is not None:
+        stats.append(f"{len(chaos.get('actions', []))} injected faults")
     stats_html = " · ".join(html.escape(stat) for stat in stats)
 
     banner = ""
@@ -123,6 +139,26 @@ def _noscript_summary(bundle: Dict[str, Any]) -> str:
                 )
                 + "</li>"
             )
+    chaos = bundle.get("chaos")
+    if chaos is not None:
+        for action in chaos.get("actions", []):
+            lines.append(
+                "<li>injected: "
+                + html.escape(action.get("label", action.get("kind", "?")))
+                + "</li>"
+            )
+    latency = bundle.get("latency")
+    if latency is not None:
+        e2e = latency.get("end_to_end_ms", {})
+        lines.append(
+            "<li>latency: "
+            + html.escape(
+                f"{latency.get('ops', 0)} ops, e2e p50 "
+                f"{e2e.get('p50', 0.0):.3f} ms / p99 "
+                f"{e2e.get('p99', 0.0):.3f} ms"
+            )
+            + "</li>"
+        )
     lines.append("</ul>")
     return "\n".join(lines)
 
@@ -200,6 +236,43 @@ section h2 {
 }
 #lanes-box { grid-column: 1 / -1; }
 #audit-box { grid-column: 1 / -1; }
+#flame-box { grid-column: 1 / -1; }
+#flame-box .picker { padding: 6px 12px; }
+#flame-box select {
+  background: var(--panel); color: var(--ink); max-width: 100%;
+  border: 1px solid var(--edge); border-radius: 6px; font: inherit;
+}
+#flame svg { display: block; width: 100%; }
+#latency { padding: 8px 12px; font-size: 12px; }
+#latency .seg { display: flex; align-items: center; gap: 8px;
+  margin: 3px 0; }
+#latency .seg .name { width: 170px; color: var(--dim);
+  text-align: right; overflow: hidden; text-overflow: ellipsis;
+  white-space: nowrap; }
+#latency .seg .bar { flex: 1; height: 10px; background: #1d2433;
+  border-radius: 3px; overflow: hidden; }
+#latency .seg .bar i { display: block; height: 100%;
+  background: var(--accent); }
+#latency .seg.unattr .bar i { background: var(--warn); }
+#latency .seg .num { width: 180px; color: var(--dim); }
+#latency .conserve { margin-top: 8px; }
+#latency .conserve.ok { color: var(--ok); }
+#latency .conserve.bad { color: var(--bad); }
+#chaos-list { padding: 8px 12px; }
+#chaos-list .fault {
+  border: 1px solid var(--edge); border-left: 3px solid var(--bad);
+  border-radius: 6px; padding: 4px 10px; margin-bottom: 6px;
+  cursor: pointer; color: var(--dim); font-size: 12px;
+}
+#chaos-list .fault:hover { color: var(--ink);
+  border-color: var(--accent); }
+.audit-grid { display: grid; gap: 0;
+  grid-template-columns: minmax(0, 1fr) minmax(0, 1fr); }
+.audit-grid h3 {
+  margin: 0; padding: 6px 12px 0; font-size: 11px; font-weight: 600;
+  color: var(--dim); text-transform: uppercase;
+  letter-spacing: 0.08em;
+}
 #findings { padding: 8px 12px; }
 #findings .finding {
   border: 1px solid var(--edge); border-radius: 6px;
@@ -256,9 +329,27 @@ section h2 {
     <h2>swimlanes</h2>
     <div id="lanes"></div>
   </section>
+  <section id="flame-box">
+    <h2>trace flame view</h2>
+    <div class="picker"><select id="trace-pick"></select></div>
+    <div id="flame"></div>
+  </section>
+  <section id="latency-box">
+    <h2>latency budget</h2>
+    <div id="latency"></div>
+  </section>
   <section id="audit-box">
-    <h2>auditor findings</h2>
-    <div id="findings"></div>
+    <h2>faults: detected vs injected</h2>
+    <div class="audit-grid">
+      <div>
+        <h3>auditor findings</h3>
+        <div id="findings"></div>
+      </div>
+      <div>
+        <h3>injected ground truth</h3>
+        <div id="chaos-list"></div>
+      </div>
+    </div>
   </section>
 </main>
 <script id="bundle" type="application/json">@@BUNDLE_JSON@@</script>
@@ -270,6 +361,8 @@ const EVENTS = DATA.journal.events;
 const SPANS = DATA.spans || [];
 const TOPO = DATA.topology;
 const AUDIT = DATA.audit || null;
+const LATENCY = DATA.latency || null;
+const CHAOS = DATA.chaos || null;
 const SVGNS = "http://www.w3.org/2000/svg";
 
 // ---------------------------------------------------------------- utils
@@ -285,7 +378,8 @@ function kindColor(kind) {
     pbft: "#5aa9ff", log: "#46c28e", daemon: "#e7b54a",
     reserve: "#e78a4a", sign: "#b48ef0", proof: "#4ad2c9",
     chain: "#6fd0e8", deploy: "#8b97ad", geo: "#e780c0",
-    recovery: "#ef6b73",
+    recovery: "#ef6b73", wan: "#d98ae0", commit: "#7fc4ff",
+    receive: "#46c28e",
   };
   return palette[head] || "#9aa7bd";
 }
@@ -507,6 +601,186 @@ laneSvg.addEventListener("click", (click) => {
     (W - LPAD - 10);
   if (frac >= 0 && frac <= 1) setTime(T0 + frac * (T1 - T0));
 });
+
+// ---------------------------------------------------------- flame view
+const tracePick = document.getElementById("trace-pick");
+const flameBox = document.getElementById("flame");
+const traceIds = [];
+const spansByTrace = {};
+for (const span of SPANS) {
+  if (!(span.trace_id in spansByTrace)) {
+    spansByTrace[span.trace_id] = [];
+    traceIds.push(span.trace_id);
+  }
+  spansByTrace[span.trace_id].push(span);
+}
+function renderFlame(traceId) {
+  const spans = spansByTrace[traceId] || [];
+  const have = {};
+  for (const span of spans) have[span.span_id] = span;
+  const depth = {};
+  function depthOf(span) {
+    if (span.span_id in depth) return depth[span.span_id];
+    depth[span.span_id] = 0;  // cycle guard
+    const d = (span.parent_id != null && have[span.parent_id])
+      ? depthOf(have[span.parent_id]) + 1 : 0;
+    depth[span.span_id] = d;
+    return d;
+  }
+  let f0 = Infinity, f1 = -Infinity, maxDepth = 0;
+  for (const span of spans) {
+    maxDepth = Math.max(maxDepth, depthOf(span));
+    f0 = Math.min(f0, span.start_ms);
+    f1 = Math.max(
+      f1, span.end_ms == null ? span.start_ms : span.end_ms);
+  }
+  if (f1 <= f0) f1 = f0 + 1;
+  const FH = 18;
+  const height = (maxDepth + 1) * FH + 16;
+  flameBox.innerHTML = "";
+  const svg = el("svg", { viewBox: `0 0 ${W} ${height}` });
+  flameBox.appendChild(svg);
+  function fx(ms) { return 10 + ((ms - f0) / (f1 - f0)) * (W - 20); }
+  for (const span of spans) {
+    const end = span.end_ms == null ? span.start_ms : span.end_ms;
+    const x = fx(span.start_ms);
+    const width = Math.max(1.5, fx(end) - x);
+    const y = depthOf(span) * FH + 8;
+    const rect = el("rect", {
+      x: x, y: y, width: width, height: FH - 4, rx: 2,
+      fill: kindColor(span.name), "fill-opacity": 0.85,
+      stroke: "#10141b", "stroke-width": 0.5,
+    }, svg);
+    el("title", {}, rect).textContent =
+      span.name + " @" + (span.node || span.participant) + " " +
+      fmt(span.start_ms) + " → " + fmt(end) +
+      " (" + (end - span.start_ms).toFixed(3) + " ms)";
+    rect.addEventListener("click", () => setTime(span.start_ms));
+    if (width > 64) {
+      const label = el("text", {
+        x: x + 4, y: y + 10.5, fill: "#10141b", "font-size": 9,
+        "pointer-events": "none",
+      }, svg);
+      label.textContent = span.name;
+    }
+  }
+}
+if (traceIds.length) {
+  for (const id of traceIds) {
+    const spans = spansByTrace[id];
+    let t0 = Infinity, t1 = -Infinity, root = null;
+    for (const span of spans) {
+      t0 = Math.min(t0, span.start_ms);
+      t1 = Math.max(
+        t1, span.end_ms == null ? span.start_ms : span.end_ms);
+      if (span.parent_id == null) root = span;
+    }
+    const option = document.createElement("option");
+    option.value = id;
+    option.textContent =
+      "trace " + id + " — " + (root ? root.name : spans[0].name) +
+      " " + (t1 - t0).toFixed(3) + " ms (" + spans.length + " spans)";
+    tracePick.appendChild(option);
+  }
+  tracePick.onchange = () => renderFlame(tracePick.value);
+  renderFlame(traceIds[0]);
+} else {
+  tracePick.style.display = "none";
+  flameBox.innerHTML =
+    '<div class="empty">no spans in this bundle</div>';
+}
+
+// ------------------------------------------------------ latency budget
+const latencyBox = document.getElementById("latency");
+if (LATENCY) {
+  const e2e = LATENCY.end_to_end_ms || {};
+  const head = document.createElement("div");
+  head.textContent =
+    LATENCY.ops + " ops — end-to-end p50 " +
+    (e2e.p50 || 0).toFixed(3) + " ms · p90 " +
+    (e2e.p90 || 0).toFixed(3) + " ms · p99 " +
+    (e2e.p99 || 0).toFixed(3) + " ms";
+  latencyBox.appendChild(head);
+  const segments = LATENCY.segments || [];
+  let maxShare = 0;
+  for (const seg of segments) {
+    maxShare = Math.max(maxShare, seg.share || 0);
+  }
+  for (const seg of segments) {
+    const row = document.createElement("div");
+    row.className = "seg";
+    const name = document.createElement("span");
+    name.className = "name";
+    name.textContent = seg.segment;
+    const bar = document.createElement("span");
+    bar.className = "bar";
+    const fill = document.createElement("i");
+    fill.style.width =
+      (maxShare ? (100 * (seg.share || 0)) / maxShare : 0) + "%";
+    bar.appendChild(fill);
+    const num = document.createElement("span");
+    num.className = "num";
+    num.textContent =
+      (100 * (seg.share || 0)).toFixed(1) + "% · p50 " +
+      seg.p50.toFixed(3) + " / p99 " + seg.p99.toFixed(3) + " ms";
+    row.appendChild(name);
+    row.appendChild(bar);
+    row.appendChild(num);
+    latencyBox.appendChild(row);
+  }
+  const conserve = document.createElement("div");
+  const proof = LATENCY.conservation || {};
+  conserve.className = "conserve " + (proof.ok ? "ok" : "bad");
+  conserve.textContent =
+    (proof.ok ? "✓ conservation holds" :
+     "✗ conservation VIOLATED") +
+    " — max error " + (proof.max_error_ms || 0).toExponential(2) +
+    " ms, unattributed p99 fraction " +
+    (proof.unattributed_p99_fraction || 0).toFixed(4) +
+    " (bound " + (proof.unattributed_p99_bound || 0).toFixed(2) + ")";
+  latencyBox.appendChild(conserve);
+  const tail = LATENCY.tail || {};
+  if (tail.dominant_segment) {
+    const tailLine = document.createElement("div");
+    tailLine.textContent =
+      "p99 tail (≥ " + (tail.threshold_ms || 0).toFixed(3) +
+      " ms, " + tail.ops + " ops) dominated by " +
+      tail.dominant_segment;
+    latencyBox.appendChild(tailLine);
+  }
+} else {
+  latencyBox.innerHTML =
+    '<div class="empty">no latency attribution in this bundle</div>';
+}
+
+// --------------------------------------------------- chaos ground truth
+const chaosList = document.getElementById("chaos-list");
+if (CHAOS && CHAOS.actions.length) {
+  const shadeLayer = el("g", {});
+  laneSvg.insertBefore(shadeLayer, laneSvg.firstChild);
+  for (const action of CHAOS.actions) {
+    const x0 = laneX(Math.max(T0, Math.min(T1, action.start)));
+    const x1 = laneX(Math.max(T0, Math.min(T1, action.end)));
+    const shade = el("rect", {
+      x: x0, y: 4, width: Math.max(2, x1 - x0), height: laneH - 8,
+      fill: "#ef6b73", "fill-opacity": 0.08,
+      stroke: "#ef6b73", "stroke-opacity": 0.35,
+      "stroke-dasharray": "3 3",
+    }, shadeLayer);
+    el("title", {}, shade).textContent = "injected: " + action.label;
+    const card = document.createElement("div");
+    card.className = "fault";
+    card.textContent =
+      action.label + " [" + action.start.toFixed(0) + ", " +
+      action.end.toFixed(0) + ")";
+    card.onclick = () => setTime(action.start);
+    chaosList.appendChild(card);
+  }
+} else {
+  chaosList.innerHTML = '<div class="empty">' + (CHAOS
+    ? "plan injected no faults"
+    : "no fault plan attached to this bundle") + "</div>";
+}
 
 // ------------------------------------------------------------- audit
 const findingsBox = document.getElementById("findings");

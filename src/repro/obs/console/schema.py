@@ -1,4 +1,4 @@
-"""The ``repro.console/v1`` data-bundle schema.
+"""The ``repro.console/v2`` data-bundle schema (v1 still accepted).
 
 The operator console is split into two halves: a *bundle* (one plain
 JSON document folding everything a replay needs — journal events, span
@@ -37,8 +37,24 @@ Top-level document::
         "accused": ["C-2"],
         "findings": [{"id": "finding-000-equivocation",
                       "evidence_event_ids": [17, 23], ...}, ...]
+      },
+      "latency": {                        # optional (v2): critpath
+        "end_to_end_ms": {"p50": ..., "p99": ..., ...},
+        "segments": [{"segment": "pbft.prepare", ...}, ...],
+        ...                               # repro.obs.critpath.attribute()
+      },
+      "chaos": {                          # optional (v2): ground truth
+        "seed": 2, "profile": "byzantine",
+        "actions": [{"kind": "crash", "site": "A", "start": 0.0,
+                     "end": 5000.0, "label": "crash A[0] [0, 5000)"},
+                    ...]
       }
     }
+
+v2 adds the optional ``latency`` (critical-path attribution report)
+and ``chaos`` (the injected fault plan — ground truth the replay
+renders next to the auditor's detections) sections; v1 documents
+remain valid under this checker.
 
 Like the bench schema, the document records **no timestamps, hostnames,
 or environment fingerprints** — a bundle is a pure function of the run
@@ -49,8 +65,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-SCHEMA_NAME = "repro.console/v1"
-SCHEMA_VERSION = 1
+SCHEMA_NAME = "repro.console/v2"
+SCHEMA_VERSION = 2
+
+#: (schema string, schema_version) pairs the validator accepts.
+ACCEPTED_SCHEMAS = (
+    ("repro.console/v1", 1),
+    ("repro.console/v2", 2),
+)
 
 #: Required top-level fields and their types.
 _TOP_FIELDS = {
@@ -66,6 +88,15 @@ _OPTIONAL_FIELDS = {
     "spans": list,
     "metrics": dict,
     "audit": dict,
+    "latency": dict,
+    "chaos": dict,
+}
+
+_CHAOS_ACTION_FIELDS = {
+    "kind": str,
+    "start": (int, float),
+    "end": (int, float),
+    "label": str,
 }
 
 _TOPOLOGY_FIELDS = {
@@ -124,14 +155,20 @@ def validate(document: Any) -> List[str]:
                 f"field {field!r} must be {expected}, "
                 f"got {type(document[field]).__name__}"
             )
-    if document.get("schema") not in (None, SCHEMA_NAME):
+    schema = document.get("schema")
+    version = document.get("schema_version")
+    accepted_names = {name: number for name, number in ACCEPTED_SCHEMAS}
+    if isinstance(schema, str) and schema not in accepted_names:
+        names = ", ".join(repr(name) for name in accepted_names)
+        errors.append(f"schema must be one of {names}, got {schema!r}")
+    elif (
+        isinstance(schema, str)
+        and version is not None
+        and version != accepted_names[schema]
+    ):
         errors.append(
-            f"schema must be {SCHEMA_NAME!r}, got {document.get('schema')!r}"
-        )
-    if document.get("schema_version") not in (None, SCHEMA_VERSION):
-        errors.append(
-            f"schema_version must be {SCHEMA_VERSION}, "
-            f"got {document.get('schema_version')!r}"
+            f"schema_version must be {accepted_names[schema]} for "
+            f"{schema!r}, got {version!r}"
         )
     topology = document.get("topology")
     if isinstance(topology, dict):
@@ -142,6 +179,12 @@ def validate(document: Any) -> List[str]:
     audit = document.get("audit")
     if isinstance(audit, dict):
         errors.extend(_validate_audit(audit, journal))
+    latency = document.get("latency")
+    if isinstance(latency, dict):
+        errors.extend(_validate_latency(latency))
+    chaos = document.get("chaos")
+    if isinstance(chaos, dict):
+        errors.extend(_validate_chaos(chaos, topology))
     return errors
 
 
@@ -299,6 +342,73 @@ def _validate_audit(
                     f"{where} cites event {evidence_id} which is not "
                     "retained in the bundle's journal"
                 )
+    return errors
+
+
+def _validate_latency(latency: Dict[str, Any]) -> List[str]:
+    """The v2 ``latency`` section: the critical-path attribution
+    report (shape shared with bench schema v4's per-result block)."""
+    errors: List[str] = []
+    end_to_end = latency.get("end_to_end_ms")
+    if not isinstance(end_to_end, dict) or not all(
+        isinstance(end_to_end.get(q), (int, float))
+        and not isinstance(end_to_end.get(q), bool)
+        for q in ("p50", "p90", "p99")
+    ):
+        errors.append("latency.end_to_end_ms must carry numeric p50/p90/p99")
+    segments = latency.get("segments")
+    if not isinstance(segments, list):
+        errors.append("latency.segments must be a list")
+    else:
+        for index, entry in enumerate(segments):
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("segment"), str
+            ):
+                errors.append(
+                    f"latency.segments[{index}] must be an object with "
+                    "a 'segment' name"
+                )
+    return errors
+
+
+def _validate_chaos(chaos: Dict[str, Any], topology: Any) -> List[str]:
+    """The v2 ``chaos`` section: the injected fault plan (ground
+    truth). Sites referenced by actions must exist in the topology so
+    the renderer can always place a fault window on a swimlane."""
+    errors: List[str] = []
+    actions = chaos.get("actions")
+    if not isinstance(actions, list):
+        return ["chaos.actions must be a list"]
+    sites = set()
+    if isinstance(topology, dict) and isinstance(topology.get("sites"), list):
+        sites = set(topology["sites"])
+    for index, action in enumerate(actions):
+        where = f"chaos.actions[{index}]"
+        if not isinstance(action, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for field, expected in _CHAOS_ACTION_FIELDS.items():
+            if field not in action:
+                errors.append(f"{where} missing field {field!r}")
+            elif not isinstance(action[field], expected) or isinstance(
+                action[field], bool
+            ):
+                errors.append(
+                    f"{where}.{field} must be {expected}, "
+                    f"got {type(action[field]).__name__}"
+                )
+        start, end = action.get("start"), action.get("end")
+        if (
+            isinstance(start, (int, float))
+            and isinstance(end, (int, float))
+            and end < start
+        ):
+            errors.append(f"{where}: end {end} precedes start {start}")
+        site = action.get("site")
+        if site is not None and not isinstance(site, str):
+            errors.append(f"{where}.site must be a string or null")
+        elif isinstance(site, str) and site and sites and site not in sites:
+            errors.append(f"{where} references unknown site {site!r}")
     return errors
 
 

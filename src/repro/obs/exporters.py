@@ -99,9 +99,19 @@ def metrics_snapshot(obs: Observability) -> Dict[str, Any]:
                     [None if le == float("inf") else le, count]
                     for le, count in h.cumulative_buckets()
                 ],
+                "quantiles": {
+                    "p50": h.quantile(0.50),
+                    "p90": h.quantile(0.90),
+                    "p99": h.quantile(0.99),
+                },
                 "window_ms": h.window_ms,
                 "windows": [
-                    {"window": idx, "count": count, "mean": mean}
+                    {
+                        "window": idx,
+                        "count": count,
+                        "mean": mean,
+                        "p99": h.window_quantile(idx, 0.99),
+                    }
                     for idx, count, mean in h.window_series()
                 ],
             }
@@ -109,6 +119,7 @@ def metrics_snapshot(obs: Observability) -> Dict[str, Any]:
         ],
         "spans_recorded": len(obs.spans),
         "spans_dropped": obs.spans.dropped,
+        "spans_orphaned": obs.spans.orphaned,
         "events_recorded": obs.journal.recorded,
         "events_retained": len(obs.journal),
         "events_dropped": obs.journal.dropped,
@@ -153,10 +164,43 @@ def to_prometheus_text(obs: Observability) -> str:
         lines.append(
             f"{name}_count{_label_str(histogram.labels)} {histogram.count}"
         )
+        # Windowed histograms get a conformant per-window series
+        # (``<name>_window_bucket{window="N",le=…}`` + ``_sum`` +
+        # ``_count``) instead of being flattened to count/mean — stock
+        # dashboards can histogram_quantile over a window directly.
+        if histogram.window_ms is not None and histogram.windows:
+            window_name = f"{name}_window"
+            _header(window_name, "histogram")
+            for index, _count, _mean in histogram.window_series():
+                window_label = f'window="{index}"'
+                for le, count in histogram.window_cumulative_buckets(index):
+                    extra = window_label + ',le="' + _fmt(le) + '"'
+                    lines.append(
+                        f"{window_name}_bucket"
+                        f"{_label_str(histogram.labels, extra)} {count}"
+                    )
+                lines.append(
+                    f"{window_name}_sum"
+                    f"{_label_str(histogram.labels, window_label)} "
+                    f"{_fmt(histogram.window_sum(index))}"
+                )
+                lines.append(
+                    f"{window_name}_count"
+                    f"{_label_str(histogram.labels, window_label)} "
+                    f"{histogram.window_count(index)}"
+                )
     # Ring-buffer drop counters: always exported so silent eviction of
     # spans or journal events is visible to a scraper even when zero.
+    # Orphaned spans (retained children of evicted parents) count as
+    # dropped — their subtree can no longer be rooted correctly — and
+    # are also broken out on their own series.
     _header("obs_spans_dropped_total", "counter")
-    lines.append(f"obs_spans_dropped_total {_fmt(obs.spans.dropped)}")
+    lines.append(
+        "obs_spans_dropped_total "
+        f"{_fmt(obs.spans.dropped + obs.spans.orphaned)}"
+    )
+    _header("obs_spans_orphaned_total", "counter")
+    lines.append(f"obs_spans_orphaned_total {_fmt(obs.spans.orphaned)}")
     _header("obs_events_dropped_total", "counter")
     lines.append(f"obs_events_dropped_total {_fmt(obs.journal.dropped)}")
     return "\n".join(lines) + "\n"

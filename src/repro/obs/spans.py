@@ -9,16 +9,21 @@ caused it, so one cross-datacenter commit reads as a single tree from
 the source's ``log-commit`` to the destination's receive-verification.
 
 The log is append-only and bounded (``max_spans`` is a ring buffer so a
-long traced run cannot grow without limit). Like the metrics registry,
-recording spans is passive — no events, no randomness — so tracing can
-never change what a simulation does.
+long traced run cannot grow without limit). Eviction is accounted for:
+``dropped`` counts evicted spans and ``orphaned`` counts retained spans
+whose parent was evicted (or was never retained), so tree consumers —
+:meth:`SpanLog.forest` here, the critical-path engine, the console —
+can treat orphaned subtrees as explicit roots instead of silently
+mis-rooting them. Like the metrics registry, recording spans is
+passive — no events, no randomness — so tracing can never change what
+a simulation does.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclasses.dataclass
@@ -88,6 +93,14 @@ class SpanLog:
         #: Spans evicted from the ring buffer (surfaced as
         #: ``spans_dropped`` in ``metrics_snapshot``).
         self.dropped = 0
+        #: Retained spans whose parent is gone — evicted after the
+        #: child was recorded, or appended after the parent had already
+        #: been evicted. Monotonic, like ``dropped``.
+        self.orphaned = 0
+        # Eviction bookkeeping: which span ids are currently retained,
+        # and how many *retained* children each retained parent has.
+        self._retained_ids: set = set()
+        self._child_counts: Dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -118,7 +131,7 @@ class SpanLog:
             trace_id = self.new_trace()
         maxlen = self._spans.maxlen
         if maxlen is not None and len(self._spans) == maxlen:
-            self.dropped += 1
+            self._evict(self._spans[0])
         span = Span(
             span_id=self._next_span_id,
             trace_id=trace_id,
@@ -132,7 +145,32 @@ class SpanLog:
         )
         self._next_span_id += 1
         self._spans.append(span)
+        self._retained_ids.add(span.span_id)
+        if parent_id is not None:
+            if parent_id in self._retained_ids:
+                self._child_counts[parent_id] = (
+                    self._child_counts.get(parent_id, 0) + 1
+                )
+            else:
+                # Parent already evicted: the new span is orphaned from
+                # the moment it is recorded.
+                self.orphaned += 1
         return span
+
+    def _evict(self, span: Span) -> None:
+        """Account for the ring buffer pushing out its oldest span
+        (the deque drops it on the subsequent append)."""
+        self.dropped += 1
+        self._retained_ids.discard(span.span_id)
+        # Every retained child of the evicted span is now orphaned.
+        self.orphaned += self._child_counts.pop(span.span_id, 0)
+        parent_id = span.parent_id
+        if parent_id is not None and parent_id in self._child_counts:
+            remaining = self._child_counts[parent_id] - 1
+            if remaining > 0:
+                self._child_counts[parent_id] = remaining
+            else:
+                del self._child_counts[parent_id]
 
     def end(self, span: Span, at: float, **args: Any) -> Span:
         """Close an open span at virtual time ``at``."""
@@ -183,6 +221,29 @@ class SpanLog:
             (s for s in self._spans if s.trace_id == trace_id),
             key=lambda s: (s.start_ms, s.span_id),
         )
+
+    def forest(
+        self, trace_id: int
+    ) -> "Tuple[List[Span], Dict[int, List[Span]]]":
+        """Parent-linked trees of one trace, tolerant of eviction.
+
+        Returns ``(roots, children)`` where ``children`` maps a
+        retained span id to its retained children (start-time order)
+        and ``roots`` holds both true roots (``parent_id is None``) and
+        orphans whose parent is no longer retained — orphaned subtrees
+        surface as extra roots rather than being silently grafted
+        elsewhere or dropped.
+        """
+        spans = self.by_trace(trace_id)
+        retained = {s.span_id for s in spans}
+        roots: List[Span] = []
+        children: Dict[int, List[Span]] = {}
+        for span in spans:
+            if span.parent_id is None or span.parent_id not in retained:
+                roots.append(span)
+            else:
+                children.setdefault(span.parent_id, []).append(span)
+        return roots, children
 
     def named(self, name: str) -> List[Span]:
         """All retained spans with the given name."""

@@ -224,6 +224,10 @@ class PBFTReplica(Node):
         self._request_watchdog_timers: Dict[Tuple[str, int], Any] = {}
         self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
         self._voted_view = 0
+        # Virtual time this replica entered its current view change
+        # (None outside one); bounds the "pbft.view_change" span the
+        # critical-path attributor charges failover stalls to.
+        self._view_change_started: Optional[float] = None
         self._highest_vote: Dict[str, int] = {}
         self._last_view_change_vote: Optional[ViewChange] = None
         self._escalations = 0
@@ -1112,6 +1116,8 @@ class PBFTReplica(Node):
             return
         self._voted_view = new_view
         self.in_view_change = True
+        if self._view_change_started is None:
+            self._view_change_started = self.sim.now
         # Certificates cover every prepared slot above the stable
         # checkpoint — *including executed ones* (Castro & Liskov §4.4:
         # executed slots are only safe to omit once a checkpoint proves
@@ -1259,6 +1265,7 @@ class PBFTReplica(Node):
             )
         self.view = new_view
         self.in_view_change = False
+        self._record_view_change_span(new_view)
         self._escalations = 0
         self.next_seq = max(
             [max_executed + 1] + [pp.seq + 1 for pp in pre_prepares]
@@ -1310,6 +1317,7 @@ class PBFTReplica(Node):
             return
         self.view = msg.new_view
         self.in_view_change = False
+        self._record_view_change_span(msg.new_view)
         self._escalations = 0
         self._voted_view = max(self._voted_view, msg.new_view)
         for pre_prepare in msg.pre_prepares:
@@ -1324,6 +1332,26 @@ class PBFTReplica(Node):
         if first is not None and first > self.last_executed + 1:
             self._request_catch_up()
         self._resubmit_pending()
+
+    def _record_view_change_span(self, new_view: int) -> None:
+        """Close out the failover window on every traced pending
+        request, so the critical-path attributor charges the stall to
+        a named ``pbft.view_change`` segment instead of folding it
+        into consensus self-time. Only the origin replica holds
+        pending requests, so each trace gets the span once."""
+        started = self._view_change_started
+        self._view_change_started = None
+        if started is None or not self.obs.tracing:
+            return
+        for pending in self._pending.values():
+            ctx = self.obs.ctx_of(pending.span) or pending.trace_ctx
+            if ctx is None:
+                continue
+            self.obs.complete_span(
+                "pbft.view_change", started, self.sim.now, ctx,
+                participant=self.site, node=self.node_id,
+                new_view=new_view,
+            )
 
     def _resubmit_pending(self) -> None:
         for request_id in list(self._pending):

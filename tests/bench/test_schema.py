@@ -136,11 +136,11 @@ class TestViolations:
 
 
 class TestVersioning:
-    """v3 accepts archived v1/v2 documents; mismatched pairs fail."""
+    """v4 accepts archived v1/v2/v3 documents; mismatched pairs fail."""
 
-    def test_current_schema_is_v3(self):
-        assert SCHEMA_NAME == "repro.bench/v3"
-        assert SCHEMA_VERSION == 3
+    def test_current_schema_is_v4(self):
+        assert SCHEMA_NAME == "repro.bench/v4"
+        assert SCHEMA_VERSION == 4
 
     def test_v1_document_still_validates(self):
         document = _document(schema="repro.bench/v1", schema_version=1)
@@ -148,6 +148,10 @@ class TestVersioning:
 
     def test_v2_document_still_validates(self):
         document = _document(schema="repro.bench/v2", schema_version=2)
+        assert validate(document) == []
+
+    def test_v3_document_still_validates(self):
+        document = _document(schema="repro.bench/v3", schema_version=3)
         assert validate(document) == []
 
     def test_mismatched_name_version_pair_rejected(self):
@@ -282,3 +286,83 @@ class TestMemoryBlock:
             )
         )
         assert any("exceeds" in error for error in errors)
+
+
+def _latency(**overrides):
+    latency = {
+        "ops": 188,
+        "sample_every": 16,
+        "end_to_end_ms": {
+            "p50": 0.772, "p90": 12.4, "p99": 25.973,
+            "mean": 3.1, "max": 41.0,
+        },
+        "segments": [
+            {
+                "segment": "pbft.prepare",
+                "p50": 0.2, "p90": 0.4, "p99": 0.6,
+                "mean": 0.25, "max": 1.0,
+                "total_ms": 47.0, "share": 0.08, "present_ops": 188,
+            },
+            {
+                "segment": "wan.transmit",
+                "p50": 0.0, "p90": 20.0, "p99": 21.0,
+                "mean": 4.0, "max": 22.0,
+                "total_ms": 750.0, "share": 0.79, "present_ops": 38,
+            },
+        ],
+        "conservation": {
+            "checked_ops": 188,
+            "max_error_ms": 0.0,
+            "tolerance_ms": 1e-6,
+            "unattributed_p99_fraction": 0.0,
+            "unattributed_p99_bound": 0.05,
+            "ok": True,
+        },
+    }
+    latency.update(overrides)
+    return latency
+
+
+class TestLatencyBlock:
+    """The optional v4 ``latency`` block on sustained-load results."""
+
+    def test_result_with_latency_validates(self):
+        document = _document(results=[_result(latency=_latency())])
+        assert validate(document) == []
+
+    def test_latency_is_optional(self):
+        assert validate(_document()) == []
+
+    def test_non_object_latency(self):
+        errors = validate(_document(results=[_result(latency=[1])]))
+        assert any("latency" in error for error in errors)
+
+    def test_negative_ops(self):
+        errors = validate(
+            _document(results=[_result(latency=_latency(ops=-1))])
+        )
+        assert any("ops" in error for error in errors)
+
+    def test_end_to_end_requires_numeric_percentiles(self):
+        bad = _latency()
+        bad["end_to_end_ms"]["p99"] = "slow"
+        errors = validate(_document(results=[_result(latency=bad)]))
+        assert any("p99" in error for error in errors)
+
+    def test_duplicate_segment_names_rejected(self):
+        bad = _latency()
+        bad["segments"].append(dict(bad["segments"][0]))
+        errors = validate(_document(results=[_result(latency=bad)]))
+        assert any("duplicate" in error for error in errors)
+
+    def test_failed_conservation_rejected(self):
+        bad = _latency()
+        bad["conservation"]["ok"] = False
+        errors = validate(_document(results=[_result(latency=bad)]))
+        assert any("conservation" in error for error in errors)
+
+    def test_fraction_over_bound_rejected(self):
+        bad = _latency()
+        bad["conservation"]["unattributed_p99_fraction"] = 0.2
+        errors = validate(_document(results=[_result(latency=bad)]))
+        assert any("unattributed" in error for error in errors)

@@ -335,3 +335,98 @@ def test_build_bundle_validates_by_default(golden_obs):
         build_bundle(golden_obs, audit=bad_audit)
     document = build_bundle(golden_obs, audit=bad_audit, validate=False)
     assert document["audit"]["findings"][0]["evidence_event_ids"] == [9999]
+
+
+# ----------------------------------------------------------------------
+# v2 sections: latency attribution and chaos ground truth
+# ----------------------------------------------------------------------
+def _plan():
+    from repro.chaos.plan import FaultAction, FaultPlan
+
+    return FaultPlan(
+        seed=7,
+        profile="mixed",
+        actions=(
+            FaultAction(kind="crash", site="C", node_index=0,
+                        start=1_000.0, end=5_000.0),
+            FaultAction(kind="byzantine", site="V", node_index=1,
+                        behavior="silent", start=0.0, end=None),
+        ),
+    )
+
+
+def test_bundle_with_latency_section(golden_obs):
+    from repro.obs.critpath import attribute_log
+
+    bundle = build_bundle(
+        golden_obs, latency=attribute_log(golden_obs.spans)
+    )
+    assert validate(bundle) == []
+    assert bundle["latency"]["ops"] > 0
+    assert bundle["latency"]["conservation"]["ok"] is True
+
+
+def test_bundle_with_chaos_plan(golden_obs):
+    bundle = build_bundle(golden_obs, chaos=_plan())
+    assert validate(bundle) == []
+    chaos = bundle["chaos"]
+    assert chaos["seed"] == 7
+    assert [a["kind"] for a in chaos["actions"]] == ["byzantine", "crash"]
+    crash = chaos["actions"][1]
+    assert crash["site"] == "C"
+    assert crash["start"] == 1_000.0 and crash["end"] == 5_000.0
+    assert "crash C[0]" in crash["label"]
+    # The open-ended byzantine plant is closed at the plan's extent so
+    # the renderer always has a finite window.
+    plant = chaos["actions"][0]
+    assert plant["end"] == pytest.approx(
+        chaos["horizon_ms"] + chaos["settle_ms"]
+    )
+
+
+def test_bundle_accepts_chaos_plan_dict(golden_obs):
+    bundle = build_bundle(golden_obs, chaos=_plan().to_dict())
+    assert len(bundle["chaos"]["actions"]) == 2
+
+
+def test_bundle_rejects_malformed_chaos():
+    with pytest.raises(TypeError):
+        build_bundle(journal={"events": []}, chaos="crash everything")
+
+
+def test_v1_bundle_still_validates(golden_bundle):
+    old = copy.deepcopy(golden_bundle)
+    old["schema"] = "repro.console/v1"
+    old["schema_version"] = 1
+    assert validate(old) == []
+
+
+def test_validator_rejects_mismatched_pair(golden_bundle):
+    old = copy.deepcopy(golden_bundle)
+    old["schema"] = "repro.console/v1"
+    old["schema_version"] = 2
+    assert any("schema_version" in e for e in validate(old))
+
+
+def test_validator_rejects_bad_latency_section(golden_bundle):
+    bad = copy.deepcopy(golden_bundle)
+    bad["latency"] = {"end_to_end_ms": "fast", "segments": [{"p99": 1}]}
+    errors = validate(bad)
+    assert any("end_to_end_ms" in e for e in errors)
+    assert any("segments[0]" in e for e in errors)
+
+
+def test_validator_rejects_bad_chaos_actions(golden_bundle):
+    bad = copy.deepcopy(golden_bundle)
+    bad["chaos"] = {
+        "actions": [
+            {"kind": "crash", "start": 5.0, "end": 1.0, "label": "x"},
+            {"kind": "crash", "start": 0.0, "end": 1.0, "label": "y",
+             "site": "NOWHERE"},
+            {"kind": "crash"},
+        ]
+    }
+    errors = validate(bad)
+    assert any("precedes" in e for e in errors)
+    assert any("unknown site" in e for e in errors)
+    assert any("missing field" in e for e in errors)

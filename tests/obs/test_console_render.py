@@ -180,3 +180,65 @@ def test_served_page_round_trips(golden_page):
         thread.join(timeout=5)
         server.server_close()
     assert body == golden_page
+
+
+# ----------------------------------------------------------------------
+# v2 panels: flame view, latency budget, chaos ground truth
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def v2_page() -> str:
+    from repro.chaos.plan import FaultAction, FaultPlan
+    from repro.obs.critpath import attribute_log
+
+    obs = Observability(enabled=True)
+    trace_commit_lifecycle(obs)
+    plan = FaultPlan(
+        seed=3,
+        actions=(
+            FaultAction(kind="crash", site="C", node_index=1,
+                        start=10.0, end=50.0),
+        ),
+    )
+    bundle = build_bundle(
+        obs, latency=attribute_log(obs.spans), chaos=plan,
+        title="v2 replay",
+    )
+    return render_html(bundle)
+
+
+def test_v2_page_is_self_contained(v2_page):
+    assert " src=" not in v2_page
+    assert "href=" not in v2_page
+
+
+def test_v2_page_has_flame_and_latency_panels(v2_page):
+    assert 'id="flame-box"' in v2_page
+    assert 'id="trace-pick"' in v2_page
+    assert 'id="latency-box"' in v2_page
+    assert 'id="chaos-list"' in v2_page
+
+
+def test_v2_page_embeds_latency_and_chaos_sections(v2_page):
+    bundle = _embedded_bundle(v2_page)
+    assert bundle["latency"]["conservation"]["ok"] is True
+    assert bundle["chaos"]["actions"][0]["label"] == "crash C[1] [10, 50)"
+
+
+def test_v2_stats_line_counts_attribution_and_faults(v2_page):
+    assert "ops attributed" in v2_page
+    assert "1 injected faults" in v2_page
+
+
+def test_v1_bundle_without_new_sections_still_renders(golden_page):
+    # Panels exist but the JS falls back to empty notes — the bundle
+    # itself carries neither section.
+    bundle = _embedded_bundle(golden_page)
+    assert "latency" not in bundle
+    assert "chaos" not in bundle
+    assert 'id="flame-box"' in golden_page
+
+
+def test_noscript_lists_injected_faults(v2_page):
+    noscript = v2_page.split("<noscript>")[1].split("</noscript>")[0]
+    assert "injected: crash C[1]" in noscript
+    assert "latency:" in noscript

@@ -164,3 +164,49 @@ def test_snapshot_and_prometheus_surface_drop_counters():
     text = to_prometheus_text(obs)
     assert "obs_spans_dropped_total 2.0" in text
     assert "obs_events_dropped_total 2.0" in text
+
+
+def test_prometheus_per_window_histogram_series():
+    text = to_prometheus_text(_populated_obs())
+    lines = text.split("\n")
+    # Windowed histograms additionally export one conformant
+    # _bucket/_sum/_count family per window, labelled by window index.
+    window_buckets = [
+        l for l in lines
+        if l.startswith("commit_latency_ms_window_bucket")
+    ]
+    assert window_buckets
+    assert all('window="' in l for l in window_buckets)
+    assert any('le="+Inf"' in l for l in window_buckets)
+    # Three observations at t=1/60/120 with a 50 ms window: 3 windows.
+    windows = {l.split('window="')[1].split('"')[0] for l in window_buckets}
+    assert windows == {"0", "1", "2"}
+    # Per-window cumulative counts are monotone within each window.
+    for window in windows:
+        counts = [
+            float(l.rsplit(" ", 1)[1])
+            for l in window_buckets
+            if f'window="{window}"' in l
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 1.0
+    assert any(
+        l.startswith("commit_latency_ms_window_sum") for l in lines
+    )
+    assert any(
+        l.startswith("commit_latency_ms_window_count") for l in lines
+    )
+
+
+def test_prometheus_orphan_counter_always_present():
+    obs = Observability(enabled=True, max_spans=2)
+    root = obs.begin_span("commit", participant="C")
+    for index in range(3):  # churn the ring: the root gets evicted
+        obs.end_span(
+            obs.begin_span("child", ctx=obs.ctx_of(root), participant="C")
+        )
+    text = to_prometheus_text(obs)
+    assert "obs_spans_orphaned_total" in text
+    # Orphans count into the dropped total the dashboards alert on.
+    snapshot = metrics_snapshot(obs)
+    assert snapshot["spans_orphaned"] >= 1

@@ -154,3 +154,72 @@ def test_registry_introspection_sorted_and_typed():
     assert all(isinstance(m, Histogram) for m in registry.histograms())
     assert registry.get("a") is registry.counter("a")
     assert registry.get("missing") is None
+
+
+# ----------------------------------------------------------------------
+# Windowed-histogram edge cases
+# ----------------------------------------------------------------------
+def test_boundary_observation_lands_in_higher_window():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms", window_ms=100.0)
+    hist.observe(1.0, at=99.999)
+    hist.observe(2.0, at=100.0)  # exactly on the boundary
+    assert hist.window_count(0) == 1
+    assert hist.window_count(1) == 1
+    assert hist.window_sum(1) == pytest.approx(2.0)
+
+
+def test_empty_window_quantile_is_none():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms", window_ms=100.0)
+    hist.observe(5.0, at=0.0)
+    assert hist.window_quantile(7, 0.99) is None  # window never seen
+    assert hist.window_cumulative_buckets(7) == []
+    assert hist.window_count(7) == 0
+    assert hist.window_sum(7) == 0.0
+
+
+def test_quantile_of_empty_histogram_is_none():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms")
+    assert hist.quantile(0.5) is None
+
+
+def test_quantile_interpolates_within_bucket():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.6, 3.0):
+        hist.observe(value)
+    # Prometheus semantics: rank q*total, linear within the bucket.
+    q = hist.quantile(0.5)
+    assert 1.0 <= q <= 2.0
+
+
+def test_quantile_of_overflow_bucket_reports_last_finite_bound():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms", buckets=(1.0, 2.0))
+    hist.observe(100.0)  # +Inf bucket only
+    assert hist.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_quantile_rejects_out_of_range_q():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_ms")
+    hist.observe(1.0)
+    with pytest.raises(ConfigurationError):
+        hist.quantile(1.5)
+
+
+def test_window_cumulative_buckets_are_monotonic():
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "lat_ms", window_ms=100.0, buckets=(1.0, 5.0, 10.0)
+    )
+    for value in (0.5, 2.0, 7.0, 50.0):
+        hist.observe(value, at=10.0)
+    pairs = hist.window_cumulative_buckets(0)
+    bounds = [bound for bound, _ in pairs]
+    counts = [count for _, count in pairs]
+    assert bounds == sorted(bounds)
+    assert counts == sorted(counts)  # cumulative: never decreases
+    assert counts[-1] == hist.window_count(0) == 4

@@ -135,3 +135,65 @@ def test_wan_span_open_close_and_duplicates():
     assert closed is span
     assert span.end_ms is not None
     assert obs.end_wan_span("C", "V", 1) is None  # duplicate delivery
+
+
+# ----------------------------------------------------------------------
+# Eviction orphan accounting
+# ----------------------------------------------------------------------
+def test_evicting_a_parent_orphans_retained_children():
+    log = SpanLog(max_spans=2)
+    root = log.begin("commit", 0.0)
+    log.begin(
+        "pbft.consensus", 1.0,
+        trace_id=root.trace_id, parent_id=root.span_id,
+    )
+    assert log.orphaned == 0
+    # Third span evicts the root; its retained child becomes an orphan.
+    log.begin(
+        "pbft.prepare", 2.0,
+        trace_id=root.trace_id, parent_id=root.span_id,
+    )
+    assert log.dropped == 1
+    assert log.orphaned >= 1
+
+
+def test_child_of_already_evicted_parent_counts_immediately():
+    log = SpanLog(max_spans=None)
+    root = log.begin("commit", 0.0)
+    log.begin(
+        "late.child", 1.0,
+        trace_id=root.trace_id, parent_id=999_999,  # never retained
+    )
+    assert log.orphaned == 1
+
+
+def test_forest_surfaces_orphans_as_roots():
+    log = SpanLog(max_spans=None)
+    root = log.begin("commit", 0.0)
+    child = log.begin(
+        "pbft.consensus", 1.0,
+        trace_id=root.trace_id, parent_id=root.span_id,
+    )
+    orphan = log.begin(
+        "daemon.ship", 2.0,
+        trace_id=root.trace_id, parent_id=424_242,
+    )
+    roots, children = log.forest(root.trace_id)
+    assert roots == [root, orphan]
+    assert children[root.span_id] == [child]
+
+
+def test_orphan_counters_are_monotonic_under_churn():
+    log = SpanLog(max_spans=3)
+    first = log.begin("commit", 0.0)
+    for index in range(10):
+        log.begin(
+            f"child-{index}", float(index + 1),
+            trace_id=first.trace_id, parent_id=first.span_id,
+        )
+    assert log.dropped == 8  # 11 begun, 3 retained
+    # Every retained child of the evicted root was orphaned exactly
+    # once; counters never decrease as churn continues.
+    before = log.orphaned
+    log.begin("unrelated", 99.0)
+    assert log.orphaned >= before
